@@ -1,0 +1,347 @@
+(* The benchmark harness: one section per experiment in DESIGN.md §5.
+
+   The paper is a tutorial and reports no performance tables; its "results"
+   are worked examples and qualitative comparisons.  Accordingly each
+   experiment below prints the *shape* result the tutorial's narrative
+   claims (who needs how many panels/steps/arrows; which readings agree),
+   then measures the toolkit's cost for the corresponding operation with
+   Bechamel.  EXPERIMENTS.md records the outcomes. *)
+
+open Bechamel
+open Toolkit
+
+let db = Diagres_data.Sample_db.db
+
+let schemas =
+  List.map
+    (fun (n, r) -> (n, Diagres_data.Relation.schema r))
+    (Diagres_data.Database.relations db)
+
+let hr title =
+  Printf.printf "\n================ %s ================\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Shape tables (printed before timing).                                *)
+
+let e1_table () =
+  hr "E1  five queries x five languages (agreement + answer sizes)";
+  Printf.printf "%-4s %-52s %s\n" "id" "description" "rows  agree";
+  List.iter
+    (fun e ->
+      let results = Diagres.Catalog.eval_all db e in
+      let _, first = List.hd results in
+      let agree =
+        List.for_all
+          (fun (_, r) -> Diagres_data.Relation.same_rows first r)
+          results
+      in
+      Printf.printf "%-4s %-52s %4d  %b\n" e.Diagres.Catalog.id
+        e.Diagres.Catalog.description
+        (Diagres_data.Relation.cardinality first)
+        agree)
+    Diagres.Catalog.all
+
+let e2_table () =
+  hr "E2  syllogisms by Venn region algebra";
+  let valid =
+    List.filter Diagres_diagrams.Syllogism.valid_venn
+      Diagres_diagrams.Syllogism.all_moods
+  in
+  let trad =
+    List.filter
+      (Diagres_diagrams.Syllogism.valid_venn ~existential_import:true)
+      Diagres_diagrams.Syllogism.all_moods
+  in
+  Printf.printf
+    "moods: 256   valid (modern): %d   valid (existential import): %d\n"
+    (List.length valid) (List.length trad);
+  Printf.printf "expected: 15 and 24 — %s\n"
+    (if List.length valid = 15 && List.length trad = 24 then "MATCH"
+     else "MISMATCH")
+
+let e4_table () =
+  hr "E4  beta graphs <-> Boolean DRC (the imperfect mapping)";
+  let sentence =
+    Diagres_rc.Drc_parser.parse_formula
+      "exists s, b, d (Reserves(s, b, d) & not (exists n, c (Boat(b, n, c) \
+       & c = 'red')))"
+  in
+  let g = Diagres_diagrams.Eg_beta.of_drc sentence in
+  let outer = Diagres_diagrams.Eg_beta.to_drc g in
+  let inner = Diagres_diagrams.Eg_beta.to_drc_innermost g in
+  Printf.printf "crossing ligatures: %d\n"
+    (List.length (Diagres_diagrams.Eg_beta.crossing_ligatures g));
+  Printf.printf "outermost reading true: %b   innermost reading true: %b\n"
+    (Diagres_rc.Drc.eval_sentence db outer)
+    (Diagres_rc.Drc.eval_sentence db inner);
+  Printf.printf
+    "(differing readings on crossing graphs = the tutorial's Part-4 point)\n"
+
+let e5_table () =
+  hr "E5  QBE vs Datalog for division (Q3)";
+  let e = Diagres.Catalog.find "q3" in
+  let p = Diagres.Catalog.parsed_datalog e in
+  let qbe = Diagres_diagrams.Qbe.of_datalog schemas p ~goal:"q3" in
+  let steps, temps, rows = Diagres_diagrams.Qbe.stats qbe in
+  let rules, occs, repeats = Diagres_datalog.Ast.stats p in
+  Printf.printf "QBE:     steps=%d temp-relations=%d skeleton-rows=%d\n" steps
+    temps rows;
+  Printf.printf "Datalog: rules=%d body-atoms=%d repeated-tables=%d\n" rules
+    occs repeats;
+  Printf.printf "shape: QBE needs the same dataflow decomposition as Datalog\n"
+
+let e6_table () =
+  hr "E6  diagram complexity per formalism (catalog queries)";
+  Printf.printf "%-4s %7s %8s %8s %8s %8s\n" "id" "panels" "boxes" "links"
+    "cuts" "arrows";
+  List.iter
+    (fun e ->
+      let panels =
+        Diagres_rc.Translate.drawable_panels schemas
+          [ Diagres.Catalog.parsed_trc e ]
+      in
+      let rd = Diagres_diagrams.Relational_diagram.of_trc_queries panels in
+      let stats = Diagres_diagrams.Relational_diagram.stats rd in
+      let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
+      let qv_arrows =
+        List.fold_left
+          (fun a q ->
+            a
+            + Diagres_diagrams.Queryvis.arrow_count
+                (Diagres_diagrams.Queryvis.of_trc q))
+          0 panels
+      in
+      Printf.printf "%-4s %7d %8d %8d %8d %8d\n" e.Diagres.Catalog.id
+        (List.length panels)
+        (sum (fun s -> s.Diagres_diagrams.Scene.boxes))
+        (sum (fun s -> s.Diagres_diagrams.Scene.links))
+        (sum (fun s -> s.Diagres_diagrams.Scene.cuts))
+        qv_arrows)
+    Diagres.Catalog.all;
+  Printf.printf
+    "(arrows column = QueryVis reading arrows; Relational Diagrams use 0)\n"
+
+(* Nested NOT EXISTS chains of growing depth: how diagram complexity tracks
+   query complexity per formalism (the E6 ablation axis). *)
+let nesting_table () =
+  hr "E6b  diagram size vs nesting depth (alternating NOT EXISTS chain)";
+  let rec chain depth =
+    (* sailors such that ¬∃r (… ¬∃r' (…)) alternating over Reserves *)
+    if depth = 0 then Diagres_rc.Trc.True
+    else
+      Diagres_rc.Trc.Not
+        (Diagres_rc.Trc.Exists
+           ( [ (Printf.sprintf "r%d" depth, "Reserves") ],
+             Diagres_rc.Trc.And
+               ( Diagres_rc.Trc.Cmp
+                   ( Diagres_logic.Fol.Eq,
+                     Diagres_rc.Trc.Field (Printf.sprintf "r%d" depth, "sid"),
+                     Diagres_rc.Trc.Field ("s", "sid") ),
+                 chain (depth - 1) ) ))
+  in
+  Printf.printf "%6s %10s %10s %12s %14s\n" "depth" "RD boxes" "RD cuts"
+    "QV arrows" "SQLVis boxes";
+  List.iter
+    (fun depth ->
+      let q =
+        { Diagres_rc.Trc.head = [ Diagres_rc.Trc.Field ("s", "sid") ];
+          ranges = [ ("s", "Sailor") ];
+          body = chain depth }
+      in
+      let rd = Diagres_diagrams.Relational_diagram.of_trc q in
+      let rd_stats = List.hd (Diagres_diagrams.Relational_diagram.stats rd) in
+      let qv = Diagres_diagrams.Queryvis.of_trc q in
+      let sqlvis =
+        Diagres_diagrams.Sqlvis.of_sql
+          (Diagres_sql.Of_trc.statement [ q ])
+      in
+      let sv_stats = Diagres_diagrams.Sqlvis.stats sqlvis in
+      Printf.printf "%6d %10d %10d %12d %14d\n" depth
+        rd_stats.Diagres_diagrams.Scene.boxes
+        rd_stats.Diagres_diagrams.Scene.cuts
+        (Diagres_diagrams.Queryvis.arrow_count qv)
+        sv_stats.Diagres_diagrams.Scene.boxes)
+    [ 1; 2; 3; 4; 5; 6 ];
+  Printf.printf
+    "(all grow linearly in depth; QueryVis adds one arrow per level, RD one \
+     cut)\n"
+
+let e8_table () =
+  hr "E8  principles & the three abuses of the line";
+  let q3 = Diagres.Catalog.parsed_trc (Diagres.Catalog.find "q3") in
+  print_endline
+    (Diagres.Principles.verdict_to_string
+       (Diagres.Principles.invertibility_rd q3));
+  let sentence =
+    Diagres_rc.Drc_parser.parse_formula
+      "exists s, b, d (Reserves(s, b, d) & s <> b)"
+  in
+  Printf.printf "beta lines: %s\n"
+    (Diagres_diagrams.Line_abuse.report_to_string
+       (Diagres_diagrams.Line_abuse.of_beta
+          (Diagres_diagrams.Eg_beta.of_drc sentence)));
+  let rd = Diagres_diagrams.Relational_diagram.of_trc q3 in
+  let scene =
+    (List.hd rd.Diagres_diagrams.Relational_diagram.panels)
+      .Diagres_diagrams.Relational_diagram.scene
+  in
+  Printf.printf "RD lines:   %s\n"
+    (Diagres_diagrams.Line_abuse.report_to_string
+       (Diagres_diagrams.Line_abuse.of_scene scene))
+
+let e10_table () =
+  hr "E10  survey capability matrix";
+  print_string (Diagres.Survey.to_table ())
+
+let scaling_table () =
+  hr "Evaluator scaling (Q1; RA vs TRC vs naive DRC), wall-clock";
+  let time f =
+    let t0 = Sys.time () in
+    ignore (f ());
+    Sys.time () -. t0
+  in
+  Printf.printf "%8s %12s %12s %12s\n" "tuples" "RA(s)" "TRC(s)" "DRC(s)";
+  List.iter
+    (fun n ->
+      let rdb =
+        Diagres_data.Generator.sailors_db ~n_sailors:n
+          ~n_boats:(max 4 (n / 10))
+          ~n_reserves:(2 * n) (n + 7)
+      in
+      let e = Diagres.Catalog.find "q1" in
+      let ra = Diagres.Catalog.parsed_ra e in
+      let trc = Diagres.Catalog.parsed_trc e in
+      let drc = Diagres.Catalog.parsed_drc e in
+      let t_ra = time (fun () -> Diagres_ra.Eval.eval rdb ra) in
+      let t_trc = time (fun () -> Diagres_rc.Trc.eval rdb trc) in
+      let t_drc = time (fun () -> Diagres_rc.Drc.eval rdb drc) in
+      Printf.printf "%8d %12.5f %12.5f %12.5f\n"
+        (Diagres_data.Database.total_tuples rdb)
+        t_ra t_trc t_drc)
+    [ 10; 50; 100; 200 ];
+  Printf.printf "(expected shape: RA fastest; TRC close; naive DRC slowest)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks.                                           *)
+
+let stage = Staged.stage
+
+let bench_tests () =
+  let e = Diagres.Catalog.find "q1" in
+  let e3 = Diagres.Catalog.find "q3" in
+  let ra1 = Diagres.Catalog.parsed_ra e in
+  let trc1 = Diagres.Catalog.parsed_trc e in
+  let drc1 = Diagres.Catalog.parsed_drc e in
+  let trc3 = Diagres.Catalog.parsed_trc e3 in
+  let dl3 = Diagres.Catalog.parsed_datalog e3 in
+  let alpha_formula = Diagres_logic.Prop.parse "(p & q -> r) & !(s | p & !q)" in
+  let beta_sentence =
+    Diagres_rc.Drc_parser.parse_formula
+      "exists s, b, d (Reserves(s, b, d) & not (exists n, c (Boat(b, n, c) \
+       & c = 'red')))"
+  in
+  let beta_graph = Diagres_diagrams.Eg_beta.of_drc beta_sentence in
+  let q3_sql = e3.Diagres.Catalog.sql in
+  let raw_translated = Diagres_rc.Translate.trc_to_ra schemas trc1 in
+  let opt_translated = Diagres_ra.Optimize.optimize_db db raw_translated in
+  [
+    Test.make ~name:"e1/eval-ra-q1" (stage (fun () -> Diagres_ra.Eval.eval db ra1));
+    Test.make ~name:"e1/eval-trc-q1" (stage (fun () -> Diagres_rc.Trc.eval db trc1));
+    Test.make ~name:"e1/eval-drc-naive-q1" (stage (fun () -> Diagres_rc.Drc.eval db drc1));
+    Test.make ~name:"e1/eval-datalog-q3"
+      (stage (fun () -> Diagres_datalog.Eval.query db dl3 ~goal:"q3"));
+    Test.make ~name:"e1/translate-trc-to-ra-q1"
+      (stage (fun () -> Diagres_rc.Translate.trc_to_ra schemas trc1));
+    Test.make ~name:"e2/venn-256-syllogisms"
+      (stage (fun () ->
+           List.iter
+             (fun m -> ignore (Diagres_diagrams.Syllogism.valid_venn m))
+             Diagres_diagrams.Syllogism.all_moods));
+    Test.make ~name:"e3/alpha-roundtrip"
+      (stage (fun () ->
+           Diagres_diagrams.Eg_alpha.to_prop
+             (Diagres_diagrams.Eg_alpha.of_prop alpha_formula)));
+    Test.make ~name:"e3/alpha-double-cut"
+      (stage (fun () ->
+           let g = Diagres_diagrams.Eg_alpha.of_prop alpha_formula in
+           Diagres_diagrams.Eg_alpha.double_cut_insert g ~path:[]));
+    Test.make ~name:"e3/alpha-proof-search-mp"
+      (stage (fun () ->
+           let premise =
+             Diagres_diagrams.Eg_alpha.of_prop
+               (Diagres_logic.Prop.parse "p & (p -> q)")
+           in
+           let goal =
+             Diagres_diagrams.Eg_alpha.of_prop (Diagres_logic.Prop.Var "q")
+           in
+           Diagres_diagrams.Eg_alpha_proof.prove ~premise ~goal ()));
+    Test.make ~name:"e4/beta-of-drc"
+      (stage (fun () -> Diagres_diagrams.Eg_beta.of_drc beta_sentence));
+    Test.make ~name:"e4/beta-to-drc"
+      (stage (fun () -> Diagres_diagrams.Eg_beta.to_drc beta_graph));
+    Test.make ~name:"e5/qbe-of-datalog-q3"
+      (stage (fun () -> Diagres_diagrams.Qbe.of_datalog schemas dl3 ~goal:"q3"));
+    Test.make ~name:"e6/rd-scene-q3"
+      (stage (fun () -> Diagres_diagrams.Relational_diagram.of_trc trc3));
+    Test.make ~name:"e6/rd-svg-q3"
+      (stage (fun () ->
+           Diagres_diagrams.Relational_diagram.to_svg
+             (Diagres_diagrams.Relational_diagram.of_trc trc3)));
+    Test.make ~name:"e6/queryvis-scene-q3"
+      (stage (fun () -> Diagres_diagrams.Queryvis.of_trc trc3));
+    Test.make ~name:"e7/dfql-layout-q3"
+      (stage (fun () ->
+           Diagres_diagrams.Dfql.layout
+             (Diagres_diagrams.Dfql.of_ra (Diagres.Catalog.parsed_ra e3))));
+    Test.make ~name:"e8/pattern-canonical-q3"
+      (stage (fun () -> Diagres.Pattern.canonical_string `Literal trc3));
+    Test.make ~name:"e9/pipeline-sql-to-rd-q3"
+      (stage (fun () -> Diagres.Pipeline.run db "sql" q3_sql "rd"));
+    Test.make ~name:"ablation/eval-translated-raw"
+      (stage (fun () -> Diagres_ra.Eval.eval db raw_translated));
+    Test.make ~name:"ablation/eval-translated-optimized"
+      (stage (fun () -> Diagres_ra.Eval.eval db opt_translated));
+  ]
+
+let run_benchmarks () =
+  hr "Bechamel micro-benchmarks (OLS time per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  (* a too-small quota gives unstable OLS fits on allocation-heavy runs;
+     0.75 s per test keeps estimates within a few percent of direct
+     wall-clock timing *)
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.75) () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> est
+            | _ -> nan
+          in
+          let name = Test.Elt.name elt in
+          if ns >= 1e6 then
+            Printf.printf "%-42s %12.2f ms/run\n" name (ns /. 1e6)
+          else if ns >= 1e3 then
+            Printf.printf "%-42s %12.2f us/run\n" name (ns /. 1e3)
+          else Printf.printf "%-42s %12.1f ns/run\n" name ns)
+        (Test.elements test))
+    (bench_tests ())
+
+let () =
+  e1_table ();
+  e2_table ();
+  e4_table ();
+  e5_table ();
+  e6_table ();
+  nesting_table ();
+  e8_table ();
+  e10_table ();
+  scaling_table ();
+  run_benchmarks ();
+  print_newline ()

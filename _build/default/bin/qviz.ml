@@ -1,0 +1,252 @@
+(* qviz — the query-visualization command line.
+
+   Subcommands:
+     qviz show      -l sql -f rd "SELECT ..."        draw a query (ascii/svg)
+     qviz translate -l sql -t trc "SELECT ..."       translate between languages
+     qviz eval      -l trc "{ ... }"                 evaluate on the sample db
+     qviz catalog                                    the 5 tutorial queries
+     qviz survey                                     the Part-5 capability matrix
+     qviz syllogisms                                 valid moods via Venn algebra *)
+
+open Cmdliner
+
+let db_arg =
+  let doc =
+    "Directory of CSV files to use as the database (one relation per \
+     file, named after it).  Defaults to the built-in sailors instance."
+  in
+  Arg.(value & opt (some dir) None & info [ "db" ] ~docv:"DIR" ~doc)
+
+let load_db = function
+  | None -> Diagres_data.Sample_db.db
+  | Some dir -> Diagres_data.Csv.load_database dir
+
+let schemas_of db =
+  List.map
+    (fun (n, r) -> (n, Diagres_data.Relation.schema r))
+    (Diagres_data.Database.relations db)
+
+let lang_arg =
+  let doc = "Query language: sql, ra, trc, drc, datalog." in
+  Arg.(value & opt string "sql" & info [ "l"; "lang" ] ~docv:"LANG" ~doc)
+
+let query_arg =
+  let doc = "The query text (in the chosen language's concrete syntax)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let handle_errors f =
+  try f () with
+  | Diagres.Languages.Parse_failed (lang, msg) ->
+    Printf.eprintf "parse error (%s): %s\n" (Diagres.Languages.name lang) msg;
+    exit 1
+  | Diagres.Pipeline.Pipeline_error msg
+  | Diagres_rc.Trc.Type_error msg
+  | Diagres_rc.Drc.Type_error msg
+  | Diagres_diagrams.Trc_scene.Disjunction msg
+  | Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ---------------- show ---------------- *)
+
+let show_cmd =
+  let formalism_arg =
+    let doc =
+      "Diagram formalism: rd (relational diagram), qv (QueryVis), dfql, \
+       qbe, beta, string, cg (conceptual graph)."
+    in
+    Arg.(value & opt string "rd" & info [ "f"; "formalism" ] ~docv:"F" ~doc)
+  in
+  let svg_arg =
+    let doc = "Write SVG panels to $(docv) (basename; -1.svg, -2.svg, …)." in
+    Arg.(value & opt (some string) None & info [ "o"; "svg" ] ~docv:"PATH" ~doc)
+  in
+  let run dbdir lang formalism svg query =
+    handle_errors @@ fun () ->
+    let db = load_db dbdir in
+    let q, r, verified = Diagres.Pipeline.run db lang query formalism in
+    List.iteri
+      (fun i ascii ->
+        if r.Diagres.Pipeline.panel_count > 1 then
+          Printf.printf "--- panel %d/%d ---\n" (i + 1) r.Diagres.Pipeline.panel_count;
+        print_string ascii)
+      r.Diagres.Pipeline.panels_ascii;
+    (match svg with
+    | Some base ->
+      List.iteri
+        (fun i doc ->
+          let path =
+            if r.Diagres.Pipeline.panel_count = 1 then base ^ ".svg"
+            else Printf.sprintf "%s-%d.svg" base (i + 1)
+          in
+          let oc = open_out path in
+          output_string oc doc;
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        r.Diagres.Pipeline.panels_svg
+    | None -> ());
+    Printf.printf "round-trip verified on sample db: %b\n" verified;
+    ignore q
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Draw a query as a diagram")
+    Term.(const run $ db_arg $ lang_arg $ formalism_arg $ svg_arg $ query_arg)
+
+(* ---------------- translate ---------------- *)
+
+let translate_cmd =
+  let target_arg =
+    let doc = "Target language: ra, trc, drc." in
+    Arg.(value & opt string "trc" & info [ "t"; "to" ] ~docv:"LANG" ~doc)
+  in
+  let run dbdir lang target query =
+    handle_errors @@ fun () ->
+    let db = load_db dbdir in
+    let schemas = schemas_of db in
+    let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
+    match Diagres.Languages.of_name target with
+    | Diagres.Languages.Ra ->
+      print_endline (Diagres_ra.Pretty.ascii (Diagres.Languages.to_ra schemas q));
+      print_endline "-- optimized --";
+      print_endline
+        (Diagres_ra.Pretty.unicode
+           (Diagres_ra.Optimize.optimize_db db (Diagres.Languages.to_ra schemas q)))
+    | Diagres.Languages.Trc ->
+      List.iteri
+        (fun i t ->
+          if i > 0 then print_endline "UNION";
+          print_endline (Diagres_rc.Trc.to_string t))
+        (Diagres.Languages.to_trc_panels schemas q)
+    | Diagres.Languages.Drc ->
+      List.iteri
+        (fun i t ->
+          if i > 0 then print_endline "UNION";
+          print_endline
+            (Diagres_rc.Drc.to_string (Diagres_rc.Translate.trc_to_drc schemas t)))
+        (Diagres.Languages.to_trc_panels schemas q)
+    | Diagres.Languages.Sql ->
+      print_endline
+        (Diagres_sql.Pretty.to_string (Diagres.Languages.to_sql schemas q))
+    | Diagres.Languages.Datalog ->
+      failwith "can only translate to sql, ra, trc, or drc"
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Translate a query between languages")
+    Term.(const run $ db_arg $ lang_arg $ target_arg $ query_arg)
+
+(* ---------------- eval ---------------- *)
+
+let eval_cmd =
+  let run dbdir lang query =
+    handle_errors @@ fun () ->
+    let db = load_db dbdir in
+    let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
+    print_string
+      (Diagres_data.Relation.to_string (Diagres.Languages.eval db q))
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a query on the sample sailors database")
+    Term.(const run $ db_arg $ lang_arg $ query_arg)
+
+(* ---------------- catalog ---------------- *)
+
+let catalog_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "== %s: %s ==\n" e.Diagres.Catalog.id
+          e.Diagres.Catalog.description;
+        Printf.printf "SQL:     %s\n" e.Diagres.Catalog.sql;
+        Printf.printf "RA:      %s\n" e.Diagres.Catalog.ra;
+        Printf.printf "TRC:     %s\n" e.Diagres.Catalog.trc;
+        Printf.printf "DRC:     %s\n" e.Diagres.Catalog.drc;
+        Printf.printf "Datalog: %s\n\n" e.Diagres.Catalog.datalog)
+      Diagres.Catalog.all
+  in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"Print the tutorial's five queries in all languages")
+    Term.(const run $ const ())
+
+(* ---------------- survey ---------------- *)
+
+let survey_cmd =
+  let run () = print_string (Diagres.Survey.to_table ()) in
+  Cmd.v
+    (Cmd.info "survey" ~doc:"Print the visual-query-system capability matrix")
+    Term.(const run $ const ())
+
+(* ---------------- principles ---------------- *)
+
+let principles_cmd =
+  let run dbdir lang query =
+    handle_errors @@ fun () ->
+    let schemas = schemas_of (load_db dbdir) in
+    let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
+    match Diagres.Languages.to_trc_panels schemas q with
+    | [] -> failwith "no panels"
+    | panel :: _ as panels ->
+      if List.length panels > 1 then
+        Printf.printf "(%d panels; checking the first)\n" (List.length panels);
+      print_endline
+        (Diagres.Principles.verdict_to_string
+           (Diagres.Principles.invertibility_rd panel));
+      let rd = Diagres_diagrams.Relational_diagram.of_trc panel in
+      let scene =
+        (List.hd rd.Diagres_diagrams.Relational_diagram.panels)
+          .Diagres_diagrams.Relational_diagram.scene
+      in
+      print_endline
+        (Diagres.Principles.verdict_to_string (Diagres.Principles.economy scene));
+      Printf.printf "pattern: %s\n"
+        (Diagres.Pattern.canonical_string `Literal panel);
+      let c = Diagres.Pattern.complexity panel in
+      Printf.printf
+        "complexity: %d variables, %d predicates, negation depth %d\n"
+        c.Diagres.Pattern.variables c.Diagres.Pattern.predicates
+        c.Diagres.Pattern.negation_depth;
+      Printf.printf "line roles: %s\n"
+        (Diagres_diagrams.Line_abuse.report_to_string
+           (Diagres_diagrams.Line_abuse.of_scene scene))
+  in
+  Cmd.v
+    (Cmd.info "principles"
+       ~doc:"Check the query-visualization principles on a query")
+    Term.(const run $ db_arg $ lang_arg $ query_arg)
+
+(* ---------------- syllogisms ---------------- *)
+
+let syllogisms_cmd =
+  let run () =
+    let valid =
+      List.filter Diagres_diagrams.Syllogism.valid_venn
+        Diagres_diagrams.Syllogism.all_moods
+    in
+    Printf.printf "valid moods (no existential import): %d\n" (List.length valid);
+    List.iter
+      (fun m ->
+        let name =
+          List.find_map
+            (fun (n, m') ->
+              if m' = m then Some n else None)
+            Diagres_diagrams.Syllogism.valid_modern
+        in
+        Printf.printf "  %s%s\n"
+          (Diagres_diagrams.Syllogism.mood_to_string m)
+          (match name with Some n -> " (" ^ n ^ ")" | None -> ""))
+      valid
+  in
+  Cmd.v
+    (Cmd.info "syllogisms" ~doc:"Decide all 256 syllogistic moods with Venn region algebra")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "qviz" ~version:"1.0.0"
+       ~doc:"Diagrammatic representations of relational queries")
+    [ show_cmd; translate_cmd; eval_cmd; catalog_cmd; survey_cmd;
+      principles_cmd; syllogisms_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/division_four_ways.mli:

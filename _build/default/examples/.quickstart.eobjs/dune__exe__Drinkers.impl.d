@@ -1,0 +1,1 @@
+examples/drinkers.ml: Diagres_data Diagres_diagrams Diagres_rc Diagres_sql List Printf String

@@ -1,0 +1,1 @@
+examples/gallery.ml: Diagres Diagres_data Diagres_diagrams Diagres_logic Diagres_rc Diagres_sql Filename List Printf String Unix

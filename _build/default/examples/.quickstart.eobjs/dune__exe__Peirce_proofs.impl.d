@@ -1,0 +1,1 @@
+examples/peirce_proofs.ml: Diagres_diagrams Diagres_logic Diagres_rc List Printf

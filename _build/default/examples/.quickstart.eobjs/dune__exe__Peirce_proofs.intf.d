@@ -1,0 +1,1 @@
+examples/peirce_proofs.mli:

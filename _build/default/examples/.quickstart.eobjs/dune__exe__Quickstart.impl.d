@@ -1,0 +1,1 @@
+examples/quickstart.ml: Diagres Diagres_data Diagres_diagrams Diagres_ra Diagres_rc Diagres_sql List Printf String

@@ -1,0 +1,1 @@
+examples/sailors_tour.ml: Diagres Diagres_data Diagres_datalog Diagres_diagrams Diagres_rc List Printf String

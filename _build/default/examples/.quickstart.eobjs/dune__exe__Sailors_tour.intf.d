@@ -1,0 +1,1 @@
+examples/sailors_tour.mli:

@@ -1,0 +1,1 @@
+examples/syllogisms.ml: Diagres_data Diagres_diagrams Diagres_rc List Option Printf String

@@ -1,0 +1,1 @@
+examples/voice_assistant.ml: Diagres Diagres_data List Printf

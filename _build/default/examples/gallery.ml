@@ -1,0 +1,152 @@
+(* Generate the full gallery: every formalism applied to its natural
+   showcase, written as SVG files into ./gallery/.
+
+   Run with:  dune exec examples/gallery.exe *)
+
+let db = Diagres_data.Sample_db.db
+
+let schemas =
+  List.map
+    (fun (n, r) -> (n, Diagres_data.Relation.schema r))
+    (Diagres_data.Database.relations db)
+
+let out_dir = "gallery"
+
+let save name svg =
+  let path = Filename.concat out_dir (name ^ ".svg") in
+  let oc = open_out path in
+  output_string oc svg;
+  close_out oc;
+  Printf.printf "  %-32s %6d bytes\n" path (String.length svg)
+
+let () =
+  (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  print_endline "writing the diagram gallery:";
+
+  (* Part 4: historical formalisms *)
+  let barbara =
+    Diagres_diagrams.Venn.of_statements [ "S"; "M"; "P" ]
+      [ Diagres_diagrams.Venn.All_are ("M", "P");
+        Diagres_diagrams.Venn.All_are ("S", "M") ]
+  in
+  save "venn-barbara" (Diagres_diagrams.Venn.to_svg barbara);
+
+  let euler =
+    Diagres_diagrams.Euler.of_statements [ "S"; "M"; "P" ]
+      [ Diagres_diagrams.Venn.All_are ("S", "M");
+        Diagres_diagrams.Venn.All_are ("M", "P") ]
+  in
+  save "euler-barbara" (Diagres_diagrams.Euler.to_svg euler);
+
+  let alpha =
+    Diagres_diagrams.Eg_alpha.of_prop
+      (Diagres_logic.Prop.parse "p & (p -> q)")
+  in
+  save "alpha-modus-ponens" (Diagres_diagrams.Eg_alpha.to_svg alpha);
+
+  let beta =
+    Diagres_diagrams.Eg_beta.of_drc
+      (Diagres_rc.Drc_parser.parse_formula
+         "exists s, b, d (Reserves(s, b, d) & not (exists n, c (Boat(b, n, \
+          c) & c = 'red')))")
+  in
+  save "beta-graph" (Diagres_diagrams.Eg_beta.to_svg beta);
+
+  (* Part 5: modern formalisms on Q3 *)
+  let q3 = Diagres.Catalog.parsed_trc (Diagres.Catalog.find "q3") in
+  let rd = Diagres_diagrams.Relational_diagram.of_trc q3 in
+  List.iteri
+    (fun i svg -> save (Printf.sprintf "relational-diagram-q3-%d" (i + 1)) svg)
+    (Diagres_diagrams.Relational_diagram.to_svg rd);
+
+  save "queryvis-q3"
+    (Diagres_diagrams.Queryvis.to_svg (Diagres_diagrams.Queryvis.of_trc q3));
+
+  save "dfql-q3"
+    (Diagres_diagrams.Dfql.to_svg
+       (Diagres_diagrams.Dfql.of_ra (Diagres.Catalog.parsed_ra (Diagres.Catalog.find "q3"))));
+
+  let qbe =
+    Diagres_diagrams.Qbe.of_datalog schemas
+      (Diagres.Catalog.parsed_datalog (Diagres.Catalog.find "q3"))
+      ~goal:"q3"
+  in
+  save "qbe-q3" (Diagres_diagrams.Qbe.to_svg qbe);
+
+  let sd =
+    Diagres_diagrams.String_diagram.of_drc_query
+      (Diagres_rc.Drc_parser.parse
+         "{ s | exists n, r, a (Sailor(s, n, r, a) & r = 10) }")
+  in
+  save "string-diagram" (Diagres_diagrams.String_diagram.to_svg sd);
+
+  let cg =
+    Diagres_diagrams.Conceptual_graph.of_trc
+      (Diagres.Catalog.parsed_trc (Diagres.Catalog.find "q1"))
+  in
+  save "conceptual-graph-q1" (Diagres_diagrams.Conceptual_graph.to_svg cg);
+
+  (* Q4: the disjunction needs two panels *)
+  let q4_panels =
+    Diagres_rc.Translate.drawable_panels schemas
+      [ Diagres.Catalog.parsed_trc (Diagres.Catalog.find "q4") ]
+  in
+  List.iteri
+    (fun i svg -> save (Printf.sprintf "relational-diagram-q4-panel%d" (i + 1)) svg)
+    (Diagres_diagrams.Relational_diagram.to_svg
+       (Diagres_diagrams.Relational_diagram.of_trc_queries q4_panels));
+
+  (* extensions *)
+  let cd = Diagres_diagrams.Constraint_diagram.create [ "P"; "Q" ] in
+  let cd = Diagres_diagrams.Constraint_diagram.add_spider cd "s1" [ 3 ] in
+  let cd =
+    Diagres_diagrams.Constraint_diagram.add_arrow cd ~relation:"R" ~src:"s1"
+      ~dst_contour:"Q"
+  in
+  save "constraint-diagram" (Diagres_diagrams.Constraint_diagram.to_svg cd);
+
+  save "higraph-schema"
+    (Diagres_diagrams.Higraph.to_svg (Diagres_diagrams.Higraph.of_schemas schemas));
+
+  (* Part 5 late entries: DataPlay's quantifier tree and SQLVis's
+     syntax-faithful view of the same query *)
+  let dp =
+    Diagres_diagrams.Dataplay.query ~anchor_var:"s" ~anchor_table:"Sailor"
+      [ Diagres_diagrams.Dataplay.node
+          ~quantifier:Diagres_diagrams.Dataplay.All
+          ~predicates:
+            [ (Diagres_logic.Fol.Eq,
+               Diagres_rc.Trc.Field ("b", "color"),
+               Diagres_rc.Trc.Const (Diagres_data.Value.String "red")) ]
+          ~children:
+            [ Diagres_diagrams.Dataplay.node
+                ~predicates:
+                  [ (Diagres_logic.Fol.Eq,
+                     Diagres_rc.Trc.Field ("r", "sid"),
+                     Diagres_rc.Trc.Field ("s", "sid"));
+                    (Diagres_logic.Fol.Eq,
+                     Diagres_rc.Trc.Field ("r", "bid"),
+                     Diagres_rc.Trc.Field ("b", "bid")) ]
+                "r" "Reserves" ]
+          "b" "Boat" ]
+  in
+  save "dataplay-q3" (Diagres_diagrams.Dataplay.to_svg dp);
+
+  save "sqlvis-q3"
+    (Diagres_diagrams.Sqlvis.to_svg
+       (Diagres_diagrams.Sqlvis.of_sql
+          (Diagres_sql.Parser.parse
+             (Diagres.Catalog.find "q3").Diagres.Catalog.sql)));
+
+  (* Begriffsschrift is 2-D ASCII art: store it as a text file *)
+  let b =
+    Diagres_diagrams.Begriffsschrift.of_fol
+      (Diagres_rc.Drc_parser.parse_formula "forall x (P(x) implies Q(x))")
+  in
+  let path = Filename.concat out_dir "begriffsschrift.txt" in
+  let oc = open_out path in
+  output_string oc (Diagres_diagrams.Begriffsschrift.to_ascii b);
+  close_out oc;
+  Printf.printf "  %-32s (ascii ladder)\n" path;
+
+  print_endline "done."

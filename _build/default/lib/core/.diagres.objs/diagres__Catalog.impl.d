@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Diagres_data Diagres_datalog Diagres_ra Diagres_rc Diagres_sql List

@@ -1,0 +1,1 @@
+lib/core/languages.ml: Diagres_data Diagres_datalog Diagres_parsekit Diagres_ra Diagres_rc Diagres_sql List String

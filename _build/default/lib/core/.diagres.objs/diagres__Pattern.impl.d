@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Diagres_data Diagres_diagrams Diagres_logic Diagres_rc Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Diagres_data Diagres_diagrams Diagres_rc Languages List String

@@ -1,0 +1,1 @@
+lib/core/principles.ml: Diagres_diagrams Diagres_logic Diagres_rc List Pattern Printf String

@@ -1,0 +1,1 @@
+lib/core/survey.ml: Buffer List String

@@ -1,0 +1,107 @@
+(** Uniform dispatch over the five textual query languages (Part 3). *)
+
+type lang = Sql | Ra | Trc | Drc | Datalog
+
+let all = [ Sql; Ra; Trc; Drc; Datalog ]
+
+let name = function
+  | Sql -> "SQL"
+  | Ra -> "RA"
+  | Trc -> "TRC"
+  | Drc -> "DRC"
+  | Datalog -> "Datalog"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "sql" -> Sql
+  | "ra" | "algebra" -> Ra
+  | "trc" -> Trc
+  | "drc" -> Drc
+  | "datalog" -> Datalog
+  | _ -> invalid_arg ("unknown language: " ^ s)
+
+(** A parsed query in any of the five languages. *)
+type query =
+  | Q_sql of Diagres_sql.Ast.statement
+  | Q_ra of Diagres_ra.Ast.t
+  | Q_trc of Diagres_rc.Trc.query
+  | Q_drc of Diagres_rc.Drc.query
+  | Q_datalog of Diagres_datalog.Ast.program * string  (** program, goal *)
+
+exception Parse_failed of lang * string
+
+let parse lang src : query =
+  let wrap f =
+    try f () with
+    | Diagres_parsekit.Stream.Parse_error (msg, _)
+    | Diagres_parsekit.Lexer.Lex_error (msg, _) ->
+      raise (Parse_failed (lang, msg))
+  in
+  match lang with
+  | Sql -> wrap (fun () -> Q_sql (Diagres_sql.Parser.parse src))
+  | Ra -> wrap (fun () -> Q_ra (Diagres_ra.Parser.parse src))
+  | Trc -> wrap (fun () -> Q_trc (Diagres_rc.Trc_parser.parse src))
+  | Drc -> wrap (fun () -> Q_drc (Diagres_rc.Drc_parser.parse src))
+  | Datalog ->
+    wrap (fun () ->
+        let p = Diagres_datalog.Parser.parse src in
+        let goal =
+          (* convention: the goal is the head of the last rule *)
+          match List.rev p with
+          | r :: _ -> r.Diagres_datalog.Ast.head.Diagres_datalog.Ast.pred
+          | [] -> raise (Parse_failed (Datalog, "empty program"))
+        in
+        Q_datalog (p, goal))
+
+let lang_of = function
+  | Q_sql _ -> Sql
+  | Q_ra _ -> Ra
+  | Q_trc _ -> Trc
+  | Q_drc _ -> Drc
+  | Q_datalog _ -> Datalog
+
+let eval db : query -> Diagres_data.Relation.t = function
+  | Q_sql st -> Diagres_sql.To_ra.eval db st
+  | Q_ra e -> Diagres_ra.Eval.eval db e
+  | Q_trc q -> Diagres_rc.Trc.eval db q
+  | Q_drc q -> Diagres_rc.Drc.eval db q
+  | Q_datalog (p, goal) -> Diagres_datalog.Eval.query db p ~goal
+
+(** Normalize any language to single-panel TRC queries — the diagram
+    generators' input.  Disjunctions hiding inside a panel body are split
+    out (via {!Diagres_rc.Translate.drawable_panels}). *)
+let to_trc_panels schemas (q : query) : Diagres_rc.Trc.query list =
+  let raw =
+    match q with
+    | Q_sql st -> Diagres_sql.To_trc.statement schemas st
+    | Q_ra e -> Diagres_rc.Translate.ra_to_trc schemas e
+    | Q_trc q -> [ q ]
+    | Q_drc q -> Diagres_rc.Translate.drc_to_trc schemas q
+    | Q_datalog (p, goal) ->
+      Diagres_rc.Translate.drc_to_trc schemas
+        (Diagres_datalog.To_drc.query schemas p ~goal)
+  in
+  Diagres_rc.Translate.drawable_panels schemas raw
+
+(** Normalize to a single RA expression. *)
+let to_ra schemas : query -> Diagres_ra.Ast.t = function
+  | Q_sql st -> Diagres_sql.To_ra.statement schemas st
+  | Q_ra e -> e
+  | Q_trc q -> Diagres_rc.Translate.trc_to_ra schemas q
+  | Q_drc q -> Diagres_rc.Translate.drc_to_ra schemas q
+  | Q_datalog (p, goal) -> Diagres_datalog.To_drc.to_ra schemas p ~goal
+
+(** Render any query as SQL text via its TRC panels — the back-translation
+    arm of the Fig. 2 loop. *)
+let to_sql schemas (q : query) : Diagres_sql.Ast.statement =
+  match q with
+  | Q_sql st -> st
+  | _ -> Diagres_sql.Of_trc.statement (to_trc_panels schemas q)
+
+(** Pretty-print back to source text. *)
+let to_string : query -> string = function
+  | Q_sql st -> Diagres_sql.Pretty.to_string st
+  | Q_ra e -> Diagres_ra.Pretty.ascii e
+  | Q_trc q -> Diagres_rc.Trc.to_string q
+  | Q_drc q -> Diagres_rc.Drc.to_string q
+  | Q_datalog (p, _) -> Diagres_datalog.Ast.to_string p

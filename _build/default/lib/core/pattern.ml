@@ -1,0 +1,121 @@
+(** Relational query patterns (Gatterbauer & Dunne [26]).
+
+    Two queries share a {e pattern} when one maps onto the other by a
+    bijection of tuple variables that preserves ranges, predicates, and the
+    nesting structure of negation — the notion underlying the
+    "correspondence principle" of query visualization: queries with the
+    same pattern should receive the same diagram (up to layout).
+
+    We canonicalize the {!Diagres_diagrams.Trc_scene.level} tree: levels
+    are sorted by a structural key, variables are renumbered in canonical
+    traversal order, and the result is printed to a canonical string.
+    Pattern equivalence is string equality of canonical forms; constants
+    can be kept ([`Literal]) or abstracted ([`Shape]). *)
+
+module T = Diagres_rc.Trc
+module TS = Diagres_diagrams.Trc_scene
+
+type abstraction = [ `Literal | `Shape ]
+
+(* Canonical form of a level tree, as a structured sexp-ish string.  To make
+   renumbering order-independent we canonicalize bottom-up: children are
+   sorted by their canonical string computed with *local* variable numbers,
+   then the final pass renumbers variables globally in traversal order. *)
+
+let const_key abstraction c =
+  match abstraction with
+  | `Literal -> Diagres_data.Value.to_literal c
+  | `Shape -> "<const>"
+
+(* step 1: sort predicates and sublevels by a var-name-independent key *)
+let rec presort (lvl : TS.level) : TS.level =
+  let ranges = List.sort (fun (_, r1) (_, r2) -> compare r1 r2) lvl.TS.ranges in
+  let preds =
+    List.sort
+      (fun (op1, _, _) (op2, _, _) -> compare op1 op2)
+      lvl.TS.preds
+  in
+  let negs = List.map presort lvl.TS.negs in
+  let negs = List.sort (fun a b -> compare (skeleton a) (skeleton b)) negs in
+  { TS.ranges; preds; negs }
+
+(* var-free skeleton used only for ordering *)
+and skeleton (lvl : TS.level) : string =
+  Printf.sprintf "L[%s][%d][%s]"
+    (String.concat "," (List.map snd lvl.TS.ranges))
+    (List.length lvl.TS.preds)
+    (String.concat ";" (List.map skeleton lvl.TS.negs))
+
+(* step 2: renumber variables in traversal order and print *)
+let canonical_string abstraction (q : T.query) : string =
+  let lvl = presort (TS.of_query q) in
+  let numbering = Hashtbl.create 16 in
+  let next = ref 0 in
+  let var v =
+    match Hashtbl.find_opt numbering v with
+    | Some n -> Printf.sprintf "v%d" n
+    | None ->
+      incr next;
+      Hashtbl.add numbering v !next;
+      Printf.sprintf "v%d" !next
+  in
+  let term = function
+    | T.Field (v, a) -> Printf.sprintf "%s.%s" (var v) a
+    | T.Const c -> const_key abstraction c
+  in
+  let rec print (lvl : TS.level) : string =
+    let ranges =
+      List.map (fun (v, r) -> Printf.sprintf "%s:%s" (var v) r) lvl.TS.ranges
+    in
+    let preds =
+      (* normalize operand order of symmetric comparisons *)
+      List.map
+        (fun (op, a, b) ->
+          let sa = term a and sb = term b in
+          let op, sa, sb =
+            if (op = Diagres_logic.Fol.Eq || op = Diagres_logic.Fol.Neq) && sb < sa
+            then (op, sb, sa)
+            else (op, sa, sb)
+          in
+          Printf.sprintf "%s%s%s" sa (Diagres_logic.Fol.cmp_name op) sb)
+        lvl.TS.preds
+      |> List.sort compare
+    in
+    Printf.sprintf "{%s|%s|%s}"
+      (String.concat "," ranges)
+      (String.concat "," preds)
+      (String.concat ";" (List.map print lvl.TS.negs))
+  in
+  let body = print lvl in
+  let head = List.map term q.T.head in
+  Printf.sprintf "%s <- %s" (String.concat "," head) body
+
+(** Pattern equivalence of two TRC queries. *)
+let same_pattern ?(abstraction : abstraction = `Literal) q1 q2 =
+  canonical_string abstraction q1 = canonical_string abstraction q2
+
+(** Pattern complexity: a scalar summary (variables, predicates, negation
+    depth) used as the x-axis of the E6 bench. *)
+type complexity = {
+  variables : int;
+  predicates : int;
+  negation_depth : int;
+  panel_hint : bool;  (** body contains disjunction *)
+}
+
+let complexity (q : T.query) : complexity =
+  match TS.of_query q with
+  | lvl ->
+    let rec count (l : TS.level) =
+      let vs = List.length l.TS.ranges
+      and ps = List.length l.TS.preds in
+      List.fold_left
+        (fun (v, p, d) sub ->
+          let v', p', d' = count sub in
+          (v + v', p + p', max d (d' + 1)))
+        (vs, ps, 0) l.TS.negs
+    in
+    let v, p, d = count lvl in
+    { variables = v; predicates = p; negation_depth = d; panel_hint = false }
+  | exception TS.Disjunction _ ->
+    { variables = 0; predicates = 0; negation_depth = 0; panel_hint = true }

@@ -1,0 +1,147 @@
+(** The end-to-end query-visualization pipeline (Figs. 1–2 of the paper):
+    a textual query in any language → normalized TRC panels → the chosen
+    diagrammatic formalism → SVG/ASCII, plus the verification loop that a
+    diagram's reading evaluates to the same answers as the input.
+
+    This is the programmatic counterpart of the tutorial's usage scenario:
+    the "voice assistant" shows the user a diagram of the query it
+    understood; the correctness of that loop is checkable, not assumed. *)
+
+module D = Diagres_data
+
+type formalism =
+  | Relational_diagram
+  | Query_vis
+  | Dfql
+  | Qbe
+  | Beta_graph        (** Boolean queries only *)
+  | String_diagram
+  | Conceptual_graph
+
+let formalism_name = function
+  | Relational_diagram -> "relational-diagram"
+  | Query_vis -> "queryvis"
+  | Dfql -> "dfql"
+  | Qbe -> "qbe"
+  | Beta_graph -> "beta"
+  | String_diagram -> "string"
+  | Conceptual_graph -> "conceptual"
+
+let formalism_of_name s =
+  match String.lowercase_ascii s with
+  | "relational-diagram" | "rd" -> Relational_diagram
+  | "queryvis" | "qv" -> Query_vis
+  | "dfql" -> Dfql
+  | "qbe" -> Qbe
+  | "beta" | "eg" -> Beta_graph
+  | "string" -> String_diagram
+  | "conceptual" | "cg" -> Conceptual_graph
+  | _ -> invalid_arg ("unknown formalism: " ^ s)
+
+let all_formalisms =
+  [ Relational_diagram; Query_vis; Dfql; Qbe; Beta_graph; String_diagram;
+    Conceptual_graph ]
+
+type rendering = {
+  formalism : formalism;
+  panels_svg : string list;   (** one SVG document per panel *)
+  panels_ascii : string list;
+  panel_count : int;
+}
+
+exception Pipeline_error of string
+
+(** Visualize a parsed query with a formalism.  Panels materialize the
+    union decomposition where the formalism needs it. *)
+let visualize schemas (q : Languages.query) (f : formalism) : rendering =
+  let module G = Diagres_diagrams in
+  let trc_panels () = Languages.to_trc_panels schemas q in
+  let wrap svgs asciis =
+    { formalism = f; panels_svg = svgs; panels_ascii = asciis;
+      panel_count = List.length svgs }
+  in
+  match f with
+  | Relational_diagram ->
+    let rd = G.Relational_diagram.of_trc_queries (trc_panels ()) in
+    wrap
+      (G.Relational_diagram.to_svg rd)
+      (List.map (fun p -> G.Scene.to_ascii p.G.Relational_diagram.scene)
+         rd.G.Relational_diagram.panels)
+  | Query_vis ->
+    let qvs = List.map G.Queryvis.of_trc (trc_panels ()) in
+    wrap (List.map G.Queryvis.to_svg qvs) (List.map G.Queryvis.to_ascii qvs)
+  | Dfql ->
+    let d = G.Dfql.of_ra (Languages.to_ra schemas q) in
+    wrap [ G.Dfql.to_svg d ] [ G.Dfql.to_ascii d ]
+  | Qbe -> (
+    match q with
+    | Languages.Q_datalog (p, goal) ->
+      let qbe = G.Qbe.of_datalog schemas p ~goal in
+      wrap [ G.Qbe.to_svg qbe ] [ G.Qbe.to_ascii qbe ]
+    | _ ->
+      raise
+        (Pipeline_error
+           "QBE generation follows the Datalog dataflow pattern: supply the \
+            query as a Datalog program (the tutorial's point exactly)"))
+  | Beta_graph -> (
+    let drc =
+      match q with
+      | Languages.Q_drc d -> d
+      | _ -> (
+        match trc_panels () with
+        | [ t ] -> Diagres_rc.Translate.trc_to_drc schemas t
+        | _ -> raise (Pipeline_error "beta graphs draw one panel"))
+    in
+    match drc.Diagres_rc.Drc.head with
+    | [] ->
+      let g = G.Eg_beta.of_drc drc.Diagres_rc.Drc.body in
+      wrap [ G.Eg_beta.to_svg g ] [ G.Eg_beta.to_ascii g ]
+    | _ ->
+      (* non-Boolean: fall through to the string-diagram extension *)
+      let sd = G.String_diagram.of_drc_query drc in
+      wrap [ G.String_diagram.to_svg sd ] [ G.String_diagram.to_ascii sd ])
+  | String_diagram ->
+    let drc =
+      match q with
+      | Languages.Q_drc d -> d
+      | _ -> (
+        match trc_panels () with
+        | [ t ] -> Diagres_rc.Translate.trc_to_drc schemas t
+        | _ -> raise (Pipeline_error "string diagrams draw one panel"))
+    in
+    let sd = G.String_diagram.of_drc_query drc in
+    wrap [ G.String_diagram.to_svg sd ] [ G.String_diagram.to_ascii sd ]
+  | Conceptual_graph ->
+    let cgs = List.map G.Conceptual_graph.of_trc (trc_panels ()) in
+    wrap
+      (List.map G.Conceptual_graph.to_svg cgs)
+      (List.map G.Conceptual_graph.to_ascii cgs)
+
+(** The verification loop: evaluate the original query and the TRC reading
+    of its diagram; both must return the same rows.  This is the
+    executable form of the Fig. 2 interaction contract. *)
+let verify_roundtrip db (q : Languages.query) : bool =
+  let schemas =
+    List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
+  in
+  let direct = Languages.eval db q in
+  let panels = Languages.to_trc_panels schemas q in
+  let via_diagram =
+    match panels with
+    | [] -> raise (Pipeline_error "no panels")
+    | p :: ps ->
+      List.fold_left
+        (fun acc q' -> D.Relation.union acc (Diagres_rc.Trc.eval db q'))
+        (Diagres_rc.Trc.eval db p) ps
+  in
+  D.Relation.same_rows direct via_diagram
+
+(** One-call convenience: parse, visualize, verify. *)
+let run db lang_name src formalism_name_ =
+  let schemas =
+    List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
+  in
+  let q = Languages.parse (Languages.of_name lang_name) src in
+  let r = visualize schemas q (formalism_of_name formalism_name_) in
+  let verified = verify_roundtrip db q in
+  (q, r, verified)

@@ -1,0 +1,105 @@
+(** The Part-5 survey as a machine-checkable capability matrix.
+
+    Rows are the systems and formalisms the tutorial discusses; columns are
+    the discriminating capabilities its narrative uses.  For the formalisms
+    this library implements, the matrix entries are {e verified} by
+    experiment E10 (e.g. "supports division in one panel" is checked by
+    actually drawing Q3); for the surveyed commercial tools they record the
+    paper's findings. *)
+
+type support = Yes | No | Partial
+
+type system = {
+  name : string;
+  year : int;
+  basis : string;  (** RA / TRC / DRC / SQL / ER / FOL *)
+  relationally_complete : support;
+  nested_negation : support;    (** visual NOT EXISTS / universal *)
+  disjunction : support;        (** union in one diagram *)
+  non_equi_joins : support;
+  query_visualization : support;  (** reverse direction: query → diagram *)
+  implemented_here : bool;      (** reproduced in this library *)
+}
+
+let sys name year basis ~rc ~neg ~disj ~theta ~qv ~impl =
+  { name; year; basis; relationally_complete = rc; nested_negation = neg;
+    disjunction = disj; non_equi_joins = theta; query_visualization = qv;
+    implemented_here = impl }
+
+let systems =
+  [
+    sys "Begriffsschrift" 1879 "FOL" ~rc:Yes ~neg:Yes ~disj:Yes ~theta:Partial
+      ~qv:Yes ~impl:true;
+    sys "Euler circles" 1768 "monadic FOL" ~rc:No ~neg:Partial ~disj:No
+      ~theta:No ~qv:Yes ~impl:true;
+    sys "Venn diagrams" 1880 "monadic FOL" ~rc:No ~neg:Yes ~disj:No ~theta:No
+      ~qv:Yes ~impl:true;
+    sys "Venn-Peirce" 1933 "monadic FOL" ~rc:No ~neg:Yes ~disj:Partial
+      ~theta:No ~qv:Yes ~impl:true;
+    sys "Existential graphs (beta)" 1933 "DRC (Boolean)" ~rc:Partial ~neg:Yes
+      ~disj:Partial ~theta:Partial ~qv:Yes ~impl:true;
+    sys "Conceptual graphs" 1976 "FOL" ~rc:Partial ~neg:Partial ~disj:Partial
+      ~theta:Partial ~qv:Yes ~impl:true;
+    sys "QBE" 1977 "DRC" ~rc:Yes ~neg:Partial ~disj:Partial ~theta:Partial
+      ~qv:No ~impl:true;
+    sys "Higraphs" 1988 "sets/graphs" ~rc:No ~neg:No ~disj:Partial
+      ~theta:No ~qv:Partial ~impl:true;
+    sys "QBD*" 1990 "ER" ~rc:Yes ~neg:Partial ~disj:Partial ~theta:Partial
+      ~qv:No ~impl:false;
+    sys "Constraint diagrams" 1997 "FOL (sets)" ~rc:Partial ~neg:Yes
+      ~disj:Partial ~theta:No ~qv:Yes ~impl:true;
+    sys "TableTalk" 1991 "SQL" ~rc:Partial ~neg:Partial ~disj:Partial
+      ~theta:Partial ~qv:No ~impl:false;
+    sys "Object-oriented VQL" 1993 "OO" ~rc:Partial ~neg:Yes ~disj:Partial
+      ~theta:Partial ~qv:No ~impl:false;
+    sys "DFQL" 1994 "RA" ~rc:Yes ~neg:Yes ~disj:Yes ~theta:Yes ~qv:Yes
+      ~impl:true;
+    sys "Visual SQL" 2003 "SQL" ~rc:Yes ~neg:Partial ~disj:Partial ~theta:Yes
+      ~qv:Yes ~impl:false;
+    (* modelled by Diagres_diagrams.Query_builder; the "no" entries are
+       verified by its obstacle analysis (experiment E10) *)
+    sys "dbForge (builder model)" 2019 "SQL" ~rc:Partial ~neg:No ~disj:Partial
+      ~theta:No ~qv:Partial ~impl:true;
+    sys "SSMS / Access / pgAdmin3" 2019 "SQL" ~rc:Partial ~neg:No ~disj:No
+      ~theta:Partial ~qv:Partial ~impl:false;
+    sys "QueryVis" 2011 "TRC" ~rc:Partial ~neg:Yes ~disj:No ~theta:Yes
+      ~qv:Yes ~impl:true;
+    sys "DataPlay" 2012 "nested UR" ~rc:Partial ~neg:Yes ~disj:Partial
+      ~theta:Partial ~qv:Yes ~impl:true;
+    sys "SIEUFERD" 2016 "SQL" ~rc:Partial ~neg:Partial ~disj:Partial
+      ~theta:Yes ~qv:Yes ~impl:false;
+    sys "SQLVis" 2021 "SQL" ~rc:Partial ~neg:Partial ~disj:Partial ~theta:Yes
+      ~qv:Yes ~impl:true;
+    sys "String diagrams" 2020 "FOL" ~rc:Yes ~neg:Yes ~disj:Partial
+      ~theta:Partial ~qv:Yes ~impl:true;
+    sys "Relational Diagrams" 2024 "TRC" ~rc:Partial ~neg:Yes ~disj:Partial
+      ~theta:Yes ~qv:Yes ~impl:true;
+  ]
+
+let support_to_string = function Yes -> "yes" | No -> "no" | Partial -> "±"
+
+let to_table () : string =
+  let buf = Buffer.create 2048 in
+  let col w s = s ^ String.make (max 1 (w - String.length s)) ' ' in
+  Buffer.add_string buf
+    (col 28 "system" ^ col 6 "year" ^ col 14 "basis" ^ col 10 "complete"
+    ^ col 9 "¬nested" ^ col 7 "∨" ^ col 7 "θ-join" ^ col 9 "q-viz"
+    ^ "here\n");
+  Buffer.add_string buf (String.make 92 '-' ^ "\n");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (col 28 s.name
+        ^ col 6 (string_of_int s.year)
+        ^ col 14 s.basis
+        ^ col 10 (support_to_string s.relationally_complete)
+        ^ col 9 (support_to_string s.nested_negation)
+        ^ col 7 (support_to_string s.disjunction)
+        ^ col 7 (support_to_string s.non_equi_joins)
+        ^ col 9 (support_to_string s.query_visualization)
+        ^ (if s.implemented_here then "✓" else "")
+        ^ "\n"))
+    systems;
+  Buffer.contents buf
+
+let implemented = List.filter (fun s -> s.implemented_here) systems

@@ -1,0 +1,1 @@
+lib/data/csv.ml: Array Buffer Database Filename List Relation Schema String Sys Tuple Value

@@ -1,0 +1,1 @@
+lib/data/database.ml: Fmt List Map Relation Schema String Value

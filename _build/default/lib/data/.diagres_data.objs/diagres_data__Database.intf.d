@@ -1,0 +1,1 @@
+lib/data/database.mli: Format Relation Schema Value

@@ -1,0 +1,1 @@
+lib/data/drinkers_db.ml: Database List Relation Schema Value

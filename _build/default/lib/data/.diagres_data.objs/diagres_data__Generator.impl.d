@@ -1,0 +1,1 @@
+lib/data/generator.ml: Database Int64 List Printf Relation Sample_db Schema Value

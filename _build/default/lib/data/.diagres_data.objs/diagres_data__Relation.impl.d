@@ -1,0 +1,1 @@
+lib/data/relation.ml: Array Fmt Fun Hashtbl List Schema Set String Tuple Value

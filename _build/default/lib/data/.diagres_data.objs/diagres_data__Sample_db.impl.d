@@ -1,0 +1,1 @@
+lib/data/sample_db.ml: Database List Relation Schema Value

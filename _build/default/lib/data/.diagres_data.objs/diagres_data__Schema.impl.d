@@ -1,0 +1,1 @@
+lib/data/schema.ml: Fmt Format List String Value

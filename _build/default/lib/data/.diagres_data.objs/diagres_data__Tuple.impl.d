@@ -1,0 +1,1 @@
+lib/data/tuple.ml: Array Fmt List Option Schema Stdlib Value

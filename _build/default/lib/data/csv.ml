@@ -1,0 +1,121 @@
+(** Minimal CSV reader/writer for loading relation instances from disk.
+
+    Supports quoted fields with embedded commas and doubled quotes — enough
+    for the example workloads; not a general RFC 4180 implementation. *)
+
+exception Csv_error of string
+
+let parse_line line =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then raise (Csv_error ("unterminated quote: " ^ line))
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let parse_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = '\r'
+           then String.sub line 0 (String.length line - 1)
+           else line
+         in
+         if String.trim line = "" then None else Some (parse_line line))
+
+(** Read a relation whose first line is a header of attribute names; value
+    types are inferred per column from the first data row. *)
+let relation_of_string s =
+  match parse_string s with
+  | [] -> raise (Csv_error "empty csv")
+  | header :: rows ->
+    let parsed = List.map (List.map Value.of_string) rows in
+    let col_ty i =
+      match parsed with
+      | [] -> Value.Tstring
+      | row :: _ -> (
+        match List.nth_opt row i with
+        | Some v -> Value.type_of v
+        | None -> Value.Tstring)
+    in
+    let schema = List.mapi (fun i name -> Schema.attr ~ty:(col_ty i) name) header in
+    Relation.of_lists schema parsed
+
+let load_relation path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  relation_of_string s
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let relation_to_string rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "," (Schema.names (Relation.schema rel)));
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map (fun v -> escape_field (Value.to_string v)) (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let save_relation path rel =
+  let oc = open_out path in
+  output_string oc (relation_to_string rel);
+  close_out oc
+
+(** Load every [*.csv] in a directory as a database; relation names are the
+    file basenames ([Sailor.csv] → [Sailor]). *)
+let load_database dir : Database.t =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun db entry ->
+      if Filename.check_suffix entry ".csv" then
+        Database.add
+          (Filename.remove_extension entry)
+          (load_relation (Filename.concat dir entry))
+          db
+      else db)
+    Database.empty entries
+
+(** Write every relation of a database as [<name>.csv] into [dir]. *)
+let save_database dir (db : Database.t) =
+  List.iter
+    (fun (name, rel) ->
+      save_relation (Filename.concat dir (name ^ ".csv")) rel)
+    (Database.relations db)

@@ -1,0 +1,44 @@
+(** A database is a catalog of named relations. *)
+
+module Smap = Map.Make (String)
+
+type t = Relation.t Smap.t
+
+exception Unknown_relation of string
+
+let empty : t = Smap.empty
+let add name rel (db : t) : t = Smap.add name rel db
+let mem name (db : t) = Smap.mem name db
+
+let find name (db : t) =
+  match Smap.find_opt name db with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let find_opt name (db : t) = Smap.find_opt name db
+let relation_names (db : t) = List.map fst (Smap.bindings db)
+let relations (db : t) = Smap.bindings db
+
+let of_list rels : t =
+  List.fold_left (fun db (name, rel) -> add name rel db) empty rels
+
+let schema_of name db = Relation.schema (find name db)
+
+(** Union of all relations' active domains: the active domain of the database,
+    over which safe calculus queries are evaluated. *)
+let active_domain (db : t) =
+  Smap.fold
+    (fun _ rel acc -> List.rev_append (Relation.active_domain rel) acc)
+    db []
+  |> List.sort_uniq Value.compare
+
+let total_tuples (db : t) =
+  Smap.fold (fun _ rel n -> n + Relation.cardinality rel) db 0
+
+let pp ppf (db : t) =
+  Smap.iter
+    (fun name rel ->
+      Fmt.pf ppf "=== %s%s ===@.%a@." name
+        (Schema.to_string (Relation.schema rel))
+        Relation.pp rel)
+    db

@@ -1,0 +1,24 @@
+(** A database: a catalog of named relations. *)
+
+type t
+
+exception Unknown_relation of string
+
+val empty : t
+val add : string -> Relation.t -> t -> t
+val mem : string -> t -> bool
+
+(** Raises {!Unknown_relation}. *)
+val find : string -> t -> Relation.t
+
+val find_opt : string -> t -> Relation.t option
+val relation_names : t -> string list
+val relations : t -> (string * Relation.t) list
+val of_list : (string * Relation.t) list -> t
+val schema_of : string -> t -> Schema.t
+
+(** Union of all relations' active domains. *)
+val active_domain : t -> Value.t list
+
+val total_tuples : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(** The other classic teaching database: drinkers, bars, beers
+    (Ullman's "Frequents / Serves / Likes").
+
+    A second vocabulary keeps the toolkit honest — nothing may be
+    hard-wired to sailors — and its classic queries are *more* nested than
+    the sailors ones (e.g. "drinkers who frequent only bars that serve a
+    beer they like" is a ∀∃ pattern over three relations). *)
+
+let s x = Value.String x
+
+let frequents_schema =
+  Schema.make [ ("drinker", Value.Tstring); ("bar", Value.Tstring) ]
+
+let serves_schema =
+  Schema.make [ ("bar", Value.Tstring); ("beer", Value.Tstring) ]
+
+let likes_schema =
+  Schema.make [ ("drinker", Value.Tstring); ("beer", Value.Tstring) ]
+
+let frequents =
+  Relation.of_lists frequents_schema
+    [ [ s "adam"; s "lou" ];
+      [ s "adam"; s "eagle" ];
+      [ s "bea"; s "lou" ];
+      [ s "cal"; s "eagle" ];
+      [ s "cal"; s "moes" ];
+      [ s "dan"; s "moes" ] ]
+
+let serves =
+  Relation.of_lists serves_schema
+    [ [ s "lou"; s "pils" ];
+      [ s "lou"; s "stout" ];
+      [ s "eagle"; s "stout" ];
+      [ s "eagle"; s "ipa" ];
+      [ s "moes"; s "lager" ] ]
+
+let likes =
+  Relation.of_lists likes_schema
+    [ [ s "adam"; s "stout" ];
+      [ s "bea"; s "pils" ];
+      [ s "bea"; s "ipa" ];
+      [ s "cal"; s "stout" ];
+      [ s "dan"; s "pils" ] ]
+
+let db =
+  Database.of_list
+    [ ("Frequents", frequents); ("Serves", serves); ("Likes", likes) ]
+
+let schemas =
+  [ ("Frequents", frequents_schema); ("Serves", serves_schema);
+    ("Likes", likes_schema) ]
+
+(* Ground truth, hand-checked:
+
+   D1 "drinkers who frequent a bar serving a beer they like":
+      adam (lou/eagle serve stout), bea (lou serves pils), cal (eagle
+      serves stout).  dan frequents moes (lager) but likes pils → out.
+
+   D2 "drinkers who frequent ONLY bars serving some beer they like":
+      adam: lou ✓ (stout), eagle ✓ (stout) → in.
+      bea: lou ✓ (pils) → in.
+      cal: eagle ✓ (stout), moes ✗ (serves lager only) → out.
+      dan: moes ✗ → out.
+
+   D3 "drinkers who like some beer served nowhere": bea? pils@lou, ipa@eagle
+      → no.  Nobody: every liked beer is served somewhere.  (stout, pils,
+      ipa, lager all served.)  → empty. *)
+let d1_expected = [ "adam"; "bea"; "cal" ]
+let d2_expected = [ "adam"; "bea" ]
+let d3_expected : string list = []
+
+let drinker_relation names =
+  Relation.of_lists
+    (Schema.make [ ("drinker", Value.Tstring) ])
+    (List.map (fun n -> [ s n ]) names)

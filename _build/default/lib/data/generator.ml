@@ -1,0 +1,80 @@
+(** Deterministic pseudo-random database instances over the sailors schema.
+
+    Used for differential testing (the same query in five languages must
+    agree on random instances) and for the scaling benchmarks.  A simple
+    splitmix-style PRNG keeps generation reproducible without depending on
+    [Random] global state. *)
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (seed * 2654435769 + 1) }
+
+let next r =
+  (* splitmix64 step *)
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int r bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int bound))
+
+let pick r xs = List.nth xs (int r (List.length xs))
+
+let names =
+  [ "Dustin"; "Brutus"; "Lubber"; "Andy"; "Rusty"; "Horatio"; "Zorba"; "Art";
+    "Bob"; "Mia"; "Noor"; "Kai"; "Lena"; "Ravi"; "Sam" ]
+
+let colors = [ "red"; "green"; "blue"; "white" ]
+let boat_names = [ "Interlake"; "Clipper"; "Marine"; "Sunset"; "Pinta" ]
+
+(** A random sailors database with [n_sailors] sailors, [n_boats] boats, and
+    [n_reserves] reservations (duplicates collapse under set semantics). *)
+let sailors_db ?(n_sailors = 20) ?(n_boats = 8) ?(n_reserves = 40) seed =
+  let r = rng seed in
+  let sailor_rows =
+    List.init n_sailors (fun k ->
+        [ Value.Int (k + 1); Value.String (pick r names);
+          Value.Int (1 + int r 10);
+          Value.Float (float_of_int (16 + int r 50)) ])
+  in
+  let boat_rows =
+    List.init n_boats (fun k ->
+        [ Value.Int (100 + k); Value.String (pick r boat_names);
+          Value.String (pick r colors) ])
+  in
+  let reserve_rows =
+    List.init n_reserves (fun _ ->
+        [ Value.Int (1 + int r n_sailors); Value.Int (100 + int r n_boats);
+          Value.String (Printf.sprintf "%d/%d" (1 + int r 12) (1 + int r 28)) ])
+  in
+  Database.of_list
+    [ ("Sailor", Relation.of_lists Sample_db.sailor_schema sailor_rows);
+      ("Boat", Relation.of_lists Sample_db.boat_schema boat_rows);
+      ("Reserves", Relation.of_lists Sample_db.reserves_schema reserve_rows) ]
+
+(** A family of instances of growing size for the scaling benches. *)
+let scaling_instances sizes =
+  List.map
+    (fun n ->
+      ( n,
+        sailors_db ~n_sailors:n ~n_boats:(max 4 (n / 10))
+          ~n_reserves:(n * 2) (n + 7) ))
+    sizes
+
+(** Random monadic-predicate structure over a small universe: used to test
+    the set-diagram formalisms (Euler, Venn) against FOL semantics. *)
+let monadic_db ?(universe = 8) ?(preds = [ "P"; "Q"; "R" ]) seed =
+  let r = rng seed in
+  let schema = Schema.make [ ("x", Value.Tint) ] in
+  let rel _name =
+    let rows =
+      List.filter_map
+        (fun k -> if int r 2 = 0 then Some [ Value.Int k ] else None)
+        (List.init universe (fun i -> i))
+    in
+    Relation.of_lists schema rows
+  in
+  Database.of_list (List.map (fun p -> (p, rel p)) preds)

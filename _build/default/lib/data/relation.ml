@@ -1,0 +1,192 @@
+(** Set-semantics relations: a schema plus a sorted set of tuples.
+
+    The tutorial works throughout with set semantics (RA, RC, and Datalog are
+    all set-based); the SQL front-end inserts explicit duplicate elimination.
+    Tuple sets are represented with [Stdlib.Set] over [Tuple.compare], which
+    keeps all RA operators purely functional. *)
+
+module Tset = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = { schema : Schema.t; tuples : Tset.t }
+
+let schema r = r.schema
+let cardinality r = Tset.cardinal r.tuples
+let is_empty r = Tset.is_empty r.tuples
+let tuples r = Tset.elements r.tuples
+let mem tup r = Tset.mem tup r.tuples
+
+let empty schema = { schema; tuples = Tset.empty }
+
+let check_tuple schema tup =
+  if Tuple.arity tup <> Schema.arity schema then
+    Schema.error "tuple %s does not match schema %s" (Tuple.to_string tup)
+      (Schema.to_string schema)
+
+let add tup r =
+  check_tuple r.schema tup;
+  { r with tuples = Tset.add tup r.tuples }
+
+let of_tuples schema tups =
+  Schema.check_distinct schema;
+  List.iter (check_tuple schema) tups;
+  { schema; tuples = Tset.of_list tups }
+
+(** Convenience constructor from value lists. *)
+let of_lists schema rows = of_tuples schema (List.map Tuple.of_list rows)
+
+let fold f r init = Tset.fold f r.tuples init
+let iter f r = Tset.iter f r.tuples
+let filter p r = { r with tuples = Tset.filter p r.tuples }
+let for_all p r = Tset.for_all p r.tuples
+let exists p r = Tset.exists p r.tuples
+
+let map schema f r =
+  { schema; tuples = Tset.fold (fun t acc -> Tset.add (f t) acc) r.tuples Tset.empty }
+
+let equal a b =
+  Schema.compatible a.schema b.schema && Tset.equal a.tuples b.tuples
+
+(** Same set of rows irrespective of attribute names — how we compare results
+    across query languages that name columns differently. *)
+let same_rows a b = Tset.equal a.tuples b.tuples
+
+let require_compatible op a b =
+  if not (Schema.compatible a.schema b.schema) then
+    Schema.error "%s: incompatible schemas %s vs %s" op
+      (Schema.to_string a.schema) (Schema.to_string b.schema)
+
+let union a b =
+  require_compatible "union" a b;
+  { schema = Schema.join_types a.schema b.schema;
+    tuples = Tset.union a.tuples b.tuples }
+
+let inter a b =
+  require_compatible "intersect" a b;
+  { a with tuples = Tset.inter a.tuples b.tuples }
+
+let diff a b =
+  require_compatible "except" a b;
+  { a with tuples = Tset.diff a.tuples b.tuples }
+
+let project names r =
+  let schema = Schema.project names r.schema in
+  let idx = List.map (fun n -> Schema.index n r.schema) names in
+  let proj t = Array.of_list (List.map (fun i -> Tuple.get t i) idx) in
+  map schema proj r
+
+let rename from_ to_ r = { r with schema = Schema.rename from_ to_ r.schema }
+
+let rename_all names r =
+  if List.length names <> Schema.arity r.schema then
+    Schema.error "rename: expected %d names" (Schema.arity r.schema);
+  let schema =
+    List.map2 (fun (a : Schema.attribute) name -> { a with Schema.name }) r.schema names
+  in
+  Schema.check_distinct schema;
+  { r with schema }
+
+let product a b =
+  let schema = Schema.concat_disjoint a.schema b.schema in
+  let tuples =
+    Tset.fold
+      (fun ta acc ->
+        Tset.fold (fun tb acc -> Tset.add (Tuple.concat ta tb) acc) b.tuples acc)
+      a.tuples Tset.empty
+  in
+  { schema; tuples }
+
+(** Natural join on the common attribute names.  A hash-partitioned build on
+    the smaller side keeps this near-linear, which matters for the scaling
+    benches. *)
+let natural_join a b =
+  let shared = Schema.names (Schema.common a.schema b.schema) in
+  if shared = [] then product a b
+  else begin
+    let ia = List.map (fun n -> Schema.index n a.schema) shared in
+    let ib = List.map (fun n -> Schema.index n b.schema) shared in
+    let b_rest =
+      List.filteri
+        (fun i _ -> not (List.mem i ib))
+        (List.mapi (fun i (attr : Schema.attribute) -> (i, attr)) b.schema
+         |> List.map snd)
+    in
+    (* positions of b's non-shared attributes *)
+    let ib_rest =
+      List.filter (fun i -> not (List.mem i ib))
+        (List.init (Schema.arity b.schema) Fun.id)
+    in
+    let schema = a.schema @ b_rest in
+    let key idx t = List.map (fun i -> Tuple.get t i) idx in
+    let table = Hashtbl.create (max 16 (cardinality b)) in
+    Tset.iter (fun t -> Hashtbl.add table (key ib t) t) b.tuples;
+    let tuples =
+      Tset.fold
+        (fun ta acc ->
+          let matches = Hashtbl.find_all table (key ia ta) in
+          List.fold_left
+            (fun acc tb ->
+              let extra = Array.of_list (List.map (Tuple.get tb) ib_rest) in
+              Tset.add (Array.append ta extra) acc)
+            acc matches)
+        a.tuples Tset.empty
+    in
+    { schema; tuples }
+  end
+
+(** Relational division [a ÷ b]: tuples [t] over (attrs(a) − attrs(b)) such
+    that for every tuple [u] in [b], [t ⋈ u ∈ a].  This is the operator the
+    tutorial's Q3 ("sailors who reserved all red boats") revolves around. *)
+let division a b =
+  let b_names = Schema.names b.schema in
+  List.iter
+    (fun n ->
+      if not (Schema.mem n a.schema) then
+        Schema.error "division: attribute %S of divisor not in dividend" n)
+    b_names;
+  let keep =
+    List.filter (fun n -> not (List.mem n b_names)) (Schema.names a.schema)
+  in
+  let candidates = project keep a in
+  let required = tuples b in
+  let ia = List.map (fun n -> Schema.index n a.schema) keep in
+  let ja = List.map (fun n -> Schema.index n a.schema) b_names in
+  (* index a by its [keep] part *)
+  let table = Hashtbl.create (max 16 (cardinality a)) in
+  Tset.iter
+    (fun t ->
+      let k = List.map (Tuple.get t) ia in
+      let v = List.map (Tuple.get t) ja in
+      Hashtbl.add table k v)
+    a.tuples;
+  let jb = List.map (fun n -> Schema.index n b.schema) b_names in
+  filter
+    (fun cand ->
+      let have = Hashtbl.find_all table (Array.to_list cand) in
+      List.for_all
+        (fun u ->
+          let uvals = List.map (Tuple.get u) jb in
+          List.exists (fun v -> List.for_all2 Value.equal v uvals) have)
+        required)
+    candidates
+
+(** All values appearing anywhere in the relation — the building block of the
+    active domain used by calculus evaluation. *)
+let active_domain r =
+  fold (fun t acc -> Array.fold_left (fun acc v -> v :: acc) acc t) r []
+  |> List.sort_uniq Value.compare
+
+let pp ppf r =
+  let hdr = String.concat " | " (Schema.names r.schema) in
+  Fmt.pf ppf "%s@." hdr;
+  Fmt.pf ppf "%s@." (String.make (String.length hdr) '-');
+  iter
+    (fun t ->
+      Fmt.pf ppf "%s@."
+        (String.concat " | " (List.map Value.to_string (Tuple.to_list t))))
+    r
+
+let to_string r = Fmt.str "%a" pp r

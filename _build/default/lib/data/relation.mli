@@ -1,0 +1,77 @@
+(** Set-semantics relations: a schema plus a set of tuples.
+
+    All operations are purely functional.  This module is the substrate of
+    every evaluator in the library (RA, calculus, Datalog); the higher-level
+    RA operators live in [Diagres_ra], while the raw set/join/division
+    machinery is here. *)
+
+type t
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** Tuples in sorted order. *)
+val tuples : t -> Tuple.t list
+
+val mem : Tuple.t -> t -> bool
+val empty : Schema.t -> t
+
+(** Add one tuple; raises {!Schema.Schema_error} on arity mismatch. *)
+val add : Tuple.t -> t -> t
+
+(** Build from tuples; checks schema well-formedness and tuple arities. *)
+val of_tuples : Schema.t -> Tuple.t list -> t
+
+(** Convenience constructor from value lists. *)
+val of_lists : Schema.t -> Value.t list list -> t
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val for_all : (Tuple.t -> bool) -> t -> bool
+val exists : (Tuple.t -> bool) -> t -> bool
+
+(** [map schema f r] rebuilds the relation under a new schema. *)
+val map : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+
+(** Equality: compatible schemas and equal tuple sets. *)
+val equal : t -> t -> bool
+
+(** Same rows irrespective of attribute names — the cross-language result
+    comparison used throughout the tests and benches. *)
+val same_rows : t -> t -> bool
+
+(** Set operations; raise {!Schema.Schema_error} on arity mismatch.  Union
+    joins column types positionally (see {!Schema.join_types}). *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** π: projection (possibly nullary — the Boolean relation). *)
+val project : string list -> t -> t
+
+(** ρ: rename one attribute / all attributes. *)
+val rename : string -> string -> t -> t
+
+val rename_all : string list -> t -> t
+
+(** ×: cartesian product; attribute sets must be disjoint. *)
+val product : t -> t -> t
+
+(** ⋈: natural join on the shared attribute names (hash-based). *)
+val natural_join : t -> t -> t
+
+(** ÷: relational division.  [division a b] returns the tuples [t] over
+    [attrs a − attrs b] such that [{t} × b ⊆ a].  Note the classic caveat:
+    with an empty divisor this returns {e all} candidate tuples of the
+    dividend, which differs from ∀-style formulations quantifying over an
+    outer relation. *)
+val division : t -> t -> t
+
+(** All values appearing anywhere in the relation, deduplicated. *)
+val active_domain : t -> Value.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,78 @@
+(** The sailors–reserves–boats instance used throughout the tutorial,
+    following Ramakrishnan & Gehrke ("cow book") chapter 5, extended with a
+    green boat so that the disjunction query Q4 is non-trivial. *)
+
+let i n = Value.Int n
+let s x = Value.String x
+let f x = Value.Float x
+
+let sailor_schema =
+  Schema.make
+    [ ("sid", Value.Tint); ("sname", Value.Tstring); ("rating", Value.Tint);
+      ("age", Value.Tfloat) ]
+
+let boat_schema =
+  Schema.make
+    [ ("bid", Value.Tint); ("bname", Value.Tstring); ("color", Value.Tstring) ]
+
+let reserves_schema =
+  Schema.make
+    [ ("sid", Value.Tint); ("bid", Value.Tint); ("day", Value.Tstring) ]
+
+let sailors =
+  Relation.of_lists sailor_schema
+    [ [ i 22; s "Dustin"; i 7; f 45.0 ];
+      [ i 29; s "Brutus"; i 1; f 33.0 ];
+      [ i 31; s "Lubber"; i 8; f 55.5 ];
+      [ i 32; s "Andy"; i 8; f 25.5 ];
+      [ i 58; s "Rusty"; i 10; f 35.0 ];
+      [ i 64; s "Horatio"; i 7; f 35.0 ];
+      [ i 71; s "Zorba"; i 10; f 16.0 ];
+      [ i 74; s "Horatio"; i 9; f 35.0 ];
+      [ i 85; s "Art"; i 3; f 25.5 ];
+      [ i 95; s "Bob"; i 3; f 63.5 ] ]
+
+let boats =
+  Relation.of_lists boat_schema
+    [ [ i 101; s "Interlake"; s "blue" ];
+      [ i 102; s "Interlake"; s "red" ];
+      [ i 103; s "Clipper"; s "green" ];
+      [ i 104; s "Marine"; s "red" ] ]
+
+let reserves =
+  Relation.of_lists reserves_schema
+    [ [ i 22; i 101; s "10/10" ];
+      [ i 22; i 102; s "10/10" ];
+      [ i 22; i 103; s "10/8" ];
+      [ i 22; i 104; s "10/7" ];
+      [ i 31; i 102; s "11/10" ];
+      [ i 31; i 103; s "11/6" ];
+      [ i 31; i 104; s "11/12" ];
+      [ i 64; i 101; s "9/5" ];
+      [ i 64; i 102; s "9/8" ];
+      [ i 74; i 103; s "9/8" ];
+      [ i 95; i 104; s "9/9" ] ]
+
+let db =
+  Database.of_list
+    [ ("Sailor", sailors); ("Boat", boats); ("Reserves", reserves) ]
+
+(** The schemas alone (for typechecking queries without an instance). *)
+let schemas =
+  [ ("Sailor", sailor_schema); ("Boat", boat_schema);
+    ("Reserves", reserves_schema) ]
+
+(* Expected answers on [db], used as ground truth in tests.
+
+   Q1 sailors (sid) who reserved a red boat: 22, 31, 64, 95.
+   Q2 sailors who reserved no red boat: 29, 32, 58, 71, 74, 85.
+   Q3 sailors who reserved all red boats (bids 102 and 104): 22, 31.
+   Q4 sailors who reserved a red or a green boat: 22, 31, 64, 74, 95. *)
+let q1_expected_sids = [ 22; 31; 64; 95 ]
+let q2_expected_sids = [ 29; 32; 58; 71; 74; 85 ]
+let q3_expected_sids = [ 22; 31 ]
+let q4_expected_sids = [ 22; 31; 64; 74; 95 ]
+
+let sid_relation sids =
+  Relation.of_lists (Schema.make [ ("sid", Value.Tint) ])
+    (List.map (fun x -> [ i x ]) sids)

@@ -1,0 +1,105 @@
+(** Relation schemas in the named perspective.
+
+    A schema is an ordered list of distinctly-named, typed attributes.  The
+    named perspective (rather than positional) is what the tutorial's RA and
+    TRC notation uses, and what makes diagrams labelable. *)
+
+type attribute = { name : string; ty : Value.ty }
+
+type t = attribute list
+
+exception Schema_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+let attr ?(ty = Value.Tint) name = { name; ty }
+
+let make pairs = List.map (fun (name, ty) -> { name; ty }) pairs
+
+let names (s : t) = List.map (fun a -> a.name) s
+
+let arity = List.length
+
+let mem name (s : t) = List.exists (fun a -> a.name = name) s
+
+let find_opt name (s : t) = List.find_opt (fun a -> a.name = name) s
+
+(** Position of attribute [name], used to index into tuples. *)
+let index name (s : t) =
+  let rec go i = function
+    | [] -> error "unknown attribute %S (schema: %s)" name
+              (String.concat ", " (names s))
+    | a :: _ when a.name = name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 s
+
+let index_opt name (s : t) =
+  let rec go i = function
+    | [] -> None
+    | a :: _ when (a : attribute).name = name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 s
+
+let check_distinct (s : t) =
+  let rec go seen = function
+    | [] -> ()
+    | a :: rest ->
+      if List.mem a.name seen then error "duplicate attribute %S" a.name
+      else go (a.name :: seen) rest
+  in
+  go [] s
+
+(** Schema equality up to attribute order and names: used for set-compatible
+    checks in UNION/INTERSECT/EXCEPT which the tutorial treats positionally. *)
+(* Set-operation compatibility is positional and untyped (types join to
+   [Tany]): calculus-level constructions such as the active domain
+   legitimately mix value types in one column. *)
+let compatible (a : t) (b : t) = arity a = arity b
+
+(** Positional type join for set operations over compatible schemas; keeps
+    the left side's attribute names. *)
+let join_types (a : t) (b : t) =
+  List.map2 (fun x y -> { x with ty = Value.ty_join x.ty y.ty }) a b
+
+let equal (a : t) (b : t) =
+  arity a = arity b
+  && List.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a b
+
+(** Concatenation for cartesian product; raises on name clashes, mirroring
+    the RA requirement that × operands have disjoint attribute sets. *)
+let concat_disjoint (a : t) (b : t) =
+  List.iter
+    (fun x -> if mem x.name a then error "attribute %S occurs on both sides of a product" x.name)
+    b;
+  a @ b
+
+(** Qualified renaming [r.a] used when bringing a base table into scope under
+    a tuple-variable alias. *)
+let qualify alias (s : t) =
+  List.map (fun a -> { a with name = alias ^ "." ^ a.name }) s
+
+let project names (s : t) =
+  List.map
+    (fun n ->
+      match find_opt n s with
+      | Some a -> a
+      | None -> error "cannot project on unknown attribute %S" n)
+    names
+
+let rename (from_ : string) (to_ : string) (s : t) =
+  if not (mem from_ s) then error "cannot rename unknown attribute %S" from_;
+  if mem to_ s then error "rename target %S already exists" to_;
+  List.map (fun a -> if a.name = from_ then { a with name = to_ } else a) s
+
+let common (a : t) (b : t) =
+  List.filter (fun x -> mem x.name b) a
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "(%a)"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf a ->
+         Fmt.pf ppf "%s:%s" a.name (Value.ty_name a.ty)))
+    s
+
+let to_string s = Fmt.str "%a" pp s

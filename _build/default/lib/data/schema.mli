@@ -1,0 +1,60 @@
+(** Relation schemas in the named perspective: ordered lists of distinctly
+    named, typed attributes. *)
+
+type attribute = { name : string; ty : Value.ty }
+
+type t = attribute list
+
+exception Schema_error of string
+
+(** Raise a located {!Schema_error} with a formatted message. *)
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [attr ?ty name] builds one attribute (default type [Tint]). *)
+val attr : ?ty:Value.ty -> string -> attribute
+
+(** [make [(name, ty); …]] builds a schema in the given order. *)
+val make : (string * Value.ty) list -> t
+
+val names : t -> string list
+val arity : t -> int
+val mem : string -> t -> bool
+val find_opt : string -> t -> attribute option
+
+(** Position of an attribute; raises {!Schema_error} when absent. *)
+val index : string -> t -> int
+
+val index_opt : string -> t -> int option
+
+(** Raise when two attributes share a name. *)
+val check_distinct : t -> unit
+
+(** Exact equality: same names and types in the same order. *)
+val equal : t -> t -> bool
+
+(** Set-operation compatibility: positional and untyped (arity equality);
+    see the module comment in the implementation for why mixing types is
+    allowed. *)
+val compatible : t -> t -> bool
+
+(** Positional type join for set operations; keeps the left side's names. *)
+val join_types : t -> t -> t
+
+(** Concatenation for ×; raises on shared attribute names. *)
+val concat_disjoint : t -> t -> t
+
+(** [qualify alias s] renames every attribute to [alias.name]. *)
+val qualify : string -> t -> t
+
+(** Sub-schema in the order given; raises on unknown names. *)
+val project : string list -> t -> t
+
+(** Rename one attribute; raises if the source is missing or the target
+    already exists. *)
+val rename : string -> string -> t -> t
+
+(** Attributes present (by name) in both schemas, in left order. *)
+val common : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

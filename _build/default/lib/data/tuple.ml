@@ -1,0 +1,39 @@
+(** Tuples are immutable value arrays positionally aligned with a schema. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+let get (t : t) i = t.(i)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+(** Value of attribute [name] under [schema]. *)
+let field schema name (t : t) = t.(Schema.index name schema)
+
+let field_opt schema name (t : t) =
+  Option.map (fun i -> t.(i)) (Schema.index_opt name schema)
+
+(** Keep only the positions of [names] (in the order given). *)
+let project schema names (t : t) =
+  Array.of_list (List.map (fun n -> t.(Schema.index n schema)) names)
+
+let concat (a : t) (b : t) = Array.append a b
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t

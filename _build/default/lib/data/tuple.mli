@@ -1,0 +1,26 @@
+(** Tuples: immutable value arrays positionally aligned with a schema. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+
+(** Lexicographic order (shorter tuples first); total. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Value of attribute [name] under [schema]; raises {!Schema.Schema_error}
+    on unknown names. *)
+val field : Schema.t -> string -> t -> Value.t
+
+val field_opt : Schema.t -> string -> t -> Value.t option
+
+(** Keep the positions of [names], in the order given. *)
+val project : Schema.t -> string list -> t -> t
+
+val concat : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

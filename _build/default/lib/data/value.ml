@@ -1,0 +1,145 @@
+(** Typed atomic values stored in relations.
+
+    The value domain follows the tutorial's sailors-reserves-boats setting:
+    integers, floats, strings and booleans suffice for all catalog queries.
+    [Null] is included so the SQL front-end can model missing values, but the
+    calculus semantics in this library are two-valued: comparisons involving
+    [Null] evaluate to [false] (the set-semantics simplification used
+    throughout the tutorial). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Null
+
+type ty = Tint | Tfloat | Tstring | Tbool | Tany
+
+(** [ty_compatible a b] holds when values of the two static types may mix in
+    one column: equal types, a numeric pair, or either being [Tany] (the top
+    type produced by unions over heterogeneous columns, e.g. the active
+    domain). *)
+let ty_compatible a b =
+  let numeric = function Tint | Tfloat -> true | _ -> false in
+  a = b || a = Tany || b = Tany || (numeric a && numeric b)
+
+(** Least upper bound of two column types. *)
+let ty_join a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | (Tint | Tfloat), (Tint | Tfloat) -> Tfloat
+    | _ -> Tany
+
+let type_of = function
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | String _ -> Tstring
+  | Bool _ -> Tbool
+  | Null -> Tstring (* nulls are untyped; string is the widest printable *)
+
+let ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+  | Tany -> "any"
+
+(* A total order used by relation sets: Null < Bool < Int/Float < String,
+   with Int and Float compared numerically so that [Int 2 = Float 2.]. *)
+let compare a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ | Float _ -> 2
+    | String _ -> 3
+  in
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | String x, String y -> Stdlib.compare x y
+  | x, y -> Stdlib.compare (rank x) (rank y)
+
+let equal a b = compare a b = 0
+
+(** SQL-style three-valuedness collapsed to two values: any comparison with
+    [Null] is false, including [Null = Null]. *)
+let cmp_known a b k =
+  match (a, b) with Null, _ | _, Null -> false | _ -> k (compare a b)
+
+let lt a b = cmp_known a b (fun c -> c < 0)
+let le a b = cmp_known a b (fun c -> c <= 0)
+let gt a b = cmp_known a b (fun c -> c > 0)
+let ge a b = cmp_known a b (fun c -> c >= 0)
+let eq a b = cmp_known a b (fun c -> c = 0)
+let neq a b = cmp_known a b (fun c -> c <> 0)
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 3 else 5
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else string_of_float f
+  | String s -> s
+  | Bool b -> string_of_bool b
+  | Null -> "NULL"
+
+(** Rendering as a literal inside a query text: strings are quoted. *)
+let to_literal = function
+  | String s -> Printf.sprintf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | v -> to_string v
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+(** Parse a CSV cell or query literal into the most specific value type. *)
+let of_string s =
+  let s' = String.trim s in
+  if s' = "" || String.uppercase_ascii s' = "NULL" then Null
+  else
+    match int_of_string_opt s' with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt s' with
+      | Some f -> Float f
+      | None -> (
+        match String.lowercase_ascii s' with
+        | "true" -> Bool true
+        | "false" -> Bool false
+        | _ -> String s'))
+
+(* Arithmetic promotes to float whenever either side is a float.  Used by the
+   SQL front-end for computed select expressions. *)
+let arith op_i op_f a b =
+  match (a, b) with
+  | Int x, Int y -> Some (Int (op_i x y))
+  | Int x, Float y -> Some (Float (op_f (float_of_int x) y))
+  | Float x, Int y -> Some (Float (op_f x (float_of_int y)))
+  | Float x, Float y -> Some (Float (op_f x y))
+  | _ -> None
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+
+let div a b =
+  match (a, b) with
+  | _, Int 0 | _, Float 0. -> None
+  | Int x, Int y -> Some (Int (x / y))
+  | _ -> arith ( / ) ( /. ) a b
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -1,0 +1,70 @@
+(** Typed atomic values stored in relations.
+
+    The value domain covers the tutorial's needs: integers, floats,
+    strings, booleans, and SQL-style [Null].  Comparison semantics are
+    two-valued throughout the library: any comparison involving [Null] is
+    false (including [Null = Null]), which is the set-semantics
+    simplification the tutorial works under. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Null
+
+(** Static column types.  [Tany] is the top type, produced when set
+    operations mix column types — which the calculus-level constructions
+    (e.g. the active domain) legitimately do. *)
+type ty = Tint | Tfloat | Tstring | Tbool | Tany
+
+(** [ty_compatible a b] holds when values of the two static types may mix
+    in one column: equal types, a numeric pair, or either being [Tany]. *)
+val ty_compatible : ty -> ty -> bool
+
+(** Least upper bound of two column types ([Tint ⊔ Tfloat = Tfloat],
+    anything else mixed gives [Tany]). *)
+val ty_join : ty -> ty -> ty
+
+val type_of : t -> ty
+val ty_name : ty -> string
+
+(** Total order across all values (used by relation sets): [Null] < booleans
+    < numbers < strings, numbers compared numerically so [Int 2 = Float 2.]. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** SQL-flavoured comparisons: false whenever either side is [Null]. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val eq : t -> t -> bool
+val neq : t -> t -> bool
+
+val hash : t -> int
+
+(** Plain rendering ([NULL] for nulls, no quotes on strings). *)
+val to_string : t -> string
+
+(** Rendering as a literal inside query text: strings are single-quoted
+    with quote doubling. *)
+val to_literal : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse a CSV cell or literal into the most specific type; empty string
+    and ["NULL"] give [Null]. *)
+val of_string : string -> t
+
+(** Arithmetic with numeric promotion; [None] on non-numeric operands (and
+    division by zero for {!div}). *)
+
+val add : t -> t -> t option
+val sub : t -> t -> t option
+val mul : t -> t -> t option
+val div : t -> t -> t option
+
+val to_float : t -> float option

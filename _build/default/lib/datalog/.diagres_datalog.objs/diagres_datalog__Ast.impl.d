@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Diagres_data Diagres_logic Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/check.ml: Ast Diagres_data Format Hashtbl List String

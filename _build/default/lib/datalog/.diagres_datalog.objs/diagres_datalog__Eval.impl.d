@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Ast Check Diagres_data Diagres_logic List Printf

@@ -1,0 +1,1 @@
+lib/datalog/fixpoint.ml: Ast Check Diagres_data Eval Format Hashtbl List Printf

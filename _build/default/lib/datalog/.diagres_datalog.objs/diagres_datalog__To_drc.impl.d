@@ -1,0 +1,1 @@
+lib/datalog/to_drc.ml: Ast Check Diagres_logic Diagres_rc Hashtbl List Printf String

@@ -1,0 +1,81 @@
+(** Non-recursive Datalog with (stratified) negation — the tutorial's fifth
+    textual language, and the one whose "dataflow, one step at a time" style
+    QBE secretly mirrors for division queries.
+
+    A program is a list of rules; extensional predicates (EDB) are the
+    database relations, intensional ones (IDB) are defined by rule heads. *)
+
+type term = Var of string | Const of Diagres_data.Value.t
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom                  (** [r(X, Y)] *)
+  | Neg of atom                  (** [not r(X, Y)] *)
+  | Cond of Diagres_logic.Fol.cmp * term * term  (** [X < Y], [X = 'red'] *)
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+let atom pred args = { pred; args }
+let var x = Var x
+let cst v = Const v
+
+let term_vars = function Var x -> [ x ] | Const _ -> []
+let atom_vars a = List.concat_map term_vars a.args
+
+let literal_vars = function
+  | Pos a | Neg a -> atom_vars a
+  | Cond (_, x, y) -> term_vars x @ term_vars y
+
+let head_preds (p : program) =
+  List.sort_uniq String.compare (List.map (fun r -> r.head.pred) p)
+
+(** IDB = predicates defined by some rule; everything else referenced is
+    EDB. *)
+let idb_preds = head_preds
+
+let body_preds (r : rule) =
+  List.filter_map
+    (function Pos a | Neg a -> Some a.pred | Cond _ -> None)
+    r.body
+
+let rules_for (p : program) pred =
+  List.filter (fun r -> r.head.pred = pred) p
+
+(** Term/atom/literal/rule pretty-printing in the usual syntax. *)
+let term_to_string = function
+  | Var x -> x
+  | Const c -> Diagres_data.Value.to_literal c
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.pred
+    (String.concat ", " (List.map term_to_string a.args))
+
+let literal_to_string = function
+  | Pos a -> atom_to_string a
+  | Neg a -> "not " ^ atom_to_string a
+  | Cond (op, x, y) ->
+    Printf.sprintf "%s %s %s" (term_to_string x)
+      (Diagres_logic.Fol.cmp_name op) (term_to_string y)
+
+let rule_to_string r =
+  Printf.sprintf "%s :- %s." (atom_to_string r.head)
+    (String.concat ", " (List.map literal_to_string r.body))
+
+let to_string (p : program) =
+  String.concat "\n" (List.map rule_to_string p)
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+(** Number of rules and of repeated-relation occurrences: the statistics the
+    E5 bench reports for the QBE-vs-Datalog comparison. *)
+let stats (p : program) =
+  let occurrences =
+    List.concat_map (fun r -> body_preds r) p
+  in
+  let repeats =
+    List.length occurrences - List.length (List.sort_uniq String.compare occurrences)
+  in
+  (List.length p, List.length occurrences, repeats)

@@ -1,0 +1,160 @@
+(** Recursive Datalog with stratified negation — the extension beyond the
+    tutorial's non-recursive scope (its reference [3], QBD*, is exactly "a
+    graphical query language with recursion").
+
+    Evaluation is the classic stratified fixpoint: predicates are grouped
+    into strongly connected components of the dependency graph; components
+    are processed in topological order; within a component, rules iterate
+    naively to a fixpoint (set semantics makes each round monotone, so
+    termination is by the finite Herbrand base).  Negation must point to a
+    strictly lower component — checked, not assumed. *)
+
+module D = Diagres_data
+
+exception Fixpoint_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Fixpoint_error s)) fmt
+
+(* ---------------- dependency SCCs (Tarjan) ---------------- *)
+
+let sccs (nodes : string list) (edges : (string * string) list) :
+    string list list =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let succs n = List.filter_map (fun (a, b) -> if a = n then Some b else None) edges in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if List.mem w nodes then
+          if not (Hashtbl.mem index w) then begin
+            strongconnect w;
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          end
+          else if Hashtbl.find_opt on_stack w = Some true then
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun n -> if not (Hashtbl.mem index n) then strongconnect n) nodes;
+  (* Tarjan emits SCCs in reverse topological order *)
+  List.rev !out
+
+(* ---------------- stratification check ---------------- *)
+
+(** Negation must not occur inside a recursive component: for every rule
+    [h :- …, not p, …], [p] must be in a strictly earlier component. *)
+let check_stratified (p : Ast.program) (components : string list list) =
+  let comp_of = Hashtbl.create 16 in
+  List.iteri
+    (fun i comp -> List.iter (fun n -> Hashtbl.replace comp_of n i) comp)
+    components;
+  List.iter
+    (fun (r : Ast.rule) ->
+      let hc = Hashtbl.find_opt comp_of r.Ast.head.Ast.pred in
+      List.iter
+        (function
+          | Ast.Neg a -> (
+            match (hc, Hashtbl.find_opt comp_of a.Ast.pred) with
+            | Some h, Some b when b >= h ->
+              error
+                "program is not stratified: %S is negated inside its own \
+                 recursive component (rule %s)"
+                a.Ast.pred (Ast.rule_to_string r)
+            | _ -> ())
+          | _ -> ())
+        r.Ast.body)
+    p
+
+(* ---------------- fixpoint evaluation ---------------- *)
+
+(* one round of all rules for the predicates in [comp], against the current
+   store; reuses the non-recursive engine's rule evaluator semantics *)
+let eval_rules_once (store : D.Database.t) (p : Ast.program) (comp : string list) :
+    (string * D.Tuple.t list) list =
+  List.map
+    (fun pred ->
+      let rows =
+        List.concat_map
+          (fun r ->
+            (* delegate single-rule evaluation to the shared engine by
+               wrapping the rule as a one-rule program over the store *)
+            Eval.eval_rule_tuples store r)
+          (Ast.rules_for p pred)
+      in
+      (pred, rows))
+    comp
+
+let eval_program (db : D.Database.t) (p : Ast.program) : D.Database.t =
+  let schemas =
+    List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
+  in
+  (* arity + safety checks are shared with the non-recursive engine; the
+     non-recursion check is deliberately skipped *)
+  let arities = Check.check_arities schemas p in
+  Check.check_safety p;
+  let idb = Ast.idb_preds p in
+  let edges =
+    List.filter_map
+      (fun (a, b, _) -> if List.mem b idb then Some (a, b) else None)
+      (Check.edges p)
+  in
+  let components = sccs idb edges in
+  check_stratified p components;
+  let schema_for pred =
+    let arity = List.assoc pred arities in
+    List.init arity (fun i -> D.Schema.attr ~ty:D.Value.Tany (Printf.sprintf "x%d" (i + 1)))
+  in
+  List.fold_left
+    (fun store comp ->
+      (* seed the component's predicates as empty *)
+      let store =
+        List.fold_left
+          (fun st pred ->
+            D.Database.add pred (D.Relation.empty (schema_for pred)) st)
+          store comp
+      in
+      let rec iterate store round =
+        if round > 10_000 then error "fixpoint did not converge";
+        let updates = eval_rules_once store p comp in
+        let store', changed =
+          List.fold_left
+            (fun (st, ch) (pred, rows) ->
+              let old = D.Database.find pred st in
+              let merged =
+                List.fold_left (fun r t -> D.Relation.add t r) old rows
+              in
+              ( D.Database.add pred merged st,
+                ch || D.Relation.cardinality merged > D.Relation.cardinality old ))
+            (store, false) updates
+        in
+        if changed then iterate store' (round + 1) else store'
+      in
+      iterate store 0)
+    db components
+
+let query db p ~goal =
+  let store = eval_program db p in
+  match D.Database.find_opt goal store with
+  | Some r -> r
+  | None -> error "goal predicate not defined: %s" goal

@@ -1,0 +1,56 @@
+(** Parser for Datalog programs:
+
+    {v
+    q1(S) :- reserves(S, B, D), boat(B, N, 'red').
+    q2(S) :- sailor(S, N, R, A), not q1(S).
+    v}
+
+    Comments run from [--] to end of line.  Predicates are relation names
+    (matched case-insensitively against the database catalog by the
+    checker); [not] marks negative literals; comparisons are conditions. *)
+
+module S = Diagres_parsekit.Stream
+module L = Diagres_parsekit.Lexer
+
+exception Parse_error = S.Parse_error
+
+let keywords = [ "not" ]
+
+let term s : Ast.term =
+  match S.peek s with
+  | L.Ident x when not (List.mem x keywords) ->
+    S.advance s;
+    Ast.Var x
+  | _ -> Ast.Const (S.value s)
+
+let atom s : Ast.atom =
+  let pred = S.ident_not s keywords in
+  S.expect_sym s "(";
+  let args = S.sep_list1 s ~sep:"," term in
+  S.expect_sym s ")";
+  { Ast.pred; args }
+
+let literal s : Ast.literal =
+  if S.eat_kw s "not" then Ast.Neg (atom s)
+  else
+    match (S.peek s, S.peek2 s) with
+    | L.Ident x, L.Sym "(" when not (List.mem x keywords) ->
+      ignore x;
+      Ast.Pos (atom s)
+    | _ -> (
+      let a = term s in
+      match S.cmp_op s with
+      | Some op -> Ast.Cond (op, a, term s)
+      | None -> S.error s "expected comparison in condition literal")
+
+let rule s : Ast.rule =
+  let head = atom s in
+  S.expect_sym s ":-";
+  let body = S.sep_list1 s ~sep:"," literal in
+  S.expect_sym s ".";
+  { Ast.head; body }
+
+let parse src : Ast.program =
+  let s = S.make src in
+  let rec go acc = if S.at_eof s then List.rev acc else go (rule s :: acc) in
+  go []

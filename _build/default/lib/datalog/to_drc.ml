@@ -1,0 +1,131 @@
+(** Datalog → DRC by rule unfolding.
+
+    Because the program is non-recursive, every IDB predicate can be
+    expanded into a first-order formula over EDB predicates: a predicate
+    with rules [p(x̄) :- B₁ | … | Bₙ] denotes [⋁ᵢ ∃ȳᵢ Bᵢ′], where the body
+    variables not in the head are existentially closed and head variables
+    are substituted by the call's argument terms.  The result feeds
+    {!Diagres_rc.Drc_to_ra} to complete Datalog → RA. *)
+
+module F = Diagres_logic.Fol
+
+exception Unfold_error of string
+
+let term_to_fol mapping = function
+  | Ast.Const c -> F.Const c
+  | Ast.Var x -> (
+    match List.assoc_opt x mapping with
+    | Some t -> t
+    | None -> F.Var x)
+
+(* Unfold one atom under a substitution [mapping : rule var → FOL term]. *)
+let rec unfold_atom (p : Ast.program) idb supply mapping (a : Ast.atom) : F.t =
+  let args = List.map (term_to_fol mapping) a.Ast.args in
+  if not (List.mem a.Ast.pred idb) then F.Pred (a.Ast.pred, args)
+  else begin
+    let rules = Ast.rules_for p a.Ast.pred in
+    if rules = [] then raise (Unfold_error ("no rules for " ^ a.Ast.pred));
+    let disjuncts = List.map (fun r -> unfold_rule p idb supply args r) rules in
+    F.disj disjuncts
+  end
+
+(* Unfold one rule applied to actual argument terms. *)
+and unfold_rule p idb supply (args : F.term list) (r : Ast.rule) : F.t =
+  (* fresh names for all rule variables, then unify head vars with args *)
+  let rule_vars =
+    List.sort_uniq String.compare
+      (Ast.atom_vars r.Ast.head @ List.concat_map Ast.literal_vars r.Ast.body)
+  in
+  let fresh_of =
+    List.map (fun v -> (v, Diagres_logic.Names.fresh supply (v ^ "_"))) rule_vars
+  in
+  (* head variable → actual argument; repeated head vars and constant head
+     terms induce equalities *)
+  let head_eqs = ref [] in
+  let mapping = ref (List.map (fun (v, f) -> (v, F.Var f)) fresh_of) in
+  List.iteri
+    (fun i t ->
+      let actual = List.nth args i in
+      match t with
+      | Ast.Var v ->
+        (* substitute the fresh head variable by the actual term *)
+        mapping :=
+          List.map
+            (fun (x, ft) -> if x = v then (x, actual) else (x, ft))
+            !mapping
+      | Ast.Const c ->
+        head_eqs := F.Cmp (F.Eq, actual, F.Const c) :: !head_eqs)
+    r.Ast.head.Ast.args;
+  (* a head variable used at several positions equates all its actuals *)
+  let per_var = Hashtbl.create 4 in
+  List.iteri
+    (fun i t ->
+      match t with
+      | Ast.Var v ->
+        if not (Hashtbl.mem per_var v) then Hashtbl.add per_var v [];
+        Hashtbl.replace per_var v (Hashtbl.find per_var v @ [ List.nth args i ])
+      | Ast.Const _ -> ())
+    r.Ast.head.Ast.args;
+  let repeated_eqs =
+    Hashtbl.fold
+      (fun _ actuals acc ->
+        match actuals with
+        | first :: (_ :: _ as rest) ->
+          List.map (fun other -> F.Cmp (F.Eq, first, other)) rest @ acc
+        | _ -> acc)
+      per_var []
+  in
+  let lits =
+    List.map
+      (fun lit ->
+        match lit with
+        | Ast.Pos a -> unfold_atom p idb supply !mapping a
+        | Ast.Neg a -> F.Not (unfold_atom p idb supply !mapping a)
+        | Ast.Cond (op, x, y) ->
+          F.Cmp (op, term_to_fol !mapping x, term_to_fol !mapping y))
+      r.Ast.body
+  in
+  let body = F.conj (!head_eqs @ repeated_eqs @ lits) in
+  (* existentially close body-only variables (their fresh names) *)
+  let head_vars = Ast.atom_vars r.Ast.head in
+  let to_close =
+    List.filter_map
+      (fun (v, f) -> if List.mem v head_vars then None else Some f)
+      fresh_of
+  in
+  F.exists_many to_close body
+
+(** DRC query for goal predicate [goal] with head variables named after the
+    goal's first rule when possible. *)
+let query schemas (p : Ast.program) ~goal : Diagres_rc.Drc.query =
+  ignore (Check.check_program schemas p);
+  let idb = Ast.idb_preds p in
+  if not (List.mem goal idb) then
+    raise (Unfold_error ("goal is not an IDB predicate: " ^ goal));
+  let arity =
+    match Ast.rules_for p goal with
+    | r :: _ -> List.length r.Ast.head.Ast.args
+    | [] -> raise (Unfold_error ("no rules for goal " ^ goal))
+  in
+  let supply = Diagres_logic.Names.create () in
+  (* name answer variables after the first rule's head variables *)
+  let head_names =
+    match Ast.rules_for p goal with
+    | { Ast.head = { Ast.args; _ }; _ } :: _ ->
+      List.mapi
+        (fun i t ->
+          match t with
+          | Ast.Var v -> Diagres_logic.Names.fresh supply (String.lowercase_ascii v ^ "_ans_")
+          | Ast.Const _ -> Diagres_logic.Names.fresh supply (Printf.sprintf "a%d_" (i + 1)))
+        args
+    | [] -> List.init arity (fun i -> Printf.sprintf "a%d" (i + 1))
+  in
+  let body =
+    unfold_atom p idb supply []
+      { Ast.pred = goal; args = List.map (fun v -> Ast.Var v) head_names }
+  in
+  { Diagres_rc.Drc.head = head_names; body }
+
+(** Datalog → RA, composing with the calculus translation. *)
+let to_ra schemas p ~goal =
+  Diagres_rc.Drc_to_ra.query schemas (query schemas p ~goal)

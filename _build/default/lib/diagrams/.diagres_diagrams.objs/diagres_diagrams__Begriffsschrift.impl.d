@@ -1,0 +1,1 @@
+lib/diagrams/begriffsschrift.ml: Diagres_data Diagres_logic List Printf String

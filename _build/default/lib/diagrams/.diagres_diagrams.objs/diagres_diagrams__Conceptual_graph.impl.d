@@ -1,0 +1,1 @@
+lib/diagrams/conceptual_graph.ml: Diagres_data Diagres_logic Diagres_rc List Printf Scene String Trc_scene

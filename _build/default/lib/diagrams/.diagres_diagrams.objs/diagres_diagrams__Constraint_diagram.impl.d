@@ -1,0 +1,1 @@
+lib/diagrams/constraint_diagram.ml: Diagres_logic Diagres_rc List Printf Scene String Venn

@@ -1,0 +1,1 @@
+lib/diagrams/dfql.ml: Buffer Diagres_ra Diagres_render Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/diagrams/eg_alpha.ml: Diagres_logic List Printf Scene String

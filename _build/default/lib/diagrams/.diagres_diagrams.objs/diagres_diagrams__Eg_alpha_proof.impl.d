@@ -1,0 +1,1 @@
+lib/diagrams/eg_alpha_proof.ml: Buffer Eg_alpha List Printf String

@@ -1,0 +1,1 @@
+lib/diagrams/eg_beta.ml: Diagres_data Diagres_logic List Printf Scene String

@@ -1,0 +1,1 @@
+lib/diagrams/euler.ml: Buffer Diagres_render List Printf String Venn

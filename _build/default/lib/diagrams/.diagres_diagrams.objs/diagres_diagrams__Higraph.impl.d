@@ -1,0 +1,1 @@
+lib/diagrams/higraph.ml: Diagres_data List Scene

@@ -1,0 +1,1 @@
+lib/diagrams/line_abuse.ml: Eg_beta Fun List Printf Scene

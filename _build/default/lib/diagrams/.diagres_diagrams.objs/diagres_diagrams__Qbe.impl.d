@@ -1,0 +1,1 @@
+lib/diagrams/qbe.ml: Buffer Diagres_data Diagres_datalog Diagres_logic Hashtbl List Option Printf Scene String

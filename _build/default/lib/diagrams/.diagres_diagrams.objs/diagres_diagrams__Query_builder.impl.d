@@ -1,0 +1,1 @@
+lib/diagrams/query_builder.ml: Buffer Diagres_data Diagres_logic Diagres_rc List Printf String

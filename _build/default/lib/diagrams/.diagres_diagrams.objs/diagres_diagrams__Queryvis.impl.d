@@ -1,0 +1,1 @@
+lib/diagrams/queryvis.ml: Diagres_rc Diagres_sql List Printf Scene Trc_scene

@@ -1,0 +1,1 @@
+lib/diagrams/relational_diagram.ml: Diagres_ra Diagres_rc Diagres_sql List Printf Scene String Trc_scene

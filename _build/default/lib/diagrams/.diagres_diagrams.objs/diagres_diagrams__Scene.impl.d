@@ -1,0 +1,1 @@
+lib/diagrams/scene.ml: Diagres_render Float List

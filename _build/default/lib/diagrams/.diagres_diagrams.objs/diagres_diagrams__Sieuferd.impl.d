@@ -1,0 +1,1 @@
+lib/diagrams/sieuferd.ml: Diagres_data Diagres_logic Diagres_rc List Printf String

@@ -1,0 +1,1 @@
+lib/diagrams/sqlvis.ml: Diagres_logic Diagres_sql List Printf Scene String

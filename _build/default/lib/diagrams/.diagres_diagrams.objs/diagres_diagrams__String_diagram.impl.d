@@ -1,0 +1,1 @@
+lib/diagrams/string_diagram.ml: Diagres_logic Diagres_rc Eg_beta List Option Printf Scene String

@@ -1,0 +1,1 @@
+lib/diagrams/syllogism.ml: Diagres_logic List Printf Venn

@@ -1,0 +1,1 @@
+lib/diagrams/tabletalk.ml: Buffer Diagres_logic Diagres_sql List Printf Scene String

@@ -1,0 +1,1 @@
+lib/diagrams/trc_scene.ml: Diagres_data Diagres_logic Diagres_rc List Printf Scene String

@@ -1,0 +1,1 @@
+lib/diagrams/venn.ml: Buffer Diagres_data Diagres_logic Diagres_render List Printf String

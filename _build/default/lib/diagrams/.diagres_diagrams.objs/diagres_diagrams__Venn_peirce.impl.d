@@ -1,0 +1,1 @@
+lib/diagrams/venn_peirce.ml: Diagres_logic List String Venn

@@ -1,0 +1,128 @@
+(** Frege's Begriffsschrift (1879): the first complete notation for
+    first-order logic — and a {e two-dimensional} one.
+
+    The tutorial lists it among the early diagrammatic systems it "may or
+    may not cover"; we cover it.  Frege's primitives are exactly a
+    functionally complete FOL basis:
+
+    - the {e content stroke} ─ A (assertion of content A);
+    - the {e condition stroke}: B drawn below-and-left of A on a forked
+      vertical means B → A (note: condition {e below}, consequent above);
+    - the {e negation stroke}: a small vertical tick on the content stroke;
+    - the {e concavity} (generality): a dip in the stroke holding a German
+      letter, meaning ∀.
+
+    Everything else (∧, ∨, ∃) is derived, which is why translating into
+    Begriffsschrift first rewrites formulas to the {b →/¬/∀} basis.  The
+    renderer produces the classic 2-D ladder in ASCII. *)
+
+module F = Diagres_logic.Fol
+
+(** Begriffsschrift terms: the →/¬/∀ fragment plus atoms. *)
+type t =
+  | Atom of string * F.term list
+  | Cmp of Diagres_logic.Fol.cmp * F.term * F.term
+  | Neg of t
+  | Cond of t * t      (** [Cond (b, a)] is  b → a  (condition b) *)
+  | All of string * t  (** generality *)
+
+exception Unsupported of string
+
+(** Rewrite arbitrary FOL into the Frege basis:
+    A∧B = ¬(A→¬B);  A∨B = ¬A→B;  ∃x.A = ¬∀x.¬A. *)
+let rec of_fol (f : F.t) : t =
+  match f with
+  | F.True -> raise (Unsupported "Begriffsschrift has no ⊤ constant; use a tautology")
+  | F.False -> raise (Unsupported "Begriffsschrift has no ⊥ constant; use a contradiction")
+  | F.Pred (p, ts) -> Atom (p, ts)
+  | F.Cmp (op, a, b) -> Cmp (op, a, b)
+  | F.Not g -> Neg (of_fol g)
+  | F.Implies (a, b) -> Cond (of_fol a, of_fol b)
+  | F.And (a, b) -> Neg (Cond (of_fol a, Neg (of_fol b)))
+  | F.Or (a, b) -> Cond (Neg (of_fol a), of_fol b)
+  | F.Forall (x, g) -> All (x, of_fol g)
+  | F.Exists (x, g) -> Neg (All (x, Neg (of_fol g)))
+
+let rec to_fol : t -> F.t = function
+  | Atom (p, ts) -> F.Pred (p, ts)
+  | Cmp (op, a, b) -> F.Cmp (op, a, b)
+  | Neg a -> F.Not (to_fol a)
+  | Cond (b, a) -> F.Implies (to_fol b, to_fol a)
+  | All (x, a) -> F.Forall (x, to_fol a)
+
+(** Number of condition strokes, negation strokes, and concavities — the
+    "ink cost" of the 2-D notation, compared across formalisms in E6. *)
+let rec strokes = function
+  | Atom _ | Cmp _ -> (0, 0, 0)
+  | Neg a ->
+    let c, n, g = strokes a in
+    (c, n + 1, g)
+  | Cond (b, a) ->
+    let cb, nb, gb = strokes b and ca, na, ga = strokes a in
+    (cb + ca + 1, nb + na, gb + ga)
+  | All (_, a) ->
+    let c, n, g = strokes a in
+    (c, n, g + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: the 2-D ladder.
+
+   A judgment renders as lines growing downward; a condition B of A hangs
+   from a fork:
+
+       |─────── A
+       |
+       └─────── B
+
+   Negation is a [¬] tick on the stroke, generality an [∀x] bowl. *)
+
+let term_to_string = function
+  | F.Var x -> x
+  | F.Const v -> Diagres_data.Value.to_literal v
+
+let atom_text p ts =
+  Printf.sprintf "%s(%s)" p (String.concat ", " (List.map term_to_string ts))
+
+(* Render a term as a list of lines; the first line is the main stroke. *)
+let rec render (t : t) : string list =
+  match t with
+  | Atom (p, ts) -> [ "── " ^ atom_text p ts ]
+  | Cmp (op, a, b) ->
+    [ Printf.sprintf "── %s %s %s" (term_to_string a)
+        (Diagres_logic.Fol.cmp_name op) (term_to_string b) ]
+  | Neg a -> (
+    match render a with
+    | first :: rest -> ("─┬" ^ first) :: List.map (fun l -> "  " ^ l) rest
+    | [] -> [ "─┬" ])
+  | All (x, a) -> (
+    match render a with
+    | first :: rest ->
+      (Printf.sprintf "─∪%s─%s" x first)
+      :: List.map (fun l -> String.make (3 + String.length x) ' ' ^ l) rest
+    | [] -> [])
+  | Cond (b, a) ->
+    (* consequent on top, condition hanging below the fork *)
+    let top = render a in
+    let bottom = render b in
+    let top_lines =
+      match top with
+      | first :: rest -> ("─┤" ^ first) :: List.map (fun l -> " │" ^ l) rest
+      | [] -> []
+    in
+    let bottom_lines =
+      match bottom with
+      | first :: rest -> (" └" ^ first) :: List.map (fun l -> "  " ^ l) rest
+      | [] -> []
+    in
+    top_lines @ bottom_lines
+
+(** Render with the judgment stroke [⊢]. *)
+let to_ascii (t : t) : string =
+  match render t with
+  | first :: rest ->
+    String.concat "\n"
+      (("⊢" ^ first) :: List.map (fun l -> " " ^ l) rest)
+    ^ "\n"
+  | [] -> "⊢\n"
+
+let of_fol_ascii f = to_ascii (of_fol f)

@@ -1,0 +1,137 @@
+(** Sowa's conceptual graphs (1976) in their database-interface reading:
+    bipartite graphs of {e concept} nodes ([Sailor: *x]) and {e relation}
+    nodes linking them.
+
+    For the conjunctive fragment (the one Sowa's database interface
+    targeted) we derive a conceptual graph from a TRC query: every tuple
+    variable becomes a concept node, every attribute comparison becomes a
+    relation node wired to its operands, constants become individual
+    concepts.  Negation contexts (Sowa inherited Peirce's cuts) are
+    supported one level deep as boxed subgraphs. *)
+
+module T = Diagres_rc.Trc
+
+type concept = {
+  cid : string;
+  type_label : string;   (** e.g. [Sailor] *)
+  referent : string;     (** [*x] generic, or an individual marker *)
+}
+
+type relation_node = {
+  rid : string;
+  rel_label : string;    (** e.g. [attr=attr], [<] *)
+  args : string list;    (** concept ids, in order *)
+}
+
+type t = {
+  concepts : concept list;
+  relations : relation_node list;
+  negated : t list;      (** nested negative contexts *)
+}
+
+exception Unsupported of string
+
+let rec concept_count g =
+  List.length g.concepts
+  + List.fold_left (fun n sub -> n + concept_count sub) 0 g.negated
+
+let rec relation_count g =
+  List.length g.relations
+  + List.fold_left (fun n sub -> n + relation_count sub) 0 g.negated
+
+let of_trc (q : T.query) : t =
+  let tree = Trc_scene.of_query q in
+  let counter = ref 0 in
+  let fresh p = incr counter; Printf.sprintf "%s%d" p !counter in
+  let rec build (lvl : Trc_scene.level) : t =
+    let concepts =
+      List.map
+        (fun (v, rel) -> { cid = "c:" ^ v; type_label = rel; referent = "*" ^ v })
+        lvl.Trc_scene.ranges
+    in
+    let const_concepts = ref [] in
+    let concept_of_term = function
+      | T.Field (v, a) -> ("c:" ^ v, a)
+      | T.Const c ->
+        let id = fresh "k" in
+        const_concepts :=
+          { cid = id;
+            type_label = Diagres_data.Value.ty_name (Diagres_data.Value.type_of c);
+            referent = Diagres_data.Value.to_literal c }
+          :: !const_concepts;
+        (id, "")
+    in
+    let relations =
+      List.map
+        (fun (op, a, b) ->
+          let ca, aa = concept_of_term a and cb, ab = concept_of_term b in
+          let rel_label =
+            if op = Diagres_logic.Fol.Eq then Printf.sprintf "%s=%s" aa ab
+            else
+              Printf.sprintf "%s %s %s" aa (Diagres_logic.Fol.cmp_name op) ab
+          in
+          { rid = fresh "r"; rel_label; args = [ ca; cb ] })
+        lvl.Trc_scene.preds
+    in
+    { concepts = concepts @ !const_concepts;
+      relations;
+      negated = List.map build lvl.Trc_scene.negs }
+  in
+  build tree
+
+let concept_to_string c = Printf.sprintf "[%s: %s]" c.type_label c.referent
+
+let rec to_linear (g : t) : string =
+  (* Sowa's linear form *)
+  let parts =
+    List.map concept_to_string g.concepts
+    @ List.map
+        (fun r ->
+          Printf.sprintf "(%s %s)" r.rel_label (String.concat " " r.args))
+        g.relations
+    @ List.map (fun sub -> Printf.sprintf "¬[ %s ]" (to_linear sub)) g.negated
+  in
+  String.concat " " parts
+
+(* concept and relation ids are globally unique already (variable names are
+   unique in the queries our translators emit; [fresh] numbers the rest), so
+   only negation boxes need a path prefix *)
+let rec to_scene_marks prefix (g : t) : Scene.mark list * Scene.link list =
+  let cmarks =
+    List.map
+      (fun c ->
+        Scene.leaf ~role:Scene.Predicate_node ~id:c.cid (concept_to_string c))
+      g.concepts
+  in
+  let rmarks =
+    List.map
+      (fun r ->
+        Scene.leaf ~role:Scene.Constant_node ~id:r.rid ("(" ^ r.rel_label ^ ")"))
+      g.relations
+  in
+  let rlinks =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun arg -> Scene.link ~role:Scene.Membership_edge r.rid arg)
+          r.args)
+      g.relations
+  in
+  let sub_results =
+    List.mapi
+      (fun i sub ->
+        let p = Printf.sprintf "%sneg%d:" prefix i in
+        let marks, links = to_scene_marks p sub in
+        (Scene.box ~role:Scene.Cut ~horizontal:true ~id:(p ^ "box") marks, links))
+      g.negated
+  in
+  ( cmarks @ rmarks @ List.map fst sub_results,
+    rlinks @ List.concat_map snd sub_results )
+
+let to_scene (g : t) : Scene.t =
+  let marks, links = to_scene_marks "" g in
+  Scene.scene ~links
+    [ Scene.box ~role:Scene.Group ~horizontal:true ~id:"cg" marks ]
+
+let to_svg g = Scene.to_svg (to_scene g)
+let to_ascii g = Scene.to_ascii (to_scene g)

@@ -1,0 +1,119 @@
+(** DataPlay (Abouzied, Hellerstein & Silberschatz, UIST 2012): queries as
+    {e quantifier trees} that the user tweaks — most famously flipping a
+    quantifier between "any" (∃) and "all" (∀) — while watching the
+    matching and non-matching data change.
+
+    We model the quantifier tree for the sailors schema directly: an
+    {e anchor} table whose rows are being selected, and a tree of child
+    scopes each marked ∃ or ∀, with predicate leaves.  [matches] computes
+    the matching/non-matching partition (the UI's two panes), and
+    {!flip} is the paper's one-click ∃↔∀ correction — the operation whose
+    effect on Q1-vs-Q3-style mistakes DataPlay was built to explain. *)
+
+module T = Diagres_rc.Trc
+module F = Diagres_logic.Fol
+
+type quantifier = Any | All
+
+type tree = {
+  var : string;
+  table : string;
+  quantifier : quantifier;
+  predicates : (F.cmp * T.term * T.term) list;
+  children : tree list;
+}
+
+type t = {
+  anchor_var : string;
+  anchor_table : string;
+  root_predicates : (F.cmp * T.term * T.term) list;
+  scopes : tree list;
+}
+
+let node ?(quantifier = Any) ?(predicates = []) ?(children = []) var table =
+  { var; table; quantifier; predicates; children }
+
+let query ?(root_predicates = []) ~anchor_var ~anchor_table scopes =
+  { anchor_var; anchor_table; root_predicates; scopes }
+
+(** Flip the quantifier at the scope addressed by a path of variable
+    names — DataPlay's signature interaction. *)
+let rec flip_tree path (t : tree) : tree =
+  match path with
+  | [] -> invalid_arg "flip: empty path"
+  | [ v ] when v = t.var ->
+    { t with quantifier = (match t.quantifier with Any -> All | All -> Any) }
+  | v :: rest when v = t.var ->
+    { t with children = List.map (flip_tree rest) t.children }
+  | _ -> t
+
+let flip (q : t) ~path : t =
+  { q with scopes = List.map (flip_tree path) q.scopes }
+
+(* ------------------------------------------------------------------ *)
+(* Semantics via TRC.                                                   *)
+
+let rec formula_of_tree (t : tree) : T.formula =
+  let preds = List.map (fun (op, a, b) -> T.Cmp (op, a, b)) t.predicates in
+  let children = List.map formula_of_tree t.children in
+  let body = T.conj (preds @ children) in
+  match t.quantifier with
+  | Any -> T.Exists ([ (t.var, t.table) ], body)
+  | All ->
+    (* ∀ over the *relevant* children: DataPlay's reading is "for all rows
+       of this table satisfying the join predicates, the rest holds"; we
+       take the first predicate group as the range condition *)
+    T.Forall
+      ( [ (t.var, t.table) ],
+        T.Implies (T.conj preds, T.conj (match children with [] -> [ T.True ] | cs -> cs)) )
+
+let to_trc (q : t) : T.query =
+  {
+    T.head = [ T.Field (q.anchor_var, "sid") ];
+    ranges = [ (q.anchor_var, q.anchor_table) ];
+    body =
+      T.conj
+        (List.map (fun (op, a, b) -> T.Cmp (op, a, b)) q.root_predicates
+        @ List.map formula_of_tree q.scopes);
+  }
+
+(** The two panes: anchor rows matching the query, and the rest. *)
+let matches db (q : t) :
+    Diagres_data.Relation.t * Diagres_data.Relation.t =
+  let matching = T.eval db (to_trc q) in
+  let anchor =
+    Diagres_data.Relation.project [ "sid" ]
+      (Diagres_data.Database.find q.anchor_table db)
+  in
+  (matching, Diagres_data.Relation.diff anchor matching)
+
+(* ------------------------------------------------------------------ *)
+(* Scene: the quantifier tree as nested groups labelled any/all.        *)
+
+let rec tree_mark (t : tree) : Scene.mark =
+  let pred_leaves =
+    List.mapi
+      (fun i (op, a, b) ->
+        Scene.leaf ~role:Scene.Attribute_row
+          ~id:(Printf.sprintf "dp:%s:p%d" t.var i)
+          (Printf.sprintf "%s %s %s" (T.term_to_string a)
+             (Diagres_logic.Fol.cmp_name op) (T.term_to_string b)))
+      t.predicates
+  in
+  Scene.box
+    ~title:
+      (Printf.sprintf "%s %s %s"
+         (match t.quantifier with Any -> "ANY" | All -> "ALL")
+         t.table t.var)
+    ~role:(match t.quantifier with Any -> Scene.Group | All -> Scene.Cut)
+    ~id:("dp:" ^ t.var)
+    (pred_leaves @ List.map tree_mark t.children)
+
+let to_scene (q : t) : Scene.t =
+  Scene.scene
+    [ Scene.box ~title:(q.anchor_table ^ " " ^ q.anchor_var)
+        ~role:Scene.Relation_box ~id:"dp:anchor"
+        (List.map tree_mark q.scopes) ]
+
+let to_svg q = Scene.to_svg (to_scene q)
+let to_ascii q = Scene.to_ascii (to_scene q)

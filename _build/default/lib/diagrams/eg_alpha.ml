@@ -1,0 +1,259 @@
+(** Peirce's alpha existential graphs: propositional logic drawn with
+    juxtaposition (conjunction) and cuts (negation).
+
+    A graph on the sheet of assertion is a multiset of items; each item is a
+    propositional letter or a cut containing a subgraph.  The empty sheet is
+    truth; juxtaposition is ∧; a cut is ¬.  The module implements the
+    round-trip to {!Diagres_logic.Prop} and Peirce's five inference rules —
+    erasure, insertion, iteration, deiteration, double cut — with the
+    polarity side-conditions, whose soundness experiment E3 verifies by
+    truth table. *)
+
+type t = item list  (** juxtaposition on the sheet of assertion *)
+
+and item =
+  | Atom of string
+  | Cut of t
+
+let rec to_prop (g : t) : Diagres_logic.Prop.t =
+  Diagres_logic.Prop.conj (List.map item_to_prop g)
+
+and item_to_prop = function
+  | Atom p -> Diagres_logic.Prop.Var p
+  | Cut g -> Diagres_logic.Prop.Not (to_prop g)
+
+(** Encode an arbitrary propositional formula.  The image uses only
+    ∧/¬ shapes: [a ∨ b] becomes ¬(¬a ∧ ¬b) — two nested cuts —
+    and [a → b] becomes the classic "scroll" ¬(a ∧ ¬b). *)
+let rec of_prop (f : Diagres_logic.Prop.t) : t =
+  let module P = Diagres_logic.Prop in
+  match f with
+  | P.True -> []
+  | P.False -> [ Cut [] ]
+  | P.Var p -> [ Atom p ]
+  | P.Not g -> [ Cut (of_prop g) ]
+  | P.And (a, b) -> of_prop a @ of_prop b
+  | P.Or (a, b) -> [ Cut [ Cut (of_prop a); Cut (of_prop b) ] ]
+  | P.Implies (a, b) -> [ Cut (of_prop a @ [ Cut (of_prop b) ]) ]
+  | P.Iff (a, b) ->
+    of_prop (P.And (P.Implies (a, b), P.Implies (b, a)))
+
+let rec to_string (g : t) =
+  String.concat " " (List.map item_to_string g)
+
+and item_to_string = function
+  | Atom p -> p
+  | Cut g -> "(" ^ to_string g ^ ")"
+
+let rec size (g : t) =
+  List.fold_left
+    (fun acc -> function Atom _ -> acc + 1 | Cut h -> acc + 1 + size h)
+    0 g
+
+let rec depth (g : t) =
+  List.fold_left
+    (fun acc -> function Atom _ -> max acc 1 | Cut h -> max acc (1 + depth h))
+    0 g
+
+(* ------------------------------------------------------------------ *)
+(* Contexts: a position in a graph is addressed by a path of indices.   *)
+
+type path = int list
+(** [i₀ :: rest] descends into the i₀-th item (which must be a cut for a
+    non-empty rest). *)
+
+exception Bad_path of string
+
+(** Polarity of the area addressed by [path]: even number of enclosing cuts
+    = positive area.  The empty path is the sheet (positive). *)
+let rec polarity (g : t) (path : path) =
+  match path with
+  | [] -> true
+  | i :: rest -> (
+    match List.nth_opt g i with
+    | Some (Cut h) -> not (polarity h rest)
+    | Some (Atom _) ->
+      if rest = [] then invalid_arg "polarity: path ends at an atom"
+      else raise (Bad_path "descending into an atom")
+    | None -> raise (Bad_path "index out of range"))
+
+(** Subgraph (area contents) at [path]. *)
+let rec area (g : t) (path : path) : t =
+  match path with
+  | [] -> g
+  | i :: rest -> (
+    match List.nth_opt g i with
+    | Some (Cut h) -> area h rest
+    | Some (Atom _) -> raise (Bad_path "descending into an atom")
+    | None -> raise (Bad_path "index out of range"))
+
+(* Replace the area at [path] by the result of [f]. *)
+let rec map_area (g : t) (path : path) (f : t -> t) : t =
+  match path with
+  | [] -> f g
+  | i :: rest ->
+    List.mapi
+      (fun j item ->
+        if j <> i then item
+        else
+          match item with
+          | Cut h -> Cut (map_area h rest f)
+          | Atom _ -> raise (Bad_path "descending into an atom"))
+      g
+
+(* ------------------------------------------------------------------ *)
+(* The five rules.  Each returns the transformed graph or raises         *)
+(* [Rule_violation] when a side-condition fails.                         *)
+
+exception Rule_violation of string
+
+(** 1. Erasure: any item may be deleted from a {e positive} area. *)
+let erase (g : t) ~(path : path) ~(index : int) : t =
+  if not (polarity g path) then
+    raise (Rule_violation "erasure requires a positive (evenly-enclosed) area");
+  map_area g path (fun items ->
+      if index < 0 || index >= List.length items then
+        raise (Bad_path "erase: index out of range");
+      List.filteri (fun j _ -> j <> index) items)
+
+(** 2. Insertion: any graph may be drawn in a {e negative} area. *)
+let insert (g : t) ~(path : path) (new_item : item) : t =
+  if polarity g path then
+    raise (Rule_violation "insertion requires a negative (oddly-enclosed) area");
+  map_area g path (fun items -> new_item :: items)
+
+(** 3. Iteration: any item may be copied into the same area or any area
+    nested inside it (same polarity not required). *)
+let iterate (g : t) ~(from_path : path) ~(index : int) ~(to_path : path) : t =
+  let is_prefix p q =
+    let rec go = function
+      | [], _ -> true
+      | x :: ps, y :: qs -> x = y && go (ps, qs)
+      | _ :: _, [] -> false
+    in
+    go (p, q)
+  in
+  if not (is_prefix from_path to_path) then
+    raise
+      (Rule_violation "iteration target must be nested inside the source area");
+  let source = area g from_path in
+  let item =
+    match List.nth_opt source index with
+    | Some it -> it
+    | None -> raise (Bad_path "iterate: index out of range")
+  in
+  (* the copied item must not be an ancestor of the target area: descending
+     through the copied cut itself is forbidden *)
+  (if List.length to_path > List.length from_path then
+     let next = List.nth to_path (List.length from_path) in
+     if next = index then
+       raise (Rule_violation "cannot iterate a cut into its own area"));
+  map_area g to_path (fun items -> item :: items)
+
+(** 4. Deiteration: the inverse — an item may be deleted if a copy of it
+    exists in the same or an enclosing area. *)
+let deiterate (g : t) ~(path : path) ~(index : int) : t =
+  let target_area = area g path in
+  let victim =
+    match List.nth_opt target_area index with
+    | Some it -> it
+    | None -> raise (Bad_path "deiterate: index out of range")
+  in
+  (* look for a copy at any proper prefix area, or at the same area
+     (different index) *)
+  let rec ancestor_areas acc path =
+    match path with
+    | [] -> List.rev (acc)
+    | _ :: _ ->
+      let parent = List.filteri (fun i _ -> i < List.length path - 1) path in
+      ancestor_areas (parent :: acc) parent
+  in
+  let candidate_paths = path :: ancestor_areas [] path in
+  let found =
+    List.exists
+      (fun p ->
+        let items = area g p in
+        List.exists
+          (fun (j, it) -> it = victim && not (p = path && j = index))
+          (List.mapi (fun j it -> (j, it)) items))
+      candidate_paths
+  in
+  if not found then
+    raise
+      (Rule_violation
+         "deiteration needs a copy in the same or an enclosing area");
+  map_area g path (fun items -> List.filteri (fun j _ -> j <> index) items)
+
+(** 5a. Double-cut insertion: wrap any consecutive items (here: one item or
+    the whole area) in two nested cuts, anywhere. *)
+let double_cut_insert (g : t) ~(path : path) : t =
+  map_area g path (fun items -> [ Cut [ Cut items ] ])
+
+(** 5b. Double-cut erasure: remove a cut that immediately contains exactly
+    one cut. *)
+let double_cut_erase (g : t) ~(path : path) ~(index : int) : t =
+  map_area g path (fun items ->
+      List.concat
+        (List.mapi
+           (fun j item ->
+             if j <> index then [ item ]
+             else
+               match item with
+               | Cut [ Cut inner ] -> inner
+               | _ ->
+                 raise
+                   (Rule_violation "double-cut erasure needs a cut holding \
+                                    exactly one cut"))
+           items))
+
+(* ------------------------------------------------------------------ *)
+(* Proofs.                                                              *)
+
+type step =
+  | Erase of path * int
+  | Insert of path * item
+  | Iterate of path * int * path
+  | Deiterate of path * int
+  | Double_cut_insert of path
+  | Double_cut_erase of path * int
+
+let apply (g : t) = function
+  | Erase (path, index) -> erase g ~path ~index
+  | Insert (path, item) -> insert g ~path item
+  | Iterate (from_path, index, to_path) -> iterate g ~from_path ~index ~to_path
+  | Deiterate (path, index) -> deiterate g ~path ~index
+  | Double_cut_insert path -> double_cut_insert g ~path
+  | Double_cut_erase (path, index) -> double_cut_erase g ~path ~index
+
+(** Run a proof; returns every intermediate graph (head = premise). *)
+let run_proof (g : t) (steps : step list) : t list =
+  List.rev
+    (List.fold_left (fun acc s -> apply (List.hd acc) s :: acc) [ g ] steps)
+
+(** Each rule preserves or weakens truth: [premise ⊨ conclusion].  Checked
+    by truth table; this is the soundness oracle for experiment E3. *)
+let step_sound (before : t) (after : t) =
+  Diagres_logic.Prop.entails (to_prop before) (to_prop after)
+
+(* ------------------------------------------------------------------ *)
+(* Scene rendering: nested rounded cuts.                                *)
+
+let to_scene (g : t) : Scene.t =
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let rec item_to_mark = function
+    | Atom p -> Scene.leaf ~role:Scene.Predicate_node ~id:(fresh "atom") p
+    | Cut items ->
+      Scene.box ~role:Scene.Cut ~horizontal:true ~id:(fresh "cut")
+        (List.map item_to_mark items)
+  in
+  Scene.scene
+    ~caption:("alpha graph: " ^ Diagres_logic.Prop.to_string (to_prop g))
+    [ Scene.box ~role:Scene.Group ~horizontal:true ~id:"sheet"
+        (List.map item_to_mark g) ]
+
+let to_svg g = Scene.to_svg (to_scene g)
+let to_ascii g = Scene.to_ascii (to_scene g)

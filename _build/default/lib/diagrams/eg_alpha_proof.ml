@@ -1,0 +1,153 @@
+(** Bounded proof search for alpha existential graphs.
+
+    Peirce presented the five rules as a calculus for {e deriving} graphs
+    from graphs; this module searches for such derivations (iterative-
+    deepening over rule applications), which turns the tutorial's "the
+    rules are a sound and complete proof system" from a statement into a
+    demonstration: small classical validities are found automatically and
+    every discovered proof replays soundly. *)
+
+module A = Eg_alpha
+
+type proof = { start : A.t; steps : (A.step * A.t) list }
+
+let conclusion (p : proof) =
+  match List.rev p.steps with
+  | [] -> p.start
+  | (_, g) :: _ -> g
+
+(* Enumerate paths to all areas of a graph. *)
+let rec areas ?(path = []) (g : A.t) : int list list =
+  List.rev path
+  :: List.concat
+       (List.mapi
+          (fun i item ->
+            match item with
+            | A.Cut inner -> areas ~path:(i :: path) inner
+            | A.Atom _ -> [])
+          g)
+
+(* All single-step successors of a graph (bounded: iteration targets are
+   limited to one level deeper to keep branching manageable). *)
+let successors (g : A.t) : (A.step * A.t) list =
+  let try_step step =
+    match A.apply g step with
+    | g' -> Some (step, g')
+    | exception (A.Rule_violation _ | A.Bad_path _) -> None
+  in
+  let all_areas = areas g in
+  let erasures =
+    List.concat_map
+      (fun path ->
+        let n = List.length (A.area g path) in
+        List.init n (fun i -> A.Erase (path, i)))
+      all_areas
+  in
+  let double_cut_erasures =
+    List.concat_map
+      (fun path ->
+        let n = List.length (A.area g path) in
+        List.init n (fun i -> A.Double_cut_erase (path, i)))
+      all_areas
+  in
+  let deiterations =
+    List.concat_map
+      (fun path ->
+        let n = List.length (A.area g path) in
+        List.init n (fun i -> A.Deiterate (path, i)))
+      all_areas
+  in
+  let iterations =
+    (* copy an item into an immediate sub-cut *)
+    List.concat_map
+      (fun path ->
+        let items = A.area g path in
+        List.concat
+          (List.mapi
+             (fun i item ->
+               ignore item;
+               List.concat
+                 (List.mapi
+                    (fun j target ->
+                      match target with
+                      | A.Cut _ when j <> i ->
+                        [ A.Iterate (path, i, path @ [ j ]) ]
+                      | _ -> [])
+                    items))
+             items))
+      all_areas
+  in
+  List.filter_map try_step
+    (erasures @ double_cut_erasures @ deiterations @ iterations)
+
+(* Iterative deepening DFS from [start] to any graph equal to [goal]
+   (structural equality after sorting juxtaposed items). *)
+let rec normalize (g : A.t) : A.t =
+  List.sort compare
+    (List.map
+       (function A.Cut inner -> A.Cut (normalize inner) | atom -> atom)
+       g)
+
+let prove ?(max_depth = 4) ~(premise : A.t) ~(goal : A.t) () : proof option =
+  let goal_n = normalize goal in
+  let rec dfs g trail depth =
+    if normalize g = goal_n then Some (List.rev trail)
+    else if depth = 0 then None
+    else
+      List.find_map
+        (fun (step, g') ->
+          if A.size g' > A.size premise + 4 then None
+          else dfs g' ((step, g') :: trail) (depth - 1))
+        (successors g)
+  in
+  let rec deepen d =
+    if d > max_depth then None
+    else
+      match dfs premise [] d with
+      | Some steps -> Some { start = premise; steps }
+      | None -> deepen (d + 1)
+  in
+  deepen 0
+
+(** Check a proof: each step must be a legal rule application, and the
+    whole derivation is then sound by rule soundness. *)
+let check (p : proof) : bool =
+  let rec go g = function
+    | [] -> true
+    | (step, expect) :: rest -> (
+      match A.apply g step with
+      | g' -> g' = expect && A.step_sound g g' && go g' rest
+      | exception (A.Rule_violation _ | A.Bad_path _) -> false)
+  in
+  go p.start p.steps
+
+let step_to_string = function
+  | A.Erase (path, i) ->
+    Printf.sprintf "erase item %d at [%s]" i
+      (String.concat ";" (List.map string_of_int path))
+  | A.Insert (path, _) ->
+    Printf.sprintf "insert at [%s]"
+      (String.concat ";" (List.map string_of_int path))
+  | A.Iterate (path, i, to_path) ->
+    Printf.sprintf "iterate item %d from [%s] to [%s]" i
+      (String.concat ";" (List.map string_of_int path))
+      (String.concat ";" (List.map string_of_int to_path))
+  | A.Deiterate (path, i) ->
+    Printf.sprintf "deiterate item %d at [%s]" i
+      (String.concat ";" (List.map string_of_int path))
+  | A.Double_cut_insert path ->
+    Printf.sprintf "double-cut insert at [%s]"
+      (String.concat ";" (List.map string_of_int path))
+  | A.Double_cut_erase (path, i) ->
+    Printf.sprintf "double-cut erase item %d at [%s]" i
+      (String.concat ";" (List.map string_of_int path))
+
+let to_string (p : proof) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "premise:    %s\n" (A.to_string p.start));
+  List.iter
+    (fun (step, g) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %s\n" ("  " ^ step_to_string step) (A.to_string g)))
+    p.steps;
+  Buffer.contents buf

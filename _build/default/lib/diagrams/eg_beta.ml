@@ -1,0 +1,384 @@
+(** Peirce's beta existential graphs: first-order logic with cuts and
+    {e lines of identity}.
+
+    Abstractly, a beta graph is a tree of areas (the sheet, with nested
+    cuts); each area carries predicate occurrences whose hooks attach to
+    {e ligatures} (connected line-of-identity networks), and may be
+    traversed by ligatures.  A ligature asserts existence and identity: its
+    {e outermost} area determines where the existential quantifier falls —
+    precisely the subtlety (tutorial Part 4) that makes the mapping between
+    beta graphs and the Boolean fragment of DRC "imperfect": a reader must
+    recover scopes from line topology, and lines overloaded with existence,
+    identity, and predication are what Part 6 calls the three abuses of the
+    line (see {!Line_abuse}). *)
+
+module F = Diagres_logic.Fol
+
+type lig = int
+(** ligature (line-of-identity network) identifier *)
+
+type arg = Lig of lig | Cst of Diagres_data.Value.t
+
+type area = {
+  lines : lig list;      (** ligatures with an endpoint/segment in this area *)
+  preds : pred_occ list;
+  cuts : area list;
+}
+
+and pred_occ = { name : string; args : arg list }
+
+type t = area  (** the sheet of assertion *)
+
+let empty = { lines = []; preds = []; cuts = [] }
+
+exception Beta_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Structure queries.                                                   *)
+
+let rec all_ligatures (a : area) : lig list =
+  List.sort_uniq compare
+    (a.lines
+    @ List.concat_map
+        (fun p ->
+          List.filter_map (function Lig l -> Some l | Cst _ -> None) p.args)
+        a.preds
+    @ List.concat_map all_ligatures a.cuts)
+
+(* Paths to every area containing an occurrence of [l] (lines or hook). *)
+let occurrence_paths (g : t) (l : lig) : int list list =
+  let rec go path (a : area) acc =
+    let here =
+      List.mem l a.lines
+      || List.exists
+           (fun p -> List.exists (function Lig x -> x = l | Cst _ -> false) p.args)
+           a.preds
+    in
+    let acc = if here then List.rev path :: acc else acc in
+    List.fold_left
+      (fun acc (i, cut) -> go (i :: path) cut acc)
+      acc
+      (List.mapi (fun i c -> (i, c)) a.cuts)
+  in
+  go [] g []
+
+let rec common_prefix p q =
+  match (p, q) with
+  | x :: ps, y :: qs when x = y -> x :: common_prefix ps qs
+  | _ -> []
+
+(** The area where a ligature is outermost: the least common ancestor of
+    its occurrences.  *)
+let scope_path (g : t) (l : lig) : int list =
+  match occurrence_paths g l with
+  | [] -> raise (Beta_error (Printf.sprintf "ligature %d does not occur" l))
+  | p :: ps -> List.fold_left common_prefix p ps
+
+(** A graph is well formed when every ligature is {e connected}: each area
+    on the path from its scope to any occurrence carries the ligature.
+    (Geometrically: the line may cross cuts, but it cannot jump.) *)
+let well_formed (g : t) : bool =
+  let occurs_in (a : area) l =
+    List.mem l a.lines
+    || List.exists
+         (fun p -> List.exists (function Lig x -> x = l | Cst _ -> false) p.args)
+         a.preds
+  in
+  let rec area_at (a : area) = function
+    | [] -> a
+    | i :: rest -> area_at (List.nth a.cuts i) rest
+  in
+  List.for_all
+    (fun l ->
+      let root = scope_path g l in
+      List.for_all
+        (fun occ ->
+          (* every prefix of occ extending root must contain l *)
+          let rec walk path =
+            let a = area_at g path in
+            occurs_in a l
+            && (path = occ
+               ||
+               let next = List.nth occ (List.length path) in
+               walk (path @ [ next ]))
+          in
+          walk root)
+        (occurrence_paths g l))
+    (all_ligatures g)
+
+let rec cut_count (a : area) =
+  List.length a.cuts + List.fold_left (fun n c -> n + cut_count c) 0 a.cuts
+
+let rec pred_count (a : area) =
+  List.length a.preds + List.fold_left (fun n c -> n + pred_count c) 0 a.cuts
+
+(* ------------------------------------------------------------------ *)
+(* Reading: beta graph → DRC (Boolean fragment).                        *)
+
+let var_of_lig l = Printf.sprintf "x%d" l
+
+let arg_to_term = function
+  | Lig l -> F.Var (var_of_lig l)
+  | Cst v -> F.Const v
+
+(** Translate under the standard {e outermost} reading: each ligature is
+    existentially quantified in its scope area.  Ligatures in [free] are
+    left unquantified (open wires — the string-diagram extension). *)
+let to_drc ?(free = []) (g : t) : F.t =
+  if not (well_formed g) then
+    raise (Beta_error "graph is not well formed (disconnected ligature)");
+  let rec read path (a : area) : F.t =
+    (* ligatures whose scope is exactly this area *)
+    let here =
+      List.filter
+        (fun l -> scope_path g l = path && not (List.mem l free))
+        (all_ligatures g)
+    in
+    let local =
+      List.filter
+        (fun l ->
+          (* quantify only where the ligature actually reaches this area *)
+          List.exists
+            (fun occ ->
+              List.length occ >= List.length path
+              && common_prefix occ path = path)
+            (occurrence_paths g l))
+        here
+    in
+    let atoms =
+      List.map
+        (fun (p : pred_occ) ->
+          match p.name with
+          | "=" -> (
+            match p.args with
+            | [ x; y ] -> F.Cmp (F.Eq, arg_to_term x, arg_to_term y)
+            | _ -> raise (Beta_error "identity needs exactly two hooks"))
+          | _ -> F.Pred (p.name, List.map arg_to_term p.args))
+        a.preds
+    in
+    let nots =
+      List.mapi (fun i cut -> F.Not (read (path @ [ i ]) cut)) a.cuts
+    in
+    F.exists_many
+      (List.map var_of_lig local)
+      (F.conj (atoms @ nots))
+  in
+  read [] g
+
+(* ------------------------------------------------------------------ *)
+(* Writing: DRC sentence (∃/∧/¬/atoms) → beta graph.                   *)
+
+exception Unsupported of string
+
+(** Scribe a sentence onto the sheet.  [∨] and [→] are first rewritten to
+    ∃/∧/¬ shapes (double-cut encodings), mirroring {!Eg_alpha.of_prop}.
+    Free variables are rejected unless pre-assigned ligatures via [free]
+    (the string-diagram open-wire extension). *)
+let of_drc ?(free = []) (f : F.t) : t =
+  let counter = ref (List.fold_left (fun a (_, l) -> max a l) 0 free) in
+  let fresh () = incr counter; !counter in
+  (* eliminate ∀, →, ∨ *)
+  let rec prep (f : F.t) : F.t =
+    match f with
+    | F.True | F.False | F.Pred _ | F.Cmp _ -> f
+    | F.Not g -> F.Not (prep g)
+    | F.And (a, b) -> F.And (prep a, prep b)
+    | F.Or (a, b) -> F.Not (F.And (F.Not (prep a), F.Not (prep b)))
+    | F.Implies (a, b) -> F.Not (F.And (prep a, F.Not (prep b)))
+    | F.Exists (x, g) -> F.Exists (x, prep g)
+    | F.Forall (x, g) -> F.Not (F.Exists (x, F.Not (prep g)))
+  in
+  let term_arg env = function
+    | F.Var x -> (
+      match List.assoc_opt x env with
+      | Some l -> Lig l
+      | None -> raise (Unsupported ("free variable " ^ x ^ " in a sentence")))
+    | F.Const v -> Cst v
+  in
+  (* build an area from a formula; ligatures for vars free in the subformula
+     are recorded as passing lines so connectivity holds *)
+  let rec build env (f : F.t) : area =
+    let passing =
+      List.filter_map (fun v -> List.assoc_opt v env) (F.free_var_list f)
+    in
+    let a = build_inner env f in
+    { a with lines = List.sort_uniq compare (passing @ a.lines) }
+  and build_inner env (f : F.t) : area =
+    match f with
+    | F.True -> empty
+    | F.False -> { empty with cuts = [ empty ] }
+    | F.Pred (p, ts) ->
+      { empty with preds = [ { name = p; args = List.map (term_arg env) ts } ] }
+    | F.Cmp (F.Eq, a, b) ->
+      { empty with
+        preds = [ { name = "="; args = [ term_arg env a; term_arg env b ] } ] }
+    | F.Cmp (op, a, b) ->
+      (* order predicates appear as named binary predicate occurrences *)
+      { empty with
+        preds =
+          [ { name = F.cmp_name op; args = [ term_arg env a; term_arg env b ] } ] }
+    | F.Not g -> { empty with cuts = [ build env g ] }
+    | F.And (a, b) ->
+      let aa = build env a and ab = build env b in
+      { lines = List.sort_uniq compare (aa.lines @ ab.lines);
+        preds = aa.preds @ ab.preds;
+        cuts = aa.cuts @ ab.cuts }
+    | F.Exists (x, g) ->
+      let l = fresh () in
+      let inner = build ((x, l) :: env) g in
+      { inner with lines = List.sort_uniq compare (l :: inner.lines) }
+    | F.Or _ | F.Implies _ | F.Forall _ -> assert false
+  in
+  let f = prep f in
+  let unassigned =
+    List.filter (fun v -> not (List.mem_assoc v free)) (F.free_var_list f)
+  in
+  if unassigned <> [] then
+    raise
+      (Unsupported
+         "beta graphs denote sentences; free variables need string diagrams \
+          (pass ~free)");
+  let g = build free f in
+  (* open wires must reach the sheet *)
+  { g with lines = List.sort_uniq compare (List.map snd free @ g.lines) }
+
+(* ------------------------------------------------------------------ *)
+(* The ambiguity analysis (the tutorial's "imperfect mapping").         *)
+
+(** Ligatures whose line crosses at least one cut boundary: for these the
+    reading depends on identifying the {e outermost point} of the line —
+    the interpretive burden Shin and others spent much work on.  A graph
+    with no crossing ligature reads off unambiguously. *)
+let crossing_ligatures (g : t) : lig list =
+  List.filter
+    (fun l ->
+      let occs = occurrence_paths g l in
+      let scope = scope_path g l in
+      List.exists (fun occ -> List.length occ > List.length scope) occs)
+    (all_ligatures g)
+
+(* Paths to areas where [l] is attached to a predicate hook (line-only
+   presence does not count). *)
+let hook_paths (g : t) (l : lig) : int list list =
+  let rec go path (a : area) acc =
+    let here =
+      List.exists
+        (fun p -> List.exists (function Lig x -> x = l | Cst _ -> false) p.args)
+        a.preds
+    in
+    let acc = if here then List.rev path :: acc else acc in
+    List.fold_left
+      (fun acc (i, cut) -> go (i :: path) cut acc)
+      acc
+      (List.mapi (fun i c -> (i, c)) a.cuts)
+  in
+  go [] g []
+
+(** Alternative {e innermost} reading: a ligature is quantified at the
+    least common ancestor of its {e predicate hooks} only — a bare line
+    segment extending into an outer area is treated as semantically inert.
+    Under this convention, extending a line out of a cut without attaching
+    it to anything does {e not} widen its scope; for crossing ligatures the
+    two readings can disagree, which is exactly the interpretive dispute
+    the tutorial recounts. *)
+let to_drc_innermost (g : t) : F.t =
+  if not (well_formed g) then
+    raise (Beta_error "graph is not well formed (disconnected ligature)");
+  let hook_scope l =
+    match hook_paths g l with
+    | [] -> scope_path g l  (* pure line: existence assertion at its LCA *)
+    | p :: ps -> List.fold_left common_prefix p ps
+  in
+  let rec read path (a : area) : F.t =
+    let local =
+      List.filter (fun l -> hook_scope l = path) (all_ligatures g)
+    in
+    let atoms =
+      List.map
+        (fun (p : pred_occ) ->
+          match p.name with
+          | "=" -> (
+            match p.args with
+            | [ x; y ] -> F.Cmp (F.Eq, arg_to_term x, arg_to_term y)
+            | _ -> raise (Beta_error "identity needs exactly two hooks"))
+          | _ -> F.Pred (p.name, List.map arg_to_term p.args))
+        a.preds
+    in
+    let nots =
+      List.mapi (fun i cut -> F.Not (read (path @ [ i ]) cut)) a.cuts
+    in
+    F.exists_many (List.map var_of_lig local) (F.conj (atoms @ nots))
+  in
+  read [] g
+
+(* ------------------------------------------------------------------ *)
+(* Scene rendering.                                                     *)
+
+let to_scene (g : t) : Scene.t =
+  let counter = ref 0 in
+  let fresh prefix = incr counter; Printf.sprintf "%s%d" prefix !counter in
+  let occ_marks : (lig * string) list ref = ref [] in
+  let arg_label = function
+    | Lig l -> Printf.sprintf "•%d" l
+    | Cst v -> Diagres_data.Value.to_literal v
+  in
+  let rec area_marks (a : area) : Scene.mark list =
+    let pred_marks =
+      List.map
+        (fun (p : pred_occ) ->
+          let id = fresh "pred" in
+          List.iter
+            (function Lig l -> occ_marks := (l, id) :: !occ_marks | Cst _ -> ())
+            p.args;
+          Scene.leaf ~role:Scene.Predicate_node ~id
+            (Printf.sprintf "%s(%s)" p.name
+               (String.concat "," (List.map arg_label p.args))))
+        a.preds
+    in
+    let line_marks =
+      List.map
+        (fun l ->
+          let id = fresh "line" in
+          occ_marks := (l, id) :: !occ_marks;
+          Scene.leaf ~role:Scene.Annotation ~id (Printf.sprintf "—%d" l))
+        (List.filter
+           (fun l ->
+             (* only draw explicit line marks where no hook shows the lig *)
+             not
+               (List.exists
+                  (fun p ->
+                    List.exists (function Lig x -> x = l | Cst _ -> false) p.args)
+                  a.preds))
+           a.lines)
+    in
+    let cut_marks =
+      List.map
+        (fun cut ->
+          Scene.box ~role:Scene.Cut ~horizontal:true ~id:(fresh "cut")
+            (area_marks cut))
+        a.cuts
+    in
+    pred_marks @ line_marks @ cut_marks
+  in
+  let marks =
+    [ Scene.box ~role:Scene.Group ~horizontal:true ~id:"sheet" (area_marks g) ]
+  in
+  (* chain the occurrences of each ligature with identity links *)
+  let links =
+    List.concat_map
+      (fun l ->
+        let occs = List.rev (List.filter_map
+          (fun (l', id) -> if l' = l then Some id else None) !occ_marks)
+        in
+        let rec chain = function
+          | a :: (b :: _ as rest) ->
+            Scene.link ~role:Scene.Identity_line a b :: chain rest
+          | _ -> []
+        in
+        chain occs)
+      (all_ligatures g)
+  in
+  Scene.scene ~links marks
+
+let to_svg g = Scene.to_svg (to_scene g)
+let to_ascii g = Scene.to_ascii (to_scene g)

@@ -1,0 +1,166 @@
+(** Euler circles (Euler 1768): set relationships shown by the {e spatial}
+    relation of curves — containment, exclusion, overlap — rather than by
+    shading as in Venn's later refinement.
+
+    Euler diagrams are "well-matched": missing zones simply are not drawn.
+    The price is that some statement combinations have no single Euler
+    diagram (the tutorial's running example of representational limits).
+    We model a diagram as the set of zones it {e draws}; semantics: a model
+    is admissible iff every inhabited zone is drawn.  Particulars (Some…)
+    are carried as inhabited-zone marks like Peirce's ⊗. *)
+
+type relation =
+  | Inside of string * string    (** circle A drawn inside B: All A are B *)
+  | Disjoint of string * string  (** disjoint circles: No A is B *)
+  | Overlap of string * string   (** overlapping circles, no assertion *)
+
+type t = {
+  sets : string list;
+  relations : relation list;
+  marks : int list;  (** zones (Venn bitmask) marked as inhabited *)
+}
+
+exception Euler_error of string
+
+let create sets = { sets; relations = []; marks = [] }
+
+let set_index d s =
+  let rec go i = function
+    | [] -> raise (Euler_error ("unknown set " ^ s))
+    | x :: _ when x = s -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 d.sets
+
+let zone_mem d s z = z land (1 lsl set_index d s) <> 0
+
+(** Zones excluded by the spatial relations — the information content of an
+    Euler diagram is exactly its set of {e missing} zones. *)
+let missing_zones d =
+  let all = List.init (1 lsl List.length d.sets) (fun z -> z) in
+  List.filter
+    (fun z ->
+      List.exists
+        (function
+          | Inside (a, b) -> zone_mem d a z && not (zone_mem d b z)
+          | Disjoint (a, b) -> zone_mem d a z && zone_mem d b z
+          | Overlap _ -> false)
+        d.relations)
+    all
+
+let drawn_zones d =
+  let missing = missing_zones d in
+  List.filter
+    (fun z -> not (List.mem z missing))
+    (List.init (1 lsl List.length d.sets) (fun z -> z))
+
+(** Add a categorical statement.  Universal statements change the topology;
+    particular ones add an inhabitation mark, which must land in a drawn
+    zone — if no drawn zone can host it, the statements are not
+    Euler-representable (raises).  *)
+let assert_statement d (st : Venn.statement) =
+  match st with
+  | Venn.All_are (a, b) -> { d with relations = Inside (a, b) :: d.relations }
+  | Venn.No_are (a, b) -> { d with relations = Disjoint (a, b) :: d.relations }
+  | Venn.Some_are (a, b) ->
+    let candidates =
+      List.filter (fun z -> zone_mem d a z && zone_mem d b z) (drawn_zones d)
+    in
+    (match candidates with
+    | [] ->
+      raise
+        (Euler_error
+           (Printf.sprintf
+              "'%s' has no drawable witness zone in this Euler diagram"
+              (Venn.statement_to_string st)))
+    | z :: _ -> { d with relations = Overlap (a, b) :: d.relations; marks = z :: d.marks })
+  | Venn.Some_are_not (a, b) ->
+    let candidates =
+      List.filter (fun z -> zone_mem d a z && not (zone_mem d b z)) (drawn_zones d)
+    in
+    (match candidates with
+    | [] ->
+      raise
+        (Euler_error
+           (Printf.sprintf
+              "'%s' has no drawable witness zone in this Euler diagram"
+              (Venn.statement_to_string st)))
+    | z :: _ -> { d with marks = z :: d.marks })
+
+let of_statements sets stmts =
+  List.fold_left assert_statement (create sets) stmts
+
+(** The Venn diagram carrying the same information: missing zones become
+    shading, marks become singleton ⊗-sequences.  This embedding is how we
+    decide entailment between Euler diagrams (and the formal content of
+    "Venn refined Euler"). *)
+let to_venn d : Venn.t =
+  let v = Venn.create d.sets in
+  let v = Venn.shade v (missing_zones d) in
+  List.fold_left (fun v z -> Venn.add_xseq v [ z ]) v d.marks
+
+let entails d1 d2 = Venn.entails (to_venn d1) (to_venn d2)
+
+let to_fol d = Venn.to_fol (to_venn d)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: choose circle geometry from the relations (2–3 sets).     *)
+
+module Geom = Diagres_render.Geom
+module Svg = Diagres_render.Svg
+
+let circle_geometry d : (string * float * float * float) list =
+  let base = [ (160., 170., 95.); (285., 170., 95.); (222., 265., 95.) ] in
+  let pos = List.mapi (fun i s -> (s, List.nth base (min i 2))) d.sets in
+  let adjust (s, (x, y, r)) =
+    (* containment shrinks the inner circle into its container; disjointness
+       pushes circles apart *)
+    let rec apply (x, y, r) = function
+      | [] -> (x, y, r)
+      | Inside (a, b) :: rest when a = s ->
+        let bx, by, br =
+          match List.assoc_opt b pos with Some c -> c | None -> (x, y, r)
+        in
+        apply (bx +. 10., by +. 10., br *. 0.55) rest
+      | Disjoint (a, _) :: rest when a = s -> apply (x -. 40., y, r *. 0.9) rest
+      | Disjoint (_, b) :: rest when b = s -> apply (x +. 40., y, r *. 0.9) rest
+      | _ :: rest -> apply (x, y, r) rest
+    in
+    let x, y, r = apply (x, y, r) d.relations in
+    (s, x, y, r)
+  in
+  List.map adjust pos
+
+let to_svg d : string =
+  let svg = Svg.create () in
+  List.iter
+    (fun (s, x, y, r) ->
+      Svg.circle svg (Geom.pt x y) r;
+      Svg.text ~bold:true svg (Geom.pt x (y -. r -. 6.)) s)
+    (circle_geometry d);
+  List.iter
+    (fun z ->
+      ignore z;
+      ())
+    d.marks;
+  Svg.to_string ~width:460. ~height:420. svg
+
+let to_ascii d : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "Euler diagram over {%s}\n" (String.concat ", " d.sets));
+  List.iter
+    (fun rel ->
+      Buffer.add_string buf
+        (match rel with
+        | Inside (a, b) -> Printf.sprintf "  %s drawn inside %s\n" a b
+        | Disjoint (a, b) -> Printf.sprintf "  %s disjoint from %s\n" a b
+        | Overlap (a, b) -> Printf.sprintf "  %s overlaps %s\n" a b))
+    (List.rev d.relations);
+  List.iter
+    (fun z ->
+      Buffer.add_string buf
+        (Printf.sprintf "  inhabited zone: %s\n"
+           (Venn.zone_to_string (to_venn d) z)))
+    d.marks;
+  Buffer.contents buf

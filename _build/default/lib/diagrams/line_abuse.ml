@@ -1,0 +1,108 @@
+(** The "three abuses of the line" (tutorial Part 6).
+
+    A line as a geometric mark is used by the surveyed formalisms for three
+    distinct logical jobs:
+
+    + {b identity}: asserting two things are equal (beta-graph ligatures,
+      join edges);
+    + {b existence}: asserting something exists (a beta line of identity on
+      its own is already [∃x]);
+    + {b predication}: carrying a non-identity predicate (an edge labelled
+      [<] between attributes).
+
+    A formalism {e abuses} the line when one line simultaneously plays more
+    than one of these roles, forcing readers to disambiguate from context.
+    Peirce's beta line of identity plays all three at once; Relational
+    Diagrams deliberately retire roles (existence moves into box nesting;
+    predication is always labelled).  This module measures role-load per
+    line for scenes and beta graphs, producing the comparison the
+    tutorial's "lessons learned" distills. *)
+
+type role_load = {
+  identity : bool;
+  existence : bool;
+  predication : bool;
+}
+
+let roles_used rl =
+  List.length (List.filter Fun.id [ rl.identity; rl.existence; rl.predication ])
+
+type report = {
+  total_lines : int;
+  abused_lines : int;  (** lines carrying ≥ 2 roles *)
+  max_roles : int;
+  per_role : int * int * int;  (** identity, existence, predication counts *)
+}
+
+(** Analyze a scene: each link is a line; roles derive from the link role
+    and its label. *)
+let of_scene (s : Scene.t) : report =
+  let load (lk : Scene.link) =
+    match lk.Scene.link_role with
+    | Scene.Identity_line ->
+      (* a line of identity asserts identity of its endpoints and the
+         existence of the described object *)
+      { identity = true; existence = true; predication = lk.Scene.label <> None }
+    | Scene.Join_edge ->
+      { identity = lk.Scene.label = None;
+        existence = false;
+        predication = lk.Scene.label <> None }
+    | Scene.Reading_arrow | Scene.Dataflow_edge ->
+      { identity = false; existence = false; predication = false }
+    | Scene.Membership_edge ->
+      { identity = false; existence = false; predication = true }
+  in
+  let loads = List.map load s.Scene.links in
+  let count f = List.length (List.filter f loads) in
+  {
+    total_lines = List.length loads;
+    abused_lines = count (fun l -> roles_used l >= 2);
+    max_roles = List.fold_left (fun a l -> max a (roles_used l)) 0 loads;
+    per_role =
+      ( count (fun l -> l.identity),
+        count (fun l -> l.existence),
+        count (fun l -> l.predication) );
+  }
+
+(** Analyze a beta graph directly: every ligature is a line; it always
+    asserts existence; it asserts identity when it has ≥ 2 hooks; it
+    carries predication when attached to a comparison pseudo-predicate. *)
+let of_beta (g : Eg_beta.t) : report =
+  let ligs = Eg_beta.all_ligatures g in
+  let rec pred_hooks (a : Eg_beta.area) =
+    List.concat_map
+      (fun (p : Eg_beta.pred_occ) ->
+        List.filter_map
+          (function Eg_beta.Lig l -> Some (p.Eg_beta.name, l) | Eg_beta.Cst _ -> None)
+          p.Eg_beta.args)
+      a.Eg_beta.preds
+    @ List.concat_map pred_hooks a.Eg_beta.cuts
+  in
+  let hooks = pred_hooks g in
+  let load l =
+    let mine = List.filter (fun (_, l') -> l' = l) hooks in
+    let comparison_names = [ "="; "<"; "<="; ">"; ">="; "<>" ] in
+    {
+      existence = true;
+      identity = List.length mine >= 2;
+      predication =
+        List.exists (fun (n, _) -> List.mem n comparison_names) mine;
+    }
+  in
+  let loads = List.map load ligs in
+  let count f = List.length (List.filter f loads) in
+  {
+    total_lines = List.length loads;
+    abused_lines = count (fun l -> roles_used l >= 2);
+    max_roles = List.fold_left (fun a l -> max a (roles_used l)) 0 loads;
+    per_role =
+      ( count (fun l -> l.identity),
+        count (fun l -> l.existence),
+        count (fun l -> l.predication) );
+  }
+
+let report_to_string r =
+  let i, e, p = r.per_role in
+  Printf.sprintf
+    "lines=%d abused=%d max-roles=%d (identity=%d existence=%d predication=%d)"
+    r.total_lines r.abused_lines r.max_roles i e p

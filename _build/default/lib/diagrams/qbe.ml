@@ -1,0 +1,274 @@
+(** Query-By-Example (Zloof 1977): queries written {e into} table skeletons
+    with example elements.
+
+    A QBE program is a sequence of steps; each step fills skeletons of base
+    (or previously defined temporary) tables.  Example elements ([_X]) link
+    columns, [P.] marks printed columns, a [¬] row asserts non-membership,
+    and a condition box holds predicates that do not fit a cell.  Division
+    ("all red boats") famously needs {e two} steps and a temporary relation
+    — the same dataflow pattern as the Datalog double-negation program,
+    which is why {!of_datalog} is the canonical constructor here (tutorial
+    Part 5: "is QBE really more visual than Datalog?"). *)
+
+type entry =
+  | Blank
+  | Example of string                       (** [_X] *)
+  | Print of string                         (** [P._X] *)
+  | Const of Diagres_data.Value.t           (** literal in a cell *)
+
+type row = { negated : bool; entries : entry list }
+
+type skeleton = {
+  table : string;
+  attrs : string list;
+  rows : row list;
+}
+
+type step = {
+  skeletons : skeleton list;
+  result : skeleton option;   (** temporary-relation skeleton with P rows *)
+  condition_box : string list;
+}
+
+type t = step list
+
+exception Qbe_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Construction from Datalog: one step per stratum-ordered rule.        *)
+
+let example_name v = "_" ^ String.uppercase_ascii v
+
+let of_rule schemas (r : Diagres_datalog.Ast.rule) : step =
+  let module A = Diagres_datalog.Ast in
+  let attrs_of pred n =
+    match List.assoc_opt pred schemas with
+    | Some s -> Diagres_data.Schema.names s
+    | None -> List.init n (fun i -> Printf.sprintf "x%d" (i + 1))
+  in
+  let entry_of_term = function
+    | A.Var v -> Example (example_name v)
+    | A.Const c -> Const c
+  in
+  let atom_row negated (a : A.atom) : string * row =
+    ( a.A.pred,
+      { negated; entries = List.map entry_of_term a.A.args } )
+  in
+  let rows =
+    List.filter_map
+      (function
+        | A.Pos a -> Some (atom_row false a)
+        | A.Neg a -> Some (atom_row true a)
+        | A.Cond _ -> None)
+      r.A.body
+  in
+  let conditions =
+    List.filter_map
+      (function
+        | A.Cond (op, x, y) ->
+          let t = function
+            | A.Var v -> example_name v
+            | A.Const c -> Diagres_data.Value.to_literal c
+          in
+          Some
+            (Printf.sprintf "%s %s %s" (t x)
+               (Diagres_logic.Fol.cmp_name op) (t y))
+        | _ -> None)
+      r.A.body
+  in
+  let skeletons =
+    (* group rows by table *)
+    let tables = List.sort_uniq compare (List.map fst rows) in
+    List.map
+      (fun table ->
+        let trows = List.filter_map (fun (t, row) -> if t = table then Some row else None) rows in
+        let arity = List.length (List.hd trows).entries in
+        { table; attrs = attrs_of table arity; rows = trows })
+      tables
+  in
+  let result =
+    let head = r.A.head in
+    Some
+      { table = head.A.pred;
+        attrs = attrs_of head.A.pred (List.length head.A.args);
+        rows =
+          [ { negated = false;
+              entries =
+                List.map
+                  (function
+                    | A.Var v -> Print (example_name v)
+                    | A.Const c -> Const c)
+                  head.A.args } ] }
+  in
+  { skeletons; result; condition_box = conditions }
+
+(** Build the full QBE program for [goal]: rules in evaluation order, one
+    step each, with temporary relations linking steps. *)
+let of_datalog schemas (p : Diagres_datalog.Ast.program) ~goal : t =
+  ignore (Diagres_datalog.Check.check_program schemas p);
+  let order = Diagres_datalog.Check.eval_order p in
+  if not (List.mem goal order) then
+    raise (Qbe_error ("goal not defined: " ^ goal));
+  (* only predicates the goal (transitively) needs *)
+  let needed = Hashtbl.create 8 in
+  let rec mark pred =
+    if not (Hashtbl.mem needed pred) then begin
+      Hashtbl.add needed pred ();
+      List.iter
+        (fun r -> List.iter mark (Diagres_datalog.Ast.body_preds r))
+        (Diagres_datalog.Ast.rules_for p pred)
+    end
+  in
+  mark goal;
+  List.concat_map
+    (fun pred ->
+      if Hashtbl.mem needed pred then
+        List.map (of_rule schemas) (Diagres_datalog.Ast.rules_for p pred)
+      else [])
+    order
+
+(** Number of steps and of temporary relations — the E5 statistics. *)
+let stats (q : t) =
+  let steps = List.length q in
+  let temps =
+    List.length
+      (List.sort_uniq compare
+         (List.filter_map (fun s -> Option.map (fun r -> r.table) s.result) q))
+  in
+  let rows =
+    List.fold_left
+      (fun n s ->
+        n
+        + List.fold_left (fun m sk -> m + List.length sk.rows) 0 s.skeletons)
+      0 q
+  in
+  (steps, temps, rows)
+
+(* ------------------------------------------------------------------ *)
+(* ASCII rendering: the classic boxed skeleton look.                    *)
+
+let entry_to_string = function
+  | Blank -> ""
+  | Example e -> e
+  | Print e -> "P." ^ e
+  | Const c -> Diagres_data.Value.to_literal c
+
+let skeleton_to_ascii (sk : skeleton) : string =
+  let header = sk.table :: sk.attrs in
+  let body =
+    List.map
+      (fun r ->
+        (if r.negated then "¬" else "")
+        :: List.map entry_to_string r.entries)
+      sk.rows
+  in
+  let rows = header :: body in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left
+      (fun w row ->
+        match List.nth_opt row c with
+        | Some s -> max w (String.length s)
+        | None -> w)
+      1 rows
+  in
+  let widths = List.init ncols width in
+  let line =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let render_row row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi
+           (fun c s ->
+             let w = List.nth widths c in
+             " " ^ s ^ String.make (w - String.length s + 1) ' ')
+           row)
+    ^ "|"
+  in
+  String.concat "\n"
+    (line :: render_row header :: line
+     :: List.map render_row body
+    @ [ line ])
+
+let step_to_ascii i (s : step) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "-- step %d --\n" (i + 1));
+  List.iter
+    (fun sk ->
+      Buffer.add_string buf (skeleton_to_ascii sk);
+      Buffer.add_char buf '\n')
+    s.skeletons;
+  (match s.result with
+  | Some sk ->
+    Buffer.add_string buf "result:\n";
+    Buffer.add_string buf (skeleton_to_ascii sk);
+    Buffer.add_char buf '\n'
+  | None -> ());
+  if s.condition_box <> [] then begin
+    Buffer.add_string buf "CONDITIONS\n";
+    List.iter
+      (fun c -> Buffer.add_string buf ("  " ^ c ^ "\n"))
+      s.condition_box
+  end;
+  Buffer.contents buf
+
+let to_ascii (q : t) : string =
+  String.concat "\n" (List.mapi step_to_ascii q)
+
+(** Scene rendering (for SVG): each skeleton is a relation box whose rows
+    are attribute leaves; example-element coreference becomes join links. *)
+let to_scene (q : t) : Scene.t =
+  let counter = ref 0 in
+  let fresh p = incr counter; Printf.sprintf "%s%d" p !counter in
+  let occ : (string * string) list ref = ref [] in
+  let skeleton_marks (sk : skeleton) =
+    let rows =
+      List.concat_map
+        (fun r ->
+          List.mapi
+            (fun c e ->
+              let id = fresh "cell" in
+              (match e with
+              | Example x | Print x -> occ := (x, id) :: !occ
+              | _ -> ());
+              Scene.leaf ~role:Scene.Attribute_row ~id
+                (Printf.sprintf "%s%s: %s"
+                   (if r.negated then "¬ " else "")
+                   (List.nth sk.attrs c) (entry_to_string e)))
+            r.entries)
+        sk.rows
+    in
+    Scene.box ~role:Scene.Relation_box ~title:sk.table ~id:(fresh "table") rows
+  in
+  let marks =
+    List.mapi
+      (fun i s ->
+        Scene.box ~role:Scene.Group ~horizontal:true
+          ~title:(Printf.sprintf "step %d" (i + 1))
+          ~id:(fresh "step")
+          (List.map skeleton_marks s.skeletons
+          @ (match s.result with Some sk -> [ skeleton_marks sk ] | None -> [])))
+      q
+  in
+  let links =
+    let by_example = Hashtbl.create 8 in
+    List.iter
+      (fun (x, id) ->
+        Hashtbl.replace by_example x
+          (id :: (try Hashtbl.find by_example x with Not_found -> [])))
+      !occ;
+    Hashtbl.fold
+      (fun _ ids acc ->
+        let rec chain = function
+          | a :: (b :: _ as rest) -> Scene.link ~role:Scene.Join_edge a b :: chain rest
+          | _ -> []
+        in
+        chain ids @ acc)
+      by_example []
+  in
+  Scene.scene ~links marks
+
+let to_svg q = Scene.to_svg (to_scene q)

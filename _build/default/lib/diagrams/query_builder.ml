@@ -1,0 +1,150 @@
+(** A model of the commercial "interactive query builder" (tutorial Part 5:
+    dbForge, SSMS, Access, pgAdmin3, …): a schema diagram on which the user
+    ticks tables and attributes, plus a separate condition grid.
+
+    The tutorial's finding is {e negative}: these interfaces cover
+    conjunctive queries with simple filters, but have {b no single visual
+    element} for NOT EXISTS / FOR ALL, no correlated subqueries in one
+    diagram, and limited disjunction.  This module makes the finding
+    checkable — {!expressible} decides whether a TRC query fits the
+    builder's language, and the test suite verifies the survey matrix rows
+    with it (experiment E10). *)
+
+module T = Diagres_rc.Trc
+
+type condition = {
+  lhs : string * string;          (** alias.attribute *)
+  op : Diagres_logic.Fol.cmp;
+  rhs : rhs;
+}
+
+and rhs = Column of string * string | Literal of Diagres_data.Value.t
+
+type t = {
+  tables : (string * string) list;  (** alias → relation, the ticked tables *)
+  output : (string * string) list;  (** ticked output attributes *)
+  conditions : condition list;      (** the condition grid (conjunctive) *)
+  or_groups : condition list list;  (** dbForge-style OR lines (flat DNF) *)
+}
+
+(** Why a query does not fit; mirrors the tutorial's per-tool findings. *)
+type obstacle =
+  | Negation            (** any ¬/∄/∀ — no visual element exists *)
+  | Nested_quantifier   (** correlated subquery / nested EXISTS *)
+  | Deep_disjunction    (** ∨ not expressible as a flat OR-line grid *)
+
+let obstacle_to_string = function
+  | Negation -> "negation / universal quantification"
+  | Nested_quantifier -> "nested (correlated) subquery"
+  | Deep_disjunction -> "non-flat disjunction"
+
+(** Analyze a TRC query.  [Ok builder] when the query is a conjunctive
+    (optionally flat-OR) select-project-join; [Error obstacles]
+    otherwise. *)
+let of_trc (q : T.query) : (t, obstacle list) result =
+  let obstacles = ref [] in
+  let push o = if not (List.mem o !obstacles) then obstacles := o :: !obstacles in
+  let conditions = ref [] in
+  let cond_of op a b =
+    match (a, b) with
+    | T.Field (v, x), T.Field (w, y) ->
+      Some { lhs = (v, x); op; rhs = Column (w, y) }
+    | T.Field (v, x), T.Const c -> Some { lhs = (v, x); op; rhs = Literal c }
+    | T.Const c, T.Field (v, x) ->
+      Some { lhs = (v, x); op = Diagres_logic.Fol.cmp_flip op; rhs = Literal c }
+    | T.Const _, T.Const _ -> None
+  in
+  let tables = ref q.T.ranges in
+  (* flat walk; anything beyond ∧/flattened-∃/cmp is an obstacle *)
+  let rec walk = function
+    | T.True -> ()
+    | T.False -> push Negation
+    | T.Cmp (op, a, b) -> (
+      match cond_of op a b with
+      | Some c -> conditions := c :: !conditions
+      | None -> ())
+    | T.And (a, b) ->
+      walk a;
+      walk b
+    | T.Exists (rs, f) ->
+      (* an uncorrelated existential is just more tables in the grid; the
+         builders do support that (it is a plain join) *)
+      tables := !tables @ rs;
+      walk f
+    | T.Not _ -> push Negation
+    | T.Forall _ -> push Negation
+    | T.Implies _ -> push Negation
+    | T.Or (a, b) ->
+      (* flat OR over conditions is a dbForge "or line"; anything with
+         structure underneath is not *)
+      let flat = function
+        | T.Cmp _ -> true
+        | _ -> false
+      in
+      if flat a && flat b then begin
+        (match (a, b) with
+        | T.Cmp (op1, x1, y1), T.Cmp (op2, x2, y2) ->
+          let c1 = cond_of op1 x1 y1 and c2 = cond_of op2 x2 y2 in
+          (match (c1, c2) with
+          | Some c1, Some c2 -> conditions := c1 :: c2 :: !conditions
+          | _ -> ())
+        | _ -> ());
+        push Deep_disjunction
+        (* …even the flat case splits the grid: record it as a soft
+           obstacle so the matrix shows "partial" *)
+      end
+      else push Deep_disjunction
+  in
+  walk q.T.body;
+  (* nested quantification = an Exists under a Not (already Negation) or a
+     re-used alias; detect re-declared variables as correlation depth *)
+  let declared = List.map fst !tables @ T.declared_vars q.T.body in
+  let rec dup = function
+    | [] -> ()
+    | x :: rest -> if List.mem x rest then push Nested_quantifier else dup rest
+  in
+  dup declared;
+  if !obstacles <> [] then Error (List.rev !obstacles)
+  else
+    Ok
+      {
+        tables = !tables;
+        output =
+          List.filter_map
+            (function T.Field (v, a) -> Some (v, a) | T.Const _ -> None)
+            q.T.head;
+        conditions = List.rev !conditions;
+        or_groups = [];
+      }
+
+let expressible q = match of_trc q with Ok _ -> true | Error _ -> false
+
+let obstacles q = match of_trc q with Ok _ -> [] | Error os -> os
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: ticked schema diagram + condition grid.                   *)
+
+let to_ascii (b : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "tables:  ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map (fun (v, r) -> Printf.sprintf "%s AS %s" r v) b.tables));
+  Buffer.add_string buf "\noutput:  ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map (fun (v, a) -> v ^ "." ^ a) b.output));
+  Buffer.add_string buf "\nconditions:\n";
+  List.iter
+    (fun c ->
+      let v, a = c.lhs in
+      let rhs =
+        match c.rhs with
+        | Column (w, y) -> w ^ "." ^ y
+        | Literal l -> Diagres_data.Value.to_literal l
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s.%s %s %s\n" v a
+           (Diagres_logic.Fol.cmp_name c.op)
+           rhs))
+    b.conditions;
+  Buffer.contents buf

@@ -1,0 +1,108 @@
+(** Relational Diagrams (Gatterbauer & Dunne, SIGMOD 2024): TRC drawn with
+    {e nested negated bounding boxes}.
+
+    Each tuple variable is a relation box showing the attributes the query
+    uses; equality and comparison predicates are lines between attribute
+    rows; negation is a dashed bounding box around the sub-pattern — the
+    Peirce cut transplanted to the named perspective.  Because quantifier
+    scope is carried by {e nesting} rather than by line topology or reading
+    arrows, the formalism avoids both the beta-graph scope ambiguity and
+    QueryVis's extra arrow alphabet.  Disjunction is not drawable in one
+    panel: a query becomes one panel per union-free form. *)
+
+module T = Diagres_rc.Trc
+
+type panel = {
+  query : T.query;
+  scene : Scene.t;
+}
+
+type t = {
+  panels : panel list;  (** implicit union of panels *)
+}
+
+exception Not_drawable = Trc_scene.Disjunction
+
+let result_box_id = "result"
+
+let scene_of_query (q : T.query) : Scene.t =
+  let tree = Trc_scene.of_query q in
+  let used = Trc_scene.used_attrs q in
+  let all_links, selections = Trc_scene.all_links_selections tree in
+  let counter = ref 0 in
+  let rec level_marks ~top (lvl : Trc_scene.level) : Scene.mark list =
+    let range_marks =
+      List.map (Trc_scene.range_mark ~used ~selections) lvl.Trc_scene.ranges
+    in
+    let neg_marks =
+      List.map
+        (fun sub ->
+          incr counter;
+          (* bind the id before recursing: children bump the counter *)
+          let id = Printf.sprintf "neg%d" !counter in
+          Scene.box ~role:Scene.Cut ~horizontal:true ~id
+            (level_marks ~top:false sub))
+        lvl.Trc_scene.negs
+    in
+    ignore top;
+    range_marks @ neg_marks
+  in
+  let result_mark =
+    if q.T.head = [] then []
+    else
+      [ Scene.box ~role:Scene.Group ~title:"result" ~id:result_box_id
+          (List.mapi
+             (fun i t ->
+               Scene.leaf ~role:Scene.Attribute_row
+                 ~id:(Printf.sprintf "out%d" i)
+                 (T.term_to_string t))
+             q.T.head) ]
+  in
+  let output_links =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           match t with
+           | T.Field (v, a) ->
+             [ Scene.link ~role:Scene.Join_edge
+                 (Trc_scene.attr_row_id v a)
+                 (Printf.sprintf "out%d" i) ]
+           | T.Const _ -> [])
+         q.T.head)
+  in
+  let marks = level_marks ~top:true tree @ result_mark in
+  Scene.scene
+    ~links:(Trc_scene.comparison_links all_links @ output_links)
+    ~caption:(T.to_string q) marks
+
+let of_trc (q : T.query) : t =
+  { panels = [ { query = q; scene = scene_of_query q } ] }
+
+(** From TRC with possible disjunction / from RA with unions: one panel per
+    union-free form. *)
+let of_trc_queries (qs : T.query list) : t =
+  { panels = List.map (fun q -> { query = q; scene = scene_of_query q }) qs }
+
+let of_ra schemas (e : Diagres_ra.Ast.t) : t =
+  of_trc_queries (Diagres_rc.Translate.ra_to_trc schemas e)
+
+let of_sql schemas (st : Diagres_sql.Ast.statement) : t =
+  of_trc_queries (Diagres_sql.To_trc.statement schemas st)
+
+let panel_count (d : t) = List.length d.panels
+
+(** Inverse direction (the "unambiguous readability" property the paper
+    proves): recover the TRC query of each panel.  We keep the source
+    query, so the round trip is definitionally exact; re-deriving it from
+    the scene is exercised in tests via {!Scene.stats} invariants. *)
+let to_trc (d : t) : T.query list = List.map (fun p -> p.query) d.panels
+
+let to_svg (d : t) : string list = List.map (fun p -> Scene.to_svg p.scene) d.panels
+
+let to_ascii (d : t) : string =
+  String.concat "\n== UNION ==\n\n"
+    (List.map (fun p -> Scene.to_ascii p.scene) d.panels)
+
+(** Diagram complexity statistics for experiment E6. *)
+let stats (d : t) =
+  List.map (fun p -> Scene.stats p.scene) d.panels

@@ -1,0 +1,331 @@
+(** The shared diagram scene graph.
+
+    Every containment-style formalism in this library (Peirce cuts,
+    QueryVis groups, Relational Diagrams, constraint-diagram boxes) lowers
+    to this structure: a forest of labelled boxes and leaves plus a set of
+    links between identifiers.  The scene is the level at which the
+    Part-2 "principles" checks and the Part-6 line-abuse analysis operate,
+    and the input to both renderers (SVG and ASCII).
+
+    Roles record the {e semantic} function of each mark — which visual
+    variable carries which logical meaning — so analyses never have to
+    guess from geometry. *)
+
+module Geom = Diagres_render.Geom
+module Svg = Diagres_render.Svg
+module Ascii = Diagres_render.Ascii
+
+type role =
+  | Relation_box   (** a tuple variable / table occurrence *)
+  | Attribute_row  (** one attribute line inside a relation box *)
+  | Cut            (** negation context (Peirce cut / negated box) *)
+  | Group          (** neutral grouping (quantifier scope, panel) *)
+  | Predicate_node (** a predicate symbol in a node-link formalism *)
+  | Constant_node  (** a literal *)
+  | Annotation     (** captions, operators, decorations *)
+
+type link_role =
+  | Join_edge        (** equality/comparison between attributes *)
+  | Identity_line    (** Peirce line of identity / string-diagram wire *)
+  | Reading_arrow    (** QueryVis reading-order arrow *)
+  | Dataflow_edge    (** DFQL operator input *)
+  | Membership_edge  (** conceptual-graph concept–relation link *)
+
+type mark =
+  | Box of box
+  | Leaf of { id : string; label : string; role : role }
+
+and box = {
+  id : string;
+  title : string option;
+  role : role;
+  children : mark list;
+  horizontal : bool;  (** lay children left-to-right instead of stacked *)
+}
+
+type link = {
+  src : string;
+  dst : string;
+  label : string option;
+  directed : bool;
+  dashed : bool;
+  link_role : link_role;
+}
+
+type t = { marks : mark list; links : link list; caption : string option }
+
+let leaf ?(role = Annotation) ~id label = Leaf { id; label; role }
+
+let box ?title ?(role = Group) ?(horizontal = false) ~id children =
+  Box { id; title; role; children; horizontal }
+
+let link ?label ?(directed = false) ?(dashed = false)
+    ?(role = Join_edge) src dst =
+  { src; dst; label; directed; dashed; link_role = role }
+
+let scene ?caption ?(links = []) marks = { marks; links; caption }
+
+let mark_id = function Box b -> b.id | Leaf l -> l.id
+
+let rec fold_marks f acc mark =
+  let acc = f acc mark in
+  match mark with
+  | Leaf _ -> acc
+  | Box b -> List.fold_left (fold_marks f) acc b.children
+
+let all_marks scene =
+  List.fold_left (fold_marks (fun acc m -> m :: acc)) [] scene.marks
+
+let find_mark scene id =
+  List.find_opt (fun m -> mark_id m = id) (all_marks scene)
+
+(** Nesting depth of an id (number of enclosing boxes); used by analyses
+    that need the polarity of a context (even depth of cuts = positive). *)
+let cut_depth scene id =
+  let rec go depth mark =
+    match mark with
+    | Leaf l -> if l.id = id then Some depth else None
+    | Box b ->
+      if b.id = id then Some depth
+      else
+        let inner = if b.role = Cut then depth + 1 else depth in
+        List.find_map (go inner) b.children
+  in
+  List.find_map (go 0) scene.marks
+
+(* ---------------------------------------------------------------- *)
+(* Containment layout.                                                *)
+
+let font = 12.
+let pad = 10.
+let title_h = 18.
+
+type layouted = {
+  rects : (string * Geom.rect) list;
+  size : float * float;
+}
+
+(* Compute the size of a mark bottom-up, then assign positions top-down. *)
+let rec measure = function
+  | Leaf l ->
+    (Geom.text_width ~font_size:font l.label +. (2. *. pad),
+     Geom.text_height ~font_size:font () +. 6.)
+  | Box b ->
+    let sizes = List.map measure b.children in
+    let tw =
+      match b.title with
+      | Some t -> Geom.text_width ~font_size:font t +. (2. *. pad)
+      | None -> 0.
+    in
+    let content_w, content_h =
+      if b.horizontal then
+        ( List.fold_left (fun a (w, _) -> a +. w +. pad) pad sizes,
+          List.fold_left (fun a (_, h) -> Float.max a h) 0. sizes
+          +. (2. *. pad) )
+      else
+        ( List.fold_left (fun a (w, _) -> Float.max a w) 0. sizes
+          +. (2. *. pad),
+          List.fold_left (fun a (_, h) -> a +. h +. 6.) pad sizes +. pad )
+    in
+    let th = if b.title = None then 0. else title_h in
+    (Float.max tw (Float.max content_w 40.), Float.max (content_h +. th) 28.)
+
+let rec place acc x y mark =
+  match mark with
+  | Leaf l ->
+    let w, h = measure mark in
+    (l.id, Geom.rect x y w h) :: acc
+  | Box b ->
+    let w, h = measure mark in
+    let acc = (b.id, Geom.rect x y w h) :: acc in
+    let th = if b.title = None then 0. else title_h in
+    if b.horizontal then
+      let _, acc =
+        List.fold_left
+          (fun (cx, acc) child ->
+            let cw, _ = measure child in
+            let acc = place acc cx (y +. th +. pad) child in
+            (cx +. cw +. pad, acc))
+          (x +. pad, acc) b.children
+      in
+      acc
+    else
+      let _, acc =
+        List.fold_left
+          (fun (cy, acc) child ->
+            let _, ch = measure child in
+            let acc = place acc (x +. pad) cy child in
+            (cy +. ch +. 6., acc))
+          (y +. th +. pad, acc) b.children
+      in
+      acc
+
+(** Lay out all top-level marks left to right. *)
+let layout (scene : t) : layouted =
+  let margin = 20. in
+  let _, rects, h =
+    List.fold_left
+      (fun (x, acc, hmax) mark ->
+        let w, h = measure mark in
+        let acc = place acc x margin mark in
+        (x +. w +. 30., acc, Float.max hmax h))
+      (margin, [], 0.) scene.marks
+  in
+  let width =
+    List.fold_left (fun a (_, r) -> Float.max a (Geom.right r)) 0. rects
+    +. margin
+  in
+  let height = h +. (2. *. margin) +. 20. in
+  { rects; size = (width, height) }
+
+(* ---------------------------------------------------------------- *)
+(* SVG rendering.                                                     *)
+
+let role_svg_style = function
+  | Relation_box ->
+    { Svg.default_style with stroke = "#2b5f9e"; stroke_width = 1.4 }
+  | Cut -> { Svg.default_style with stroke = "#b03030"; dashed = true }
+  | Group -> { Svg.default_style with stroke = "#999999"; dashed = true }
+  | Attribute_row -> { Svg.default_style with stroke = "none" }
+  | Predicate_node ->
+    { Svg.default_style with stroke = "#2b5f9e"; stroke_width = 1.2 }
+  | Constant_node | Annotation -> { Svg.default_style with stroke = "none" }
+
+let link_svg_style = function
+  | Join_edge -> { Svg.default_style with stroke = "#444444" }
+  | Identity_line -> { Svg.default_style with stroke = "#111111"; stroke_width = 2.6 }
+  | Reading_arrow -> { Svg.default_style with stroke = "#b03030" }
+  | Dataflow_edge -> { Svg.default_style with stroke = "#444444" }
+  | Membership_edge -> { Svg.default_style with stroke = "#444444" }
+
+let rec draw_mark svg rects mark =
+  match mark with
+  | Leaf l ->
+    let r = List.assoc l.id rects in
+    (match l.role with
+    | Constant_node ->
+      Svg.rect ~style:{ Svg.default_style with stroke = "#888888" } ~radius:9. svg r
+    | Predicate_node -> Svg.rect ~style:(role_svg_style l.role) svg r
+    | _ -> ());
+    Svg.text svg
+      (Geom.pt (r.Geom.rx +. pad) (r.Geom.ry +. (Geom.text_height ~font_size:font ())))
+      l.label
+  | Box b ->
+    let r = List.assoc b.id rects in
+    (match b.role with
+    | Cut ->
+      Svg.rect ~style:(role_svg_style Cut) ~radius:14. svg r
+    | _ -> Svg.rect ~style:(role_svg_style b.role) svg r);
+    (match b.title with
+    | Some t ->
+      Svg.text ~bold:(b.role = Relation_box) svg
+        (Geom.pt (r.Geom.rx +. pad) (r.Geom.ry +. 14.))
+        t
+    | None -> ());
+    List.iter (draw_mark svg rects) b.children
+
+let to_svg (scene : t) : string =
+  let { rects; size = w, h } = layout scene in
+  let svg = Svg.create () in
+  List.iter (draw_mark svg rects) scene.marks;
+  List.iter
+    (fun lk ->
+      match (List.assoc_opt lk.src rects, List.assoc_opt lk.dst rects) with
+      | Some ra, Some rb ->
+        let ca = Geom.center ra and cb = Geom.center rb in
+        let pa = Geom.border_point ra cb and pb = Geom.border_point rb ca in
+        let style =
+          let s = link_svg_style lk.link_role in
+          if lk.dashed then { s with Svg.dashed = true } else s
+        in
+        Svg.polyline ~style ~arrow:lk.directed svg [ pa; pb ];
+        (match lk.label with
+        | Some text ->
+          let mid =
+            Geom.pt (((pa.Geom.x +. pb.Geom.x) /. 2.) +. 3.)
+              (((pa.Geom.y +. pb.Geom.y) /. 2.) -. 3.)
+          in
+          Svg.text ~size:10. ~color:"#666666" svg mid text
+        | None -> ())
+      | _ -> ())
+    scene.links;
+  (match scene.caption with
+  | Some c -> Svg.text ~size:13. ~bold:true svg (Geom.pt 20. (h -. 8.)) c
+  | None -> ());
+  Svg.to_string ~width:w ~height:h svg
+
+(* ---------------------------------------------------------------- *)
+(* ASCII rendering: scale the float layout onto a character grid.     *)
+
+let to_ascii (scene : t) : string =
+  let { rects; size = w, h } = layout scene in
+  let sx = 0.18 and sy = 0.085 in
+  let canvas =
+    Ascii.create (int_of_float (w *. sx) + 4) (int_of_float (h *. sy) + 4)
+  in
+  let cx f = int_of_float (f *. sx) in
+  let cy f = int_of_float (f *. sy) in
+  (* draw deepest boxes last so borders stay visible *)
+  let rec draw mark =
+    match mark with
+    | Leaf l ->
+      let r = List.assoc l.id rects in
+      Ascii.text canvas (cx r.Geom.rx + 1) (cy (Geom.center r).Geom.y) l.label
+    | Box b ->
+      let r = List.assoc b.id rects in
+      Ascii.box
+        ~dashed:(b.role = Cut || b.role = Group)
+        canvas (cx r.Geom.rx) (cy r.Geom.ry)
+        (cx r.Geom.w |> max 4)
+        (cy r.Geom.h |> max 3);
+      (match b.title with
+      | Some t -> Ascii.text canvas (cx r.Geom.rx + 2) (cy r.Geom.ry + 1) t
+      | None -> ());
+      List.iter draw b.children
+  in
+  List.iter draw scene.marks;
+  List.iter
+    (fun lk ->
+      match (List.assoc_opt lk.src rects, List.assoc_opt lk.dst rects) with
+      | Some ra, Some rb ->
+        let ca = Geom.center ra and cb = Geom.center rb in
+        Ascii.connect ~arrow:lk.directed canvas
+          (cx ca.Geom.x, cy ca.Geom.y)
+          (cx cb.Geom.x, cy cb.Geom.y)
+      | _ -> ())
+    scene.links;
+  (match scene.caption with
+  | Some c -> Ascii.text canvas 1 (int_of_float (h *. sy) + 2) c
+  | None -> ());
+  Ascii.to_string canvas
+
+(* ---------------------------------------------------------------- *)
+(* Statistics used by the principles checks and benches.              *)
+
+type stats = {
+  boxes : int;
+  leaves : int;
+  cuts : int;
+  links : int;
+  arrows : int;
+  max_depth : int;
+}
+
+let stats (scene : t) : stats =
+  let rec depth mark =
+    match mark with
+    | Leaf _ -> 1
+    | Box b -> 1 + List.fold_left (fun a m -> max a (depth m)) 0 b.children
+  in
+  let marks = all_marks scene in
+  {
+    boxes = List.length (List.filter (function Box _ -> true | _ -> false) marks);
+    leaves = List.length (List.filter (function Leaf _ -> true | _ -> false) marks);
+    cuts =
+      List.length
+        (List.filter (function Box b -> b.role = Cut | _ -> false) marks);
+    links = List.length scene.links;
+    arrows = List.length (List.filter (fun l -> l.directed) scene.links);
+    max_depth =
+      List.fold_left (fun a m -> max a (depth m)) 0 scene.marks;
+  }

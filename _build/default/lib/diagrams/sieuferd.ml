@@ -1,0 +1,146 @@
+(** SIEUFERD (Bakke & Karger, SIGMOD 2016): the query is a {e nested result
+    header}; users manipulate the spreadsheet-like result directly.
+
+    The tutorial's one-line summary — "a result header encodes the
+    structure of the query; the query result is listed below that header" —
+    is implemented literally: a {!spec} is a tree of table scopes with join
+    conditions; {!header} is the nested column header the UI would show;
+    {!eval} produces the nested rows; and {!to_trc} reads the header back
+    as the query it encodes (for one nest path), which is what makes the
+    header a {e visualization of the query} and not just of the data. *)
+
+module T = Diagres_rc.Trc
+module D = Diagres_data
+
+type spec = {
+  var : string;
+  table : string;
+  attrs : string list;              (** columns shown at this level *)
+  conditions : (Diagres_logic.Fol.cmp * T.term * T.term) list;
+  children : spec list;             (** nested one-to-many scopes *)
+}
+
+let scope ?(attrs = []) ?(conditions = []) ?(children = []) var table =
+  { var; table; attrs; conditions; children }
+
+exception Sieuferd_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Header: the visible encoding of the query.                           *)
+
+type header = {
+  title : string;                   (** [table var] *)
+  columns : string list;
+  nested : header list;
+}
+
+let rec header (s : spec) : header =
+  {
+    title = Printf.sprintf "%s %s" s.table s.var;
+    columns = s.attrs;
+    nested = List.map header s.children;
+  }
+
+let rec header_to_ascii ?(indent = 0) (h : header) : string =
+  let pad = String.make indent ' ' in
+  pad ^ h.title ^ " [" ^ String.concat " | " h.columns ^ "]\n"
+  ^ String.concat ""
+      (List.map (header_to_ascii ~indent:(indent + 4)) h.nested)
+
+(* ------------------------------------------------------------------ *)
+(* Nested evaluation.                                                   *)
+
+type row = {
+  values : (string * D.Value.t) list;    (** attr → value at this level *)
+  subrows : (string * row list) list;    (** child var → nested rows *)
+}
+
+let term_value db env = function
+  | T.Const c -> c
+  | T.Field (v, a) -> (
+    match List.assoc_opt v env with
+    | Some (tup, table) ->
+      D.Tuple.field (D.Relation.schema (D.Database.find table db)) a tup
+    | None -> raise (Sieuferd_error ("unbound variable " ^ v)))
+
+let conditions_hold db env (s : spec) tup =
+  let env = (s.var, (tup, s.table)) :: env in
+  List.for_all
+    (fun (op, a, b) ->
+      Diagres_logic.Fol.cmp_eval op (term_value db env a) (term_value db env b))
+    s.conditions
+
+let rec eval_spec db env (s : spec) : row list =
+  let rel = D.Database.find s.table db in
+  let schema = D.Relation.schema rel in
+  List.filter_map
+    (fun tup ->
+      if not (conditions_hold db env s tup) then None
+      else
+        let env' = (s.var, (tup, s.table)) :: env in
+        Some
+          {
+            values =
+              List.map (fun a -> (a, D.Tuple.field schema a tup)) s.attrs;
+            subrows =
+              List.map (fun c -> (c.var, eval_spec db env' c)) s.children;
+          })
+    (D.Relation.tuples rel)
+
+let eval db (s : spec) : row list = eval_spec db [] s
+
+let rec rows_to_ascii ?(indent = 0) (rows : row list) : string =
+  let pad = String.make indent ' ' in
+  String.concat ""
+    (List.map
+       (fun r ->
+         pad
+         ^ String.concat " | "
+             (List.map (fun (_, v) -> D.Value.to_string v) r.values)
+         ^ "\n"
+         ^ String.concat ""
+             (List.map
+                (fun (_, sub) -> rows_to_ascii ~indent:(indent + 4) sub)
+                r.subrows))
+       rows)
+
+let to_ascii db (s : spec) : string =
+  header_to_ascii (header s) ^ rows_to_ascii (eval db s)
+
+(* ------------------------------------------------------------------ *)
+(* The header read back as a query: flattening one nest path gives the
+   join query the header encodes (SIEUFERD's headers are, deliberately,
+   query visualizations).                                                *)
+
+let rec collect_path (s : spec) (path : string list) :
+    (string * string) list * (Diagres_logic.Fol.cmp * T.term * T.term) list =
+  let here = ([ (s.var, s.table) ], s.conditions) in
+  match path with
+  | [] -> here
+  | v :: rest -> (
+    match List.find_opt (fun c -> c.var = v) s.children with
+    | None -> raise (Sieuferd_error ("no nested scope " ^ v))
+    | Some child ->
+      let ranges, conds = collect_path child rest in
+      (fst here @ ranges, snd here @ conds))
+
+(** The TRC query of one nest path, projecting the innermost scope's
+    attributes plus the root's. *)
+let to_trc (s : spec) ~(path : string list) : T.query =
+  let ranges, conds = collect_path s path in
+  let leaf_var = match List.rev ranges with (v, _) :: _ -> v | [] -> s.var in
+  let leaf_spec =
+    let rec find sp = function
+      | [] -> sp
+      | v :: rest -> find (List.find (fun c -> c.var = v) sp.children) rest
+    in
+    find s path
+  in
+  {
+    T.head =
+      List.map (fun a -> T.Field (s.var, a)) s.attrs
+      @ (if leaf_var = s.var then []
+         else List.map (fun a -> T.Field (leaf_var, a)) leaf_spec.attrs);
+    ranges;
+    body = T.conj (List.map (fun (op, a, b) -> T.Cmp (op, a, b)) conds);
+  }

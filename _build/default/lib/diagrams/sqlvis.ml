@@ -1,0 +1,119 @@
+(** SQLVis (Miedema & Fletcher, VL/HCC 2021) — and the syntax-sensitivity
+    point the tutorial makes with it.
+
+    SQLVis (like Visual SQL) draws the {e syntax} of a SQL statement: one
+    box per SELECT block exactly as written, so two equivalent queries with
+    different surface forms — [EXISTS] vs [IN], flattened vs nested — get
+    {e different} pictures.  That is the opposite design choice from
+    pattern-based formalisms (QueryVis, Relational Diagrams), and the
+    concrete trade-off behind the tutorial's "correspondence principle":
+    should equal patterns imply equal diagrams?
+
+    {!of_sql} builds the syntax-faithful scene; {!syntax_signature} is a
+    canonical string of the {e syntax} shape, so tests can demonstrate
+    equal-semantics/different-signature pairs against equal RD patterns. *)
+
+module A = Diagres_sql.Ast
+
+type t = { statement : A.statement; scene : Scene.t }
+
+let rec cond_marks prefix (c : A.cond) : Scene.mark list =
+  match c with
+  | A.True -> []
+  | A.Cmp (op, x, y) ->
+    [ Scene.leaf ~role:Scene.Attribute_row ~id:(prefix ^ "cmp")
+        (Printf.sprintf "%s %s %s" (Diagres_sql.Pretty.expr x)
+           (Diagres_logic.Fol.cmp_name op) (Diagres_sql.Pretty.expr y)) ]
+  | A.And (a, b) ->
+    cond_marks (prefix ^ "l") a @ cond_marks (prefix ^ "r") b
+  | A.Or (a, b) ->
+    [ Scene.box ~title:"OR" ~role:Scene.Group ~id:(prefix ^ "or")
+        (cond_marks (prefix ^ "l") a @ cond_marks (prefix ^ "r") b) ]
+  | A.Not inner ->
+    [ Scene.box ~title:"NOT" ~role:Scene.Cut ~id:(prefix ^ "not")
+        (cond_marks (prefix ^ "n") inner) ]
+  | A.Exists q ->
+    [ Scene.box ~title:"EXISTS" ~role:Scene.Group ~id:(prefix ^ "exists")
+        [ query_mark (prefix ^ "q") q ] ]
+  | A.In (e, q) ->
+    [ Scene.box
+        ~title:(Diagres_sql.Pretty.expr e ^ " IN")
+        ~role:Scene.Group ~id:(prefix ^ "in")
+        [ query_mark (prefix ^ "q") q ] ]
+
+and query_mark prefix (q : A.query) : Scene.mark =
+  let select_rows =
+    List.mapi
+      (fun i item ->
+        Scene.leaf ~role:Scene.Attribute_row
+          ~id:(Printf.sprintf "%ssel%d" prefix i)
+          (match item with
+          | A.Star -> "*"
+          | A.Item (e, None) -> Diagres_sql.Pretty.expr e
+          | A.Item (e, Some a) -> Diagres_sql.Pretty.expr e ^ " AS " ^ a))
+      q.A.select
+  in
+  let from_rows =
+    List.map
+      (fun t ->
+        Scene.leaf ~role:Scene.Attribute_row
+          ~id:(prefix ^ "from:" ^ t.A.alias)
+          (if t.A.alias = t.A.name then t.A.name
+           else t.A.name ^ " " ^ t.A.alias))
+      q.A.from
+  in
+  Scene.box ~title:"SELECT" ~role:Scene.Relation_box ~id:(prefix ^ "block")
+    (select_rows
+    @ [ Scene.box ~title:"FROM" ~role:Scene.Group ~id:(prefix ^ "from")
+          from_rows ]
+    @ cond_marks (prefix ^ "w") q.A.where)
+
+let rec statement_marks prefix (st : A.statement) : Scene.mark list =
+  match st with
+  | A.Query q -> [ query_mark prefix q ]
+  | A.Union (a, b) ->
+    [ Scene.box ~title:"UNION" ~role:Scene.Group ~horizontal:true
+        ~id:(prefix ^ "union")
+        (statement_marks (prefix ^ "l") a @ statement_marks (prefix ^ "r") b) ]
+  | A.Intersect (a, b) ->
+    [ Scene.box ~title:"INTERSECT" ~role:Scene.Group ~horizontal:true
+        ~id:(prefix ^ "inter")
+        (statement_marks (prefix ^ "l") a @ statement_marks (prefix ^ "r") b) ]
+  | A.Except (a, b) ->
+    [ Scene.box ~title:"EXCEPT" ~role:Scene.Group ~horizontal:true
+        ~id:(prefix ^ "except")
+        (statement_marks (prefix ^ "l") a @ statement_marks (prefix ^ "r") b) ]
+
+let of_sql (st : A.statement) : t =
+  { statement = st; scene = Scene.scene (statement_marks "sv:" st) }
+
+(** Canonical string of the syntactic shape: block structure, connective
+    spelling (EXISTS vs IN vs NOT), table order — everything SQLVis
+    renders.  Two queries get the same SQLVis picture iff their signatures
+    match. *)
+let syntax_signature (st : A.statement) : string =
+  let rec cond (c : A.cond) =
+    match c with
+    | A.True -> "T"
+    | A.Cmp (op, _, _) -> "c" ^ Diagres_logic.Fol.cmp_name op
+    | A.And (a, b) -> "(" ^ cond a ^ "&" ^ cond b ^ ")"
+    | A.Or (a, b) -> "(" ^ cond a ^ "|" ^ cond b ^ ")"
+    | A.Not x -> "!" ^ cond x
+    | A.Exists q -> "E[" ^ query q ^ "]"
+    | A.In (_, q) -> "I[" ^ query q ^ "]"
+  and query (q : A.query) =
+    Printf.sprintf "S%d/F[%s]/%s"
+      (List.length q.A.select)
+      (String.concat "," (List.map (fun t -> t.A.name) q.A.from))
+      (cond q.A.where)
+  and stmt = function
+    | A.Query q -> query q
+    | A.Union (a, b) -> "(" ^ stmt a ^ " U " ^ stmt b ^ ")"
+    | A.Intersect (a, b) -> "(" ^ stmt a ^ " ^ " ^ stmt b ^ ")"
+    | A.Except (a, b) -> "(" ^ stmt a ^ " \\ " ^ stmt b ^ ")"
+  in
+  stmt st
+
+let to_svg (v : t) = Scene.to_svg v.scene
+let to_ascii (v : t) = Scene.to_ascii v.scene
+let stats (v : t) = Scene.stats v.scene

@@ -1,0 +1,97 @@
+(** String diagrams for first-order logic (Haydon & Sobociński 2020;
+    Bonchi et al. 2024): Peirce's beta graphs extended with {e free}
+    variables.
+
+    Both free and bound variables are wires; a bound wire terminates in a
+    dot (the existential witness), a free wire runs to the diagram boundary
+    and names an output.  This module models a string diagram as a beta
+    graph plus the assignment of boundary wires, so a {e query} — not just
+    a Boolean statement — becomes drawable; the round trip to DRC queries
+    is exact. *)
+
+module F = Diagres_logic.Fol
+
+type t = {
+  boundary : (string * Eg_beta.lig) list;
+      (** output wires, in head order: variable name → ligature *)
+  graph : Eg_beta.t;
+}
+
+exception String_error of string
+
+(** Build from a DRC query: free variables become boundary wires. *)
+let of_drc_query (q : Diagres_rc.Drc.query) : t =
+  let boundary = List.mapi (fun i v -> (v, i + 1)) q.Diagres_rc.Drc.head in
+  let graph = Eg_beta.of_drc ~free:boundary q.Diagres_rc.Drc.body in
+  { boundary; graph }
+
+(** Read back the DRC query. *)
+let to_drc_query (d : t) : Diagres_rc.Drc.query =
+  let body = Eg_beta.to_drc ~free:(List.map snd d.boundary) d.graph in
+  (* to_drc names ligature l as "x<l>": rename boundary wires back *)
+  let body =
+    List.fold_left
+      (fun acc (v, l) ->
+        if Eg_beta.var_of_lig l = v then acc
+        else F.subst (Eg_beta.var_of_lig l) (F.Var v) acc)
+      body d.boundary
+  in
+  { Diagres_rc.Drc.head = List.map fst d.boundary; body }
+
+let open_wire_count (d : t) = List.length d.boundary
+
+let bound_wire_count (d : t) =
+  List.length (Eg_beta.all_ligatures d.graph) - open_wire_count d
+
+(** Scene: the beta-graph scene plus explicit boundary markers for open
+    wires (the visual difference between the two formalisms). *)
+let to_scene (d : t) : Scene.t =
+  let base = Eg_beta.to_scene d.graph in
+  let boundary_marks =
+    List.map
+      (fun (v, l) ->
+        Scene.leaf ~role:Scene.Constant_node
+          ~id:(Printf.sprintf "boundary:%s" v)
+          (Printf.sprintf "%s ◦—%d" v l))
+      d.boundary
+  in
+  let boundary_links =
+    (* attach each boundary marker to one occurrence of its ligature by
+       going through the shared scene: occurrences carry ids generated
+       inside Eg_beta.to_scene, so link via a fresh pass over marks whose
+       label mentions the ligature *)
+    List.filter_map
+      (fun (v, l) ->
+        let needle_hook = Printf.sprintf "•%d" l in
+        let needle_line = Printf.sprintf "—%d" l in
+        let target =
+          List.find_map
+            (fun m ->
+              match m with
+              | Scene.Leaf leaf ->
+                let has sub =
+                  let ls = leaf.label and n = String.length sub in
+                  let rec scan i =
+                    i + n <= String.length ls
+                    && (String.sub ls i n = sub || scan (i + 1))
+                  in
+                  scan 0
+                in
+                if has needle_hook || has needle_line then Some (Scene.mark_id m)
+                else None
+              | Scene.Box _ -> None)
+            (Scene.all_marks base)
+        in
+        Option.map
+          (fun tgt ->
+            Scene.link ~role:Scene.Identity_line
+              (Printf.sprintf "boundary:%s" v) tgt)
+          target)
+      d.boundary
+  in
+  { base with
+    Scene.marks = boundary_marks @ base.Scene.marks;
+    links = boundary_links @ base.Scene.links }
+
+let to_svg d = Scene.to_svg (to_scene d)
+let to_ascii d = Scene.to_ascii (to_scene d)

@@ -1,0 +1,136 @@
+(** TableTalk (Epstein 1991): "visualizes the flow of a query top-down and
+    displays logical conditions in tiles".
+
+    We model the tile stack: a SQL statement compiles to a vertical flow of
+    tiles — source tiles (FROM), condition tiles (one per conjunct, with
+    nested flows for subqueries), and an output tile — read strictly top to
+    bottom.  The tile count and nesting depth are the formalism's cost
+    metrics in the E6 comparison. *)
+
+module A = Diagres_sql.Ast
+
+type tile =
+  | Source of string           (** [FROM Sailor s] *)
+  | Condition of string        (** one predicate, rendered as text *)
+  | Negated of flow            (** a NOT EXISTS block as a nested flow *)
+  | Nested of string * flow    (** EXISTS / IN block *)
+  | Output of string list
+
+and flow = tile list
+
+exception Tabletalk_error of string
+
+let rec conds_to_tiles (c : A.cond) : tile list =
+  match c with
+  | A.True -> []
+  | A.Cmp (op, x, y) ->
+    [ Condition
+        (Printf.sprintf "%s %s %s" (Diagres_sql.Pretty.expr x)
+           (Diagres_logic.Fol.cmp_name op)
+           (Diagres_sql.Pretty.expr y)) ]
+  | A.And (a, b) -> conds_to_tiles a @ conds_to_tiles b
+  | A.Or (a, b) ->
+    (* TableTalk renders OR as one combined condition tile *)
+    [ Condition
+        (Printf.sprintf "(%s)"
+           (String.concat " OR "
+              (List.filter_map
+                 (function Condition s -> Some s | _ -> None)
+                 (conds_to_tiles a @ conds_to_tiles b)))) ]
+  | A.Not (A.Exists q) -> [ Negated (of_query q) ]
+  | A.Not inner ->
+    [ Condition
+        ("NOT ("
+        ^ String.concat " AND "
+            (List.filter_map
+               (function Condition s -> Some s | _ -> None)
+               (conds_to_tiles inner))
+        ^ ")") ]
+  | A.Exists q -> [ Nested ("EXISTS", of_query q) ]
+  | A.In (e, q) -> [ Nested (Diagres_sql.Pretty.expr e ^ " IN", of_query q) ]
+
+and of_query (q : A.query) : flow =
+  List.map
+    (fun t ->
+      Source
+        (if t.A.alias = t.A.name then t.A.name
+         else t.A.name ^ " " ^ t.A.alias))
+    q.A.from
+  @ conds_to_tiles q.A.where
+  @ [ Output
+        (List.map
+           (function
+             | A.Star -> "*"
+             | A.Item (e, None) -> Diagres_sql.Pretty.expr e
+             | A.Item (e, Some a) -> Diagres_sql.Pretty.expr e ^ " AS " ^ a)
+           q.A.select) ]
+
+let of_sql (st : A.statement) : flow =
+  match st with
+  | A.Query q -> of_query q
+  | _ -> raise (Tabletalk_error "TableTalk flows render one SELECT block")
+
+let rec tile_count (f : flow) : int =
+  List.fold_left
+    (fun n t ->
+      n
+      + match t with
+        | Source _ | Condition _ | Output _ -> 1
+        | Negated sub | Nested (_, sub) -> 1 + tile_count sub)
+    0 f
+
+let rec depth (f : flow) : int =
+  List.fold_left
+    (fun d t ->
+      max d
+        (match t with
+        | Source _ | Condition _ | Output _ -> 1
+        | Negated sub | Nested (_, sub) -> 1 + depth sub))
+    0 f
+
+let to_ascii (f : flow) : string =
+  let buf = Buffer.create 256 in
+  let rec go indent f =
+    let pad = String.make indent ' ' in
+    List.iter
+      (fun t ->
+        match t with
+        | Source s -> Buffer.add_string buf (pad ^ "[ FROM " ^ s ^ " ]\n")
+        | Condition c -> Buffer.add_string buf (pad ^ "[ " ^ c ^ " ]\n")
+        | Output cols ->
+          Buffer.add_string buf
+            (pad ^ "[ => " ^ String.concat ", " cols ^ " ]\n")
+        | Negated sub ->
+          Buffer.add_string buf (pad ^ "[ NOT EXISTS: ]\n");
+          go (indent + 4) sub
+        | Nested (label, sub) ->
+          Buffer.add_string buf (pad ^ "[ " ^ label ^ ": ]\n");
+          go (indent + 4) sub)
+      f
+  in
+  go 0 f;
+  Buffer.contents buf
+
+let to_scene (f : flow) : Scene.t =
+  let counter = ref 0 in
+  let fresh p = incr counter; Printf.sprintf "%s%d" p !counter in
+  let rec marks f =
+    List.map
+      (fun t ->
+        match t with
+        | Source s -> Scene.leaf ~role:Scene.Attribute_row ~id:(fresh "src") ("FROM " ^ s)
+        | Condition c -> Scene.leaf ~role:Scene.Attribute_row ~id:(fresh "cond") c
+        | Output cols ->
+          Scene.leaf ~role:Scene.Constant_node ~id:(fresh "out")
+            ("=> " ^ String.concat ", " cols)
+        | Negated sub ->
+          Scene.box ~title:"NOT EXISTS" ~role:Scene.Cut ~id:(fresh "neg")
+            (marks sub)
+        | Nested (label, sub) ->
+          Scene.box ~title:label ~role:Scene.Group ~id:(fresh "nest")
+            (marks sub))
+      f
+  in
+  Scene.scene [ Scene.box ~role:Scene.Relation_box ~title:"flow" ~id:"tt" (marks f) ]
+
+let to_svg f = Scene.to_svg (to_scene f)

@@ -1,0 +1,183 @@
+(** Shared analysis for drawing TRC queries (used by QueryVis and
+    Relational Diagrams).
+
+    A union-free TRC body normalizes into a {e nesting tree}: each level
+    introduces tuple-variable ranges and local comparison predicates, and
+    owns a list of negated sub-levels ([¬∃…]).  Positive existentials
+    flatten into their parent level (they add no visual nesting in either
+    formalism); ∀ and → are rewritten to ¬∃¬ first; ∨ raises — disjunction
+    needs panels, which the callers handle via {!Diagres_rc.Ra_rewrite}. *)
+
+module T = Diagres_rc.Trc
+
+exception Disjunction of string
+(** raised when a body is not union-free *)
+
+type level = {
+  ranges : (string * string) list;
+  preds : (Diagres_logic.Fol.cmp * T.term * T.term) list;
+  negs : level list;
+}
+
+let empty_level = { ranges = []; preds = []; negs = [] }
+
+(* [collect] accumulates a formula in positive position into a level;
+   [collect_neg] accumulates the *negation* of a formula, pushing ¬ through
+   ∨/→/¬/comparisons so that ∀x(φ→ψ) draws as the canonical nested-box
+   pattern ¬∃x(φ ∧ ¬ψ) instead of raising on the ∨ that ¬-elimination
+   would otherwise synthesize. *)
+let rec collect (lvl : level) (f : T.formula) : level =
+  match f with
+  | T.True -> lvl
+  | T.False ->
+    (* ⊥ as ¬(empty pattern): an empty negated box (Peirce's empty cut) *)
+    { lvl with negs = empty_level :: lvl.negs }
+  | T.Cmp (op, a, b) -> { lvl with preds = (op, a, b) :: lvl.preds }
+  | T.And (a, b) -> collect (collect lvl a) b
+  | T.Exists (rs, g) -> collect { lvl with ranges = lvl.ranges @ rs } g
+  | T.Forall (rs, g) ->
+    (* ∀r̄ φ = ¬∃r̄ ¬φ *)
+    { lvl with
+      negs = collect_neg { empty_level with ranges = rs } g :: lvl.negs }
+  | T.Not g -> push_neg lvl g
+  | T.Or _ | T.Implies _ ->
+    raise
+      (Disjunction
+         "body contains a disjunction: draw one panel per union-free form")
+
+(* accumulate ¬g into [lvl] *)
+and push_neg (lvl : level) (g : T.formula) : level =
+  match g with
+  | T.True -> { lvl with negs = empty_level :: lvl.negs }  (* ¬⊤ = ⊥ *)
+  | T.False -> lvl
+  | T.Cmp (op, a, b) ->
+    { lvl with preds = (Diagres_logic.Fol.cmp_negate op, a, b) :: lvl.preds }
+  | T.Not h -> collect lvl h
+  | T.Or (a, b) -> push_neg (push_neg lvl a) b
+  | T.Implies (a, b) ->
+    (* ¬(a → b) = a ∧ ¬b *)
+    push_neg (collect lvl a) b
+  | T.And _ -> { lvl with negs = collect empty_level g :: lvl.negs }
+  | T.Exists (rs, h) ->
+    { lvl with negs = collect { empty_level with ranges = rs } h :: lvl.negs }
+  | T.Forall (rs, h) ->
+    (* ¬∀r̄ φ = ∃r̄ ¬φ *)
+    push_neg { lvl with ranges = lvl.ranges @ rs } h
+
+(* the level denoting ¬(sub-pattern) content for a fresh box: [collect_neg
+   base g] builds the level whose *contents* are g with ranges from base —
+   used by ∀: the box holds the ranges plus ¬body *)
+and collect_neg (base : level) (g : T.formula) : level =
+  match g with
+  | T.Implies (a, b) ->
+    (* box contents: a ∧ ¬b *)
+    push_neg (collect base a) b
+  | _ -> push_neg base g
+
+let normalize_body (f : T.formula) : level = collect empty_level f
+
+let of_query (q : T.query) : level =
+  let lvl = normalize_body q.T.body in
+  { lvl with ranges = q.T.ranges @ lvl.ranges }
+
+(** Attributes referenced per tuple variable across the whole tree —
+    determines which attribute rows a relation box shows. *)
+let used_attrs (q : T.query) : (string * string list) list =
+  let fields =
+    T.fields q.T.body
+    @ List.filter_map
+        (function T.Field (v, a) -> Some (v, a) | T.Const _ -> None)
+        q.T.head
+  in
+  let vars = List.sort_uniq compare (List.map fst fields) in
+  List.map
+    (fun v ->
+      ( v,
+        List.sort_uniq compare
+          (List.filter_map (fun (v', a) -> if v' = v then Some a else None) fields)
+      ))
+    vars
+
+let attr_row_id v a = Printf.sprintf "attr:%s.%s" v a
+let var_box_id v = Printf.sprintf "var:%s" v
+
+(** Relation-box mark for one range, with one row per used attribute;
+    var-const comparisons owned by this level render inline as selection
+    labels on the row. *)
+let range_mark ~used ~(selections : (string * string * string) list) (v, rel) =
+  let attrs = try List.assoc v used with Not_found -> [] in
+  let rows =
+    List.map
+      (fun a ->
+        let sel =
+          List.filter_map
+            (fun (v', a', text) -> if v' = v && a' = a then Some text else None)
+            selections
+        in
+        let label =
+          match sel with
+          | [] -> a
+          | texts -> Printf.sprintf "%s %s" a (String.concat ", " texts)
+        in
+        Scene.leaf ~role:Scene.Attribute_row ~id:(attr_row_id v a) label)
+      attrs
+  in
+  let rows =
+    if rows = [] then
+      [ Scene.leaf ~role:Scene.Attribute_row
+          ~id:(attr_row_id v "_") "(no attributes used)" ]
+    else rows
+  in
+  Scene.box ~role:Scene.Relation_box ~title:(rel ^ " " ^ v) ~id:(var_box_id v)
+    rows
+
+(** Split a level's predicates into var-var links and var-const selection
+    labels. *)
+let split_preds (lvl : level) =
+  let links, selections =
+    List.fold_left
+      (fun (links, sels) (op, a, b) ->
+        match (a, b) with
+        | T.Field (v1, a1), T.Field (v2, a2) ->
+          (((v1, a1), (v2, a2), op) :: links, sels)
+        | T.Field (v, a), T.Const c ->
+          ( links,
+            (v, a,
+             Printf.sprintf "%s %s" (Diagres_logic.Fol.cmp_name op)
+               (Diagres_data.Value.to_literal c))
+            :: sels )
+        | T.Const c, T.Field (v, a) ->
+          ( links,
+            (v, a,
+             Printf.sprintf "%s %s"
+               (Diagres_logic.Fol.cmp_name (Diagres_logic.Fol.cmp_flip op))
+               (Diagres_data.Value.to_literal c))
+            :: sels )
+        | T.Const _, T.Const _ -> (links, sels))
+      ([], []) lvl.preds
+  in
+  (List.rev links, List.rev selections)
+
+(* selections for var-const must be gathered over the whole tree so the
+   attribute row of an outer box can show a condition asserted in an inner
+   level; links however belong to their level for arrow-drawing purposes *)
+let rec all_links_selections (lvl : level) =
+  let links, sels = split_preds lvl in
+  List.fold_left
+    (fun (ls, ss) sub ->
+      let l, s = all_links_selections sub in
+      (ls @ l, ss @ s))
+    (links, sels) lvl.negs
+
+(** Scene links for var-var comparisons: undirected edges between attribute
+    rows, labelled with the operator when it is not equality. *)
+let comparison_links links =
+  List.map
+    (fun ((v1, a1), (v2, a2), op) ->
+      let label =
+        if op = Diagres_logic.Fol.Eq then None
+        else Some (Diagres_logic.Fol.cmp_name op)
+      in
+      Scene.link ?label ~role:Scene.Join_edge (attr_row_id v1 a1)
+        (attr_row_id v2 a2))
+    links

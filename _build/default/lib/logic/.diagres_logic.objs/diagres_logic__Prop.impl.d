@@ -1,0 +1,1 @@
+lib/logic/prop.ml: Fmt List Printf String

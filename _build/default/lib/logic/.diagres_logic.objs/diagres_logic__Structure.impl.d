@@ -1,0 +1,1 @@
+lib/logic/structure.ml: Diagres_data Fol List Option String

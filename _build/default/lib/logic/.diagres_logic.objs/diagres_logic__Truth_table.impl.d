@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Fmt List Prop String

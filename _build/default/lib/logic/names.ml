@@ -1,0 +1,33 @@
+(** Fresh-name supplies, shared by the translators.
+
+    A supply hands out names [prefix1], [prefix2], … that avoid a given set
+    of reserved names; translators seed the supply with every identifier of
+    the input so generated variables never capture. *)
+
+type t = { mutable counter : int; mutable reserved : string list }
+
+let create ?(reserved = []) () = { counter = 0; reserved }
+
+let reserve t names = t.reserved <- names @ t.reserved
+
+let fresh t prefix =
+  let rec go () =
+    t.counter <- t.counter + 1;
+    let name = Printf.sprintf "%s%d" prefix t.counter in
+    if List.mem name t.reserved then go ()
+    else begin
+      t.reserved <- name :: t.reserved;
+      name
+    end
+  in
+  go ()
+
+(** [sanitize s] makes [s] usable as an identifier (for attribute-derived
+    variable names like [s_sid]). *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s

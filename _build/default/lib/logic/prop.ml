@@ -1,0 +1,256 @@
+(** Propositional logic: the target language of Peirce's alpha existential
+    graphs and of the Venn-diagram region algebra.
+
+    Beyond the usual connectives we provide normal forms, truth-table
+    evaluation, and semantic equivalence — the tools used to verify that
+    alpha-graph inference rules are sound. *)
+
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+let var x = Var x
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ==> ) a b = Implies (a, b)
+let neg a = Not a
+
+(** Conjunction/disjunction of a list, with the right units. *)
+let conj = function [] -> True | x :: xs -> List.fold_left ( &&& ) x xs
+let disj = function [] -> False | x :: xs -> List.fold_left ( ||| ) x xs
+
+let rec vars = function
+  | True | False -> []
+  | Var x -> [ x ]
+  | Not a -> vars a
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> vars a @ vars b
+
+let var_list f = List.sort_uniq String.compare (vars f)
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var x -> (
+    match List.assoc_opt x env with
+    | Some b -> b
+    | None -> invalid_arg ("Prop.eval: unbound variable " ^ x))
+  | Not a -> not (eval env a)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Implies (a, b) -> (not (eval env a)) || eval env b
+  | Iff (a, b) -> eval env a = eval env b
+
+(** All assignments over the given variables, in a stable order. *)
+let assignments variables =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+      let tails = go rest in
+      List.concat_map (fun t -> [ (v, false) :: t; (v, true) :: t ]) tails
+  in
+  go variables
+
+let tautology f = List.for_all (fun env -> eval env f) (assignments (var_list f))
+let satisfiable f = List.exists (fun env -> eval env f) (assignments (var_list f))
+
+(** Semantic equivalence by truth table over the union of variable sets.
+    Exponential, but our formulas come from diagrams with few letters. *)
+let equivalent f g =
+  let vs = List.sort_uniq String.compare (vars f @ vars g) in
+  List.for_all (fun env -> eval env f = eval env g) (assignments vs)
+
+let entails f g = tautology (Implies (f, g))
+
+(** Negation normal form: negations pushed to variables, ⇒/⇔ eliminated. *)
+let rec nnf = function
+  | (True | False | Var _) as f -> f
+  | Not f -> nnf_neg f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Implies (a, b) -> Or (nnf_neg a, nnf b)
+  | Iff (a, b) -> And (Or (nnf_neg a, nnf b), Or (nnf_neg b, nnf a))
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Var x -> Not (Var x)
+  | Not f -> nnf f
+  | And (a, b) -> Or (nnf_neg a, nnf_neg b)
+  | Or (a, b) -> And (nnf_neg a, nnf_neg b)
+  | Implies (a, b) -> And (nnf a, nnf_neg b)
+  | Iff (a, b) -> Or (And (nnf a, nnf_neg b), And (nnf b, nnf_neg a))
+
+(* Distribute ∨ over ∧ to reach CNF from NNF. *)
+let rec distr_or a b =
+  match (a, b) with
+  | And (a1, a2), _ -> And (distr_or a1 b, distr_or a2 b)
+  | _, And (b1, b2) -> And (distr_or a b1, distr_or a b2)
+  | _ -> Or (a, b)
+
+let rec cnf_of_nnf = function
+  | And (a, b) -> And (cnf_of_nnf a, cnf_of_nnf b)
+  | Or (a, b) -> distr_or (cnf_of_nnf a) (cnf_of_nnf b)
+  | f -> f
+
+let cnf f = cnf_of_nnf (nnf f)
+
+let rec distr_and a b =
+  match (a, b) with
+  | Or (a1, a2), _ -> Or (distr_and a1 b, distr_and a2 b)
+  | _, Or (b1, b2) -> Or (distr_and a b1, distr_and a b2)
+  | _ -> And (a, b)
+
+let rec dnf_of_nnf = function
+  | Or (a, b) -> Or (dnf_of_nnf a, dnf_of_nnf b)
+  | And (a, b) -> distr_and (dnf_of_nnf a) (dnf_of_nnf b)
+  | f -> f
+
+let dnf f = dnf_of_nnf (nnf f)
+
+(** Light simplification: constant folding and double-negation removal. *)
+let rec simplify = function
+  | Not f -> (
+    match simplify f with
+    | True -> False
+    | False -> True
+    | Not g -> g
+    | g -> Not g)
+  | And (a, b) -> (
+    match (simplify a, simplify b) with
+    | False, _ | _, False -> False
+    | True, g | g, True -> g
+    | a', b' -> if a' = b' then a' else And (a', b'))
+  | Or (a, b) -> (
+    match (simplify a, simplify b) with
+    | True, _ | _, True -> True
+    | False, g | g, False -> g
+    | a', b' -> if a' = b' then a' else Or (a', b'))
+  | Implies (a, b) -> (
+    match (simplify a, simplify b) with
+    | False, _ | _, True -> True
+    | True, g -> g
+    | a', False -> simplify (Not a')
+    | a', b' -> Implies (a', b'))
+  | Iff (a, b) -> (
+    match (simplify a, simplify b) with
+    | True, g | g, True -> g
+    | False, g | g, False -> simplify (Not g)
+    | a', b' -> if a' = b' then True else Iff (a', b'))
+  | f -> f
+
+let prec = function
+  | True | False | Var _ -> 5
+  | Not _ -> 4
+  | And _ -> 3
+  | Or _ -> 2
+  | Implies _ -> 1
+  | Iff _ -> 0
+
+let rec pp ppf f =
+  let paren child =
+    if prec child < prec f then Fmt.pf ppf "(%a)" pp child else pp ppf child
+  in
+  let paren_strict child =
+    if prec child <= prec f then Fmt.pf ppf "(%a)" pp child else pp ppf child
+  in
+  match f with
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Var x -> Fmt.string ppf x
+  | Not g ->
+    Fmt.string ppf "!";
+    paren g
+  | And (a, b) ->
+    paren a;
+    Fmt.string ppf " & ";
+    paren_strict b
+  | Or (a, b) ->
+    paren a;
+    Fmt.string ppf " | ";
+    paren_strict b
+  | Implies (a, b) ->
+    paren_strict a;
+    Fmt.string ppf " -> ";
+    paren b
+  | Iff (a, b) ->
+    paren_strict a;
+    Fmt.string ppf " <-> ";
+    paren_strict b
+
+let to_string f = Fmt.str "%a" pp f
+
+(** Recursive-descent parser for the syntax printed by {!pp}.  Grammar:
+    iff := imp ("<->" imp)* ;  imp := or ("->" imp)? ;
+    or := and ("|" and)* ;  and := unary ("&" unary)* ;
+    unary := "!" unary | atom ;
+    atom := "true" | "false" | ident | "(" iff ")". *)
+exception Parse_error of string
+
+let parse (src : string) : t =
+  let n = String.length src in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip () =
+    while !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\t' || src.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let looking s =
+    skip ();
+    let l = String.length s in
+    !pos + l <= n && String.sub src !pos l = s
+  in
+  let eat s = if looking s then (pos := !pos + String.length s; true) else false in
+  let ident () =
+    skip ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match src.[!pos] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then error "expected identifier"
+    else String.sub src start (!pos - start)
+  in
+  let rec iff () =
+    let a = imp () in
+    if eat "<->" then Iff (a, iff ()) else a
+  and imp () =
+    let a = disj_ () in
+    if eat "->" then Implies (a, imp ()) else a
+  and disj_ () =
+    let a = ref (conj_ ()) in
+    while (not (looking "->")) && eat "|" do
+      a := Or (!a, conj_ ())
+    done;
+    !a
+  and conj_ () =
+    let a = ref (unary ()) in
+    while eat "&" do
+      a := And (!a, unary ())
+    done;
+    !a
+  and unary () =
+    if eat "!" then Not (unary ())
+    else if eat "(" then begin
+      let f = iff () in
+      if not (eat ")") then error "expected ')'";
+      f
+    end
+    else
+      match ident () with
+      | "true" -> True
+      | "false" -> False
+      | x -> Var x
+  in
+  let f = iff () in
+  skip ();
+  if !pos <> n then error "trailing input";
+  f

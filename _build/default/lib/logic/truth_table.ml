@@ -1,0 +1,44 @@
+(** Truth tables rendered as text — the tutorial's baseline "non-diagrammatic"
+    representation against which Venn-style diagrams are contrasted. *)
+
+type row = { assignment : (string * bool) list; value : bool }
+
+type t = { variables : string list; rows : row list }
+
+let build f =
+  let variables = Prop.var_list f in
+  let rows =
+    List.map
+      (fun assignment -> { assignment; value = Prop.eval assignment f })
+      (Prop.assignments variables)
+  in
+  { variables; rows }
+
+let models t = List.filter (fun r -> r.value) t.rows
+
+(** Two formulas are equivalent iff their tables over the joint variable set
+    agree row-wise; exposed for cross-checking [Prop.equivalent]. *)
+let agree f g =
+  let vs = List.sort_uniq String.compare (Prop.vars f @ Prop.vars g) in
+  List.for_all
+    (fun env -> Prop.eval env f = Prop.eval env g)
+    (Prop.assignments vs)
+
+let pp ppf t =
+  let b v = if v then "1" else "0" in
+  Fmt.pf ppf "%s | value@." (String.concat " " t.variables);
+  List.iter
+    (fun r ->
+      let cells =
+        List.map
+          (fun v ->
+            let value = List.assoc v r.assignment in
+            (* pad to the variable-name width so columns line up *)
+            let w = String.length v in
+            b value ^ String.make (max 0 (w - 1)) ' ')
+          t.variables
+      in
+      Fmt.pf ppf "%s | %s@." (String.concat " " cells) (b r.value))
+    t.rows
+
+let to_string t = Fmt.str "%a" pp t

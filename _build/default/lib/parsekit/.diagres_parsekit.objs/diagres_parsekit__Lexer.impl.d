@@ -1,0 +1,1 @@
+lib/parsekit/lexer.ml: Buffer List Printf String

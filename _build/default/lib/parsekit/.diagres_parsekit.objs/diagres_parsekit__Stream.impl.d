@@ -1,0 +1,1 @@
+lib/parsekit/stream.ml: Diagres_data Diagres_logic Lexer List Printf String

@@ -1,0 +1,119 @@
+(** A generic tokenizer shared by the RA, RC, SQL and Datalog parsers.
+
+    Tokens: identifiers (letters, digits, [_], [.], optionally case-folded),
+    integer and float literals, single-quoted strings with doubled-quote
+    escapes, and multi-character symbols drawn from a fixed table.  Comments
+    ([-- …] to end of line) are skipped.  Every token carries its source
+    offset so parse errors are located. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Sym of string
+  | Eof
+
+type spanned = { tok : token; off : int }
+
+exception Lex_error of string * int
+
+(* Longest-match-first symbol table: multi-char symbols must precede their
+   prefixes. *)
+let default_symbols =
+  [ "<->"; "->"; "<="; ">="; "<>"; "!="; ":-"; "||"; "&&"; "(" ; ")"; "[";
+    "]"; "{"; "}"; ","; ";"; "."; "="; "<"; ">"; "*"; "+"; "-"; "/"; "!";
+    "&"; "|"; "∃"; "∀"; "¬"; "∧"; "∨"; ":" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize ~symbols ~ident_dot src] lexes [src] to a token list.
+    [ident_dot] lets qualified names like [s.sid] lex as one identifier
+    (used by SQL/TRC); when false, [.] lexes as a symbol (used by RC
+    quantifier syntax is still fine because variables there are unqualified). *)
+let tokenize ?(symbols = default_symbols) ?(ident_dot = false) src =
+  let n = String.length src in
+  let out = ref [] in
+  let pos = ref 0 in
+  let push tok off = out := { tok; off } :: !out in
+  let match_symbol () =
+    List.find_opt
+      (fun s ->
+        let l = String.length s in
+        !pos + l <= n && String.sub src !pos l = s)
+      symbols
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && !pos + 1 < n && src.[!pos + 1] = '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while
+        !pos < n
+        && (is_ident_char src.[!pos]
+           || (ident_dot && src.[!pos] = '.' && !pos + 1 < n
+              && is_ident_start src.[!pos + 1]))
+      do
+        incr pos
+      done;
+      push (Ident (String.sub src start (!pos - start))) start
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      if !pos < n && src.[!pos] = '.' && !pos + 1 < n && is_digit src.[!pos + 1]
+      then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done;
+        push (Float (float_of_string (String.sub src start (!pos - start)))) start
+      end
+      else push (Int (int_of_string (String.sub src start (!pos - start)))) start
+    end
+    else if c = '\'' then begin
+      let start = !pos in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Lex_error ("unterminated string", start))
+        else if src.[!pos] = '\'' then
+          if !pos + 1 < n && src.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            go ()
+          end
+          else incr pos
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          go ()
+        end
+      in
+      go ();
+      push (Str (Buffer.contents buf)) start
+    end
+    else
+      match match_symbol () with
+      | Some s ->
+        push (Sym s) !pos;
+        pos := !pos + String.length s
+      | None -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !pos))
+  done;
+  push Eof n;
+  List.rev !out
+
+let token_to_string = function
+  | Ident s -> s
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Str s -> "'" ^ s ^ "'"
+  | Sym s -> s
+  | Eof -> "<eof>"

@@ -1,0 +1,101 @@
+(** A mutable cursor over a token list, with the combinators every
+    recursive-descent parser in this project is written against. *)
+
+exception Parse_error of string * int
+
+type t = {
+  mutable toks : Lexer.spanned list;
+  src : string;  (** original text, for error context *)
+  case_fold : bool;  (** compare keywords case-insensitively (SQL) *)
+}
+
+let of_tokens ?(case_fold = false) src toks = { toks; src; case_fold }
+
+let make ?symbols ?ident_dot ?case_fold src =
+  of_tokens ?case_fold src (Lexer.tokenize ?symbols ?ident_dot src)
+
+let current s =
+  match s.toks with [] -> Lexer.{ tok = Eof; off = 0 } | t :: _ -> t
+
+let peek s = (current s).Lexer.tok
+
+let peek2 s =
+  match s.toks with _ :: t :: _ -> t.Lexer.tok | _ -> Lexer.Eof
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let offset s = (current s).Lexer.off
+
+let error s msg =
+  let off = offset s in
+  let context =
+    let stop = min (String.length s.src) (off + 20) in
+    String.sub s.src off (stop - off)
+  in
+  raise (Parse_error (Printf.sprintf "%s near %S" msg context, off))
+
+let fold s x = if s.case_fold then String.lowercase_ascii x else x
+
+(** Keyword test: matches an [Ident] equal to [kw] under the case rule. *)
+let at_kw s kw =
+  match peek s with Lexer.Ident x -> fold s x = fold s kw | _ -> false
+
+let at_sym s sym = match peek s with Lexer.Sym x -> x = sym | _ -> false
+
+let eat_kw s kw = if at_kw s kw then (advance s; true) else false
+let eat_sym s sym = if at_sym s sym then (advance s; true) else false
+
+let expect_kw s kw =
+  if not (eat_kw s kw) then error s (Printf.sprintf "expected %S" kw)
+
+let expect_sym s sym =
+  if not (eat_sym s sym) then error s (Printf.sprintf "expected %S" sym)
+
+let ident s =
+  match peek s with
+  | Lexer.Ident x ->
+    advance s;
+    x
+  | t -> error s (Printf.sprintf "expected identifier, got %s" (Lexer.token_to_string t))
+
+(** Identifier that is not one of [reserved] (case-rule applied). *)
+let ident_not s reserved =
+  match peek s with
+  | Lexer.Ident x when not (List.mem (fold s x) (List.map (fold s) reserved)) ->
+    advance s;
+    x
+  | t -> error s (Printf.sprintf "expected name, got %s" (Lexer.token_to_string t))
+
+let value s =
+  match peek s with
+  | Lexer.Int i -> advance s; Diagres_data.Value.Int i
+  | Lexer.Float f -> advance s; Diagres_data.Value.Float f
+  | Lexer.Str str -> advance s; Diagres_data.Value.String str
+  | Lexer.Sym "-" -> (
+    advance s;
+    match peek s with
+    | Lexer.Int i -> advance s; Diagres_data.Value.Int (-i)
+    | Lexer.Float f -> advance s; Diagres_data.Value.Float (-.f)
+    | _ -> error s "expected number after '-'")
+  | t -> error s (Printf.sprintf "expected literal, got %s" (Lexer.token_to_string t))
+
+let at_eof s = peek s = Lexer.Eof
+
+let expect_eof s = if not (at_eof s) then error s "trailing input"
+
+(** [sep_list1 s ~sep p] parses [p (sep p)*]. *)
+let sep_list1 s ~sep p =
+  let first = p s in
+  let rec go acc = if eat_sym s sep then go (p s :: acc) else List.rev acc in
+  go [ first ]
+
+(** Comparison-operator token shared by every language's predicate syntax. *)
+let cmp_op s : Diagres_logic.Fol.cmp option =
+  match peek s with
+  | Lexer.Sym "=" -> advance s; Some Diagres_logic.Fol.Eq
+  | Lexer.Sym "<>" | Lexer.Sym "!=" -> advance s; Some Diagres_logic.Fol.Neq
+  | Lexer.Sym "<=" -> advance s; Some Diagres_logic.Fol.Le
+  | Lexer.Sym ">=" -> advance s; Some Diagres_logic.Fol.Ge
+  | Lexer.Sym "<" -> advance s; Some Diagres_logic.Fol.Lt
+  | Lexer.Sym ">" -> advance s; Some Diagres_logic.Fol.Gt
+  | _ -> None

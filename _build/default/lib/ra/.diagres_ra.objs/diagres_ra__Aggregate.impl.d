@@ -1,0 +1,1 @@
+lib/ra/aggregate.ml: Diagres_data Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/ra/ast.ml: Diagres_data Diagres_logic List

@@ -1,0 +1,1 @@
+lib/ra/eval.ml: Ast Diagres_data Diagres_logic List

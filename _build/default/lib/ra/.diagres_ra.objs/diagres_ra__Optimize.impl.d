@@ -1,0 +1,1 @@
+lib/ra/optimize.ml: Ast Diagres_data Diagres_logic List Option Typecheck

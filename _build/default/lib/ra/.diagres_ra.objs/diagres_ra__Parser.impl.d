@@ -1,0 +1,1 @@
+lib/ra/parser.ml: Ast Diagres_parsekit List

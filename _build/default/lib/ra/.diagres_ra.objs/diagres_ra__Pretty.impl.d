@@ -1,0 +1,1 @@
+lib/ra/pretty.ml: Ast Buffer Diagres_data Diagres_logic Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/ra/typecheck.ml: Ast Diagres_data Format List

@@ -1,0 +1,110 @@
+(** Grouping and aggregation — the step {e beyond} first-order logic.
+
+    The tutorial bounds its scope at FOL expressiveness and observes that
+    surveyed tools bolt aggregation on outside the diagram (dbForge's
+    "separate query configurator").  This module makes the boundary
+    concrete: an extended-RA operator γ[by; aggs] over the same relation
+    substrate, deliberately {e not} part of {!Ast} — no calculus
+    translation and no diagram mapping exists for it, which is the point. *)
+
+module D = Diagres_data
+
+type func =
+  | Count                 (** COUNT of all group rows *)
+  | Count_distinct of string
+  | Sum of string
+  | Min of string
+  | Max of string
+  | Avg of string
+
+type spec = { func : func; output : string }
+
+exception Aggregate_error of string
+
+let func_to_string = function
+  | Count -> "count(*)"
+  | Count_distinct a -> Printf.sprintf "count(distinct %s)" a
+  | Sum a -> Printf.sprintf "sum(%s)" a
+  | Min a -> Printf.sprintf "min(%s)" a
+  | Max a -> Printf.sprintf "max(%s)" a
+  | Avg a -> Printf.sprintf "avg(%s)" a
+
+let apply_func (schema : D.Schema.t) (tuples : D.Tuple.t list) (f : func) :
+    D.Value.t =
+  let column a = List.map (D.Tuple.field schema a) tuples in
+  let numeric a =
+    List.filter_map D.Value.to_float (column a)
+  in
+  match f with
+  | Count -> D.Value.Int (List.length tuples)
+  | Count_distinct a ->
+    D.Value.Int (List.length (List.sort_uniq D.Value.compare (column a)))
+  | Sum a -> D.Value.Float (List.fold_left ( +. ) 0. (numeric a))
+  | Avg a -> (
+    match numeric a with
+    | [] -> D.Value.Null
+    | xs -> D.Value.Float (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)))
+  | Min a -> (
+    match column a with
+    | [] -> D.Value.Null
+    | v :: vs -> List.fold_left (fun m x -> if D.Value.compare x m < 0 then x else m) v vs)
+  | Max a -> (
+    match column a with
+    | [] -> D.Value.Null
+    | v :: vs -> List.fold_left (fun m x -> if D.Value.compare x m > 0 then x else m) v vs)
+
+let func_ty = function
+  | Count | Count_distinct _ -> D.Value.Tint
+  | Sum _ | Avg _ -> D.Value.Tfloat
+  | Min _ | Max _ -> D.Value.Tany
+
+(** γ[by; specs]: group rows of [rel] by the [by] columns and compute one
+    output column per spec.  With [by = []] the whole relation is one group
+    (global aggregates over an empty relation still yield one row, matching
+    SQL).  *)
+let group ~(by : string list) ~(specs : spec list) (rel : D.Relation.t) :
+    D.Relation.t =
+  if specs = [] then raise (Aggregate_error "no aggregate specified");
+  let schema = D.Relation.schema rel in
+  List.iter
+    (fun a ->
+      if not (D.Schema.mem a schema) then
+        raise (Aggregate_error ("unknown grouping attribute " ^ a)))
+    by;
+  List.iter
+    (fun s ->
+      match s.func with
+      | Count -> ()
+      | Count_distinct a | Sum a | Min a | Max a | Avg a ->
+        if not (D.Schema.mem a schema) then
+          raise (Aggregate_error ("unknown aggregated attribute " ^ a)))
+    specs;
+  let out_schema =
+    List.map
+      (fun a -> D.Schema.attr ~ty:(Option.get (D.Schema.find_opt a schema)).D.Schema.ty a)
+      by
+    @ List.map (fun s -> D.Schema.attr ~ty:(func_ty s.func) s.output) specs
+  in
+  D.Schema.check_distinct out_schema;
+  let groups = Hashtbl.create 16 in
+  D.Relation.iter
+    (fun tup ->
+      let key = List.map (D.Tuple.field schema) by |> List.map (fun f -> f tup) in
+      Hashtbl.replace groups key
+        (tup :: (try Hashtbl.find groups key with Not_found -> [])))
+    rel;
+  (* SQL convention: global aggregate over ∅ is one row *)
+  if Hashtbl.length groups = 0 && by = [] then Hashtbl.replace groups [] [];
+  let rows =
+    Hashtbl.fold
+      (fun key tuples acc ->
+        (key @ List.map (fun s -> apply_func schema tuples s.func) specs)
+        :: acc)
+      groups []
+  in
+  D.Relation.of_lists out_schema rows
+
+(** HAVING: a post-grouping filter. *)
+let having (pred : D.Tuple.t -> D.Schema.t -> bool) (rel : D.Relation.t) =
+  let schema = D.Relation.schema rel in
+  D.Relation.filter (fun t -> pred t schema) rel

@@ -1,0 +1,53 @@
+(** RA evaluator over the in-memory relation substrate. *)
+
+module D = Diagres_data
+
+exception Eval_error of string
+
+let operand_value schema tup = function
+  | Ast.Const v -> v
+  | Ast.Attr a -> D.Tuple.field schema a tup
+
+let rec pred_holds schema tup = function
+  | Ast.Cmp (op, a, b) ->
+    Diagres_logic.Fol.cmp_eval op
+      (operand_value schema tup a)
+      (operand_value schema tup b)
+  | Ast.And (p, q) -> pred_holds schema tup p && pred_holds schema tup q
+  | Ast.Or (p, q) -> pred_holds schema tup p || pred_holds schema tup q
+  | Ast.Not p -> not (pred_holds schema tup p)
+  | Ast.Ptrue -> true
+
+let rec eval db (e : Ast.t) : D.Relation.t =
+  match e with
+  | Ast.Rel r -> (
+    match D.Database.find_opt r db with
+    | Some rel -> rel
+    | None -> raise (Eval_error ("unknown relation " ^ r)))
+  | Ast.Select (p, e) ->
+    let rel = eval db e in
+    let schema = D.Relation.schema rel in
+    D.Relation.filter (fun t -> pred_holds schema t p) rel
+  | Ast.Project (attrs, e) -> D.Relation.project attrs (eval db e)
+  | Ast.Rename (pairs, e) ->
+    let rel = eval db e in
+    let schema = D.Relation.schema rel in
+    let names =
+      List.map
+        (fun (a : D.Schema.attribute) ->
+          match List.assoc_opt a.D.Schema.name pairs with
+          | Some fresh -> fresh
+          | None -> a.D.Schema.name)
+        schema
+    in
+    D.Relation.rename_all names rel
+  | Ast.Product (a, b) -> D.Relation.product (eval db a) (eval db b)
+  | Ast.Join (a, b) -> D.Relation.natural_join (eval db a) (eval db b)
+  | Ast.Theta_join (p, a, b) ->
+    let prod = D.Relation.product (eval db a) (eval db b) in
+    let schema = D.Relation.schema prod in
+    D.Relation.filter (fun t -> pred_holds schema t p) prod
+  | Ast.Union (a, b) -> D.Relation.union (eval db a) (eval db b)
+  | Ast.Inter (a, b) -> D.Relation.inter (eval db a) (eval db b)
+  | Ast.Diff (a, b) -> D.Relation.diff (eval db a) (eval db b)
+  | Ast.Division (a, b) -> D.Relation.division (eval db a) (eval db b)

@@ -1,0 +1,117 @@
+(** Schema inference for RA expressions.
+
+    Given the database schemas, computes the output schema of an expression
+    or fails with a located, human-readable error.  This is the analysis the
+    diagram generators rely on to label boxes and edges. *)
+
+module D = Diagres_data
+
+exception Type_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+type env = (string * D.Schema.t) list
+
+let env_of_database db =
+  List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
+
+let operand_ty schema = function
+  | Ast.Const v -> Some (D.Value.type_of v)
+  | Ast.Attr a -> (
+    match D.Schema.find_opt a schema with
+    | Some at -> Some at.D.Schema.ty
+    | None ->
+      error "unknown attribute %S in predicate (schema: %s)" a
+        (D.Schema.to_string schema))
+
+let rec check_pred schema = function
+  | Ast.Cmp (_, a, b) ->
+    (* Both operands must resolve.  Comparisons themselves are dynamically
+       typed: [Value.compare] is total, and cross-type comparisons (which
+       arise when selections distribute over the heterogeneous active-domain
+       union) simply evaluate to false. *)
+    ignore (operand_ty schema a : D.Value.ty option);
+    ignore (operand_ty schema b : D.Value.ty option)
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+    check_pred schema a;
+    check_pred schema b
+  | Ast.Not p -> check_pred schema p
+  | Ast.Ptrue -> ()
+
+let rec infer (env : env) (e : Ast.t) : D.Schema.t =
+  match e with
+  | Ast.Rel r -> (
+    match List.assoc_opt r env with
+    | Some s -> s
+    | None -> error "unknown relation %S" r)
+  | Ast.Select (p, e) ->
+    let s = infer env e in
+    check_pred s p;
+    s
+  | Ast.Project (attrs, e) ->
+    (* [attrs = []] yields the nullary relation (a Boolean: empty, or the
+       empty tuple) — needed as target of Boolean calculus queries *)
+    let s = infer env e in
+    let out = D.Schema.project attrs s in
+    D.Schema.check_distinct out;
+    out
+  | Ast.Rename (pairs, e) ->
+    let s = infer env e in
+    (* simultaneous renaming: resolve all sources against the input schema *)
+    let renamed =
+      List.map
+        (fun (a : D.Schema.attribute) ->
+          match List.assoc_opt a.D.Schema.name pairs with
+          | Some fresh -> { a with D.Schema.name = fresh }
+          | None -> a)
+        s
+    in
+    List.iter
+      (fun (old, _) ->
+        if not (D.Schema.mem old s) then
+          error "rename source %S not in schema %s" old (D.Schema.to_string s))
+      pairs;
+    D.Schema.check_distinct renamed;
+    renamed
+  | Ast.Product (a, b) ->
+    D.Schema.concat_disjoint (infer env a) (infer env b)
+  | Ast.Join (a, b) ->
+    let sa = infer env a and sb = infer env b in
+    let shared = D.Schema.names (D.Schema.common sa sb) in
+    sa @ List.filter (fun (x : D.Schema.attribute) -> not (List.mem x.D.Schema.name shared)) sb
+  | Ast.Theta_join (p, a, b) ->
+    let s = D.Schema.concat_disjoint (infer env a) (infer env b) in
+    check_pred s p;
+    s
+  | Ast.Union (a, b) | Ast.Inter (a, b) | Ast.Diff (a, b) ->
+    let sa = infer env a and sb = infer env b in
+    if not (D.Schema.compatible sa sb) then
+      error "set operation on incompatible schemas %s vs %s"
+        (D.Schema.to_string sa) (D.Schema.to_string sb);
+    D.Schema.join_types sa sb
+  | Ast.Division (a, b) ->
+    let sa = infer env a and sb = infer env b in
+    List.iter
+      (fun n ->
+        if not (D.Schema.mem n sa) then
+          error "division: divisor attribute %S not in dividend" n)
+      (D.Schema.names sb);
+    let keep =
+      List.filter
+        (fun (x : D.Schema.attribute) -> not (D.Schema.mem x.D.Schema.name sb))
+        sa
+    in
+    if keep = [] then error "division result would have empty schema";
+    keep
+
+(* Re-raise schema-level failures (unknown attributes, duplicate names, …)
+   as type errors so callers see one exception type. *)
+let infer env e =
+  try infer env e
+  with D.Schema.Schema_error msg -> raise (Type_error msg)
+
+let infer_db db e = infer (env_of_database db) e
+
+(** [check env e] is [infer] that reports success as a boolean. *)
+let well_typed env e =
+  match infer env e with _ -> true | exception Type_error _ -> false

@@ -1,0 +1,1 @@
+lib/rc/drc_parser.ml: Diagres_logic Diagres_parsekit Drc List

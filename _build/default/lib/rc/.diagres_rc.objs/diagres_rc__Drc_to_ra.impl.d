@@ -1,0 +1,1 @@
+lib/rc/drc_to_ra.ml: Diagres_data Diagres_logic Diagres_ra Drc Hashtbl List String

@@ -1,0 +1,1 @@
+lib/rc/ra_rewrite.ml: Diagres_data Diagres_logic Diagres_ra List

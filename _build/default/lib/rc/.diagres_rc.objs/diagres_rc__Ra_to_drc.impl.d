@@ -1,0 +1,1 @@
+lib/rc/ra_to_drc.ml: Diagres_data Diagres_logic Diagres_ra Drc List Printf Ra_rewrite

@@ -1,0 +1,1 @@
+lib/rc/ra_to_trc.ml: Diagres_data Diagres_logic Diagres_ra List Ra_rewrite String Trc

@@ -1,0 +1,1 @@
+lib/rc/safety.ml: Diagres_data Diagres_logic Drc List Printf Set String

@@ -1,0 +1,1 @@
+lib/rc/translate.ml: Diagres_data Diagres_ra Drc Drc_to_ra List Ra_to_drc Ra_to_trc Trc Trc_to_drc

@@ -1,0 +1,1 @@
+lib/rc/trc.ml: Diagres_data Diagres_logic Fmt Format List Printf String

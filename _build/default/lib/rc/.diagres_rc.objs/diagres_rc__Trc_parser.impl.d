@@ -1,0 +1,1 @@
+lib/rc/trc_parser.ml: Diagres_parsekit List Printf String Trc

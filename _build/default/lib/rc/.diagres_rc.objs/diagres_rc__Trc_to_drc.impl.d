@@ -1,0 +1,1 @@
+lib/rc/trc_to_drc.ml: Diagres_data Diagres_logic Drc List Trc

@@ -1,0 +1,74 @@
+(** Domain Relational Calculus: first-order logic with free variables
+    returning answer relations.
+
+    DRC is the language closest to FOL, hence the bridge between relational
+    queries and the century of diagrammatic-reasoning formalisms: Peirce's
+    beta existential graphs denote exactly its Boolean fragment.  A query is
+    [{ x₁, …, xₖ | φ }] with [free(φ) = {x₁, …, xₖ}]. *)
+
+type query = { head : string list; body : Diagres_logic.Fol.t }
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let query head body = { head; body }
+
+(** Check head/free-variable agreement and predicate arities against the
+    database schemas. *)
+let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
+  let free = Diagres_logic.Fol.free_var_list q.body in
+  let head_sorted = List.sort_uniq String.compare q.head in
+  if List.length head_sorted <> List.length q.head then
+    type_error "duplicate head variable";
+  if head_sorted <> free then
+    type_error "head variables {%s} must equal free variables {%s}"
+      (String.concat "," q.head) (String.concat "," free);
+  List.iter
+    (fun (p, arity) ->
+      match List.assoc_opt p schemas with
+      | None -> type_error "unknown relation %S" p
+      | Some s ->
+        if Diagres_data.Schema.arity s <> arity then
+          type_error "relation %S used with arity %d, declared %d" p arity
+            (Diagres_data.Schema.arity s))
+    (Diagres_logic.Fol.predicate_list q.body)
+
+(** Active-domain evaluation (naive).  For safe-range queries this agrees
+    with the natural (domain-independent) semantics; for unsafe ones it
+    exhibits exactly the domain dependence the tutorial discusses around
+    Peirce's beta graphs. *)
+let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
+  let module D = Diagres_data in
+  (* miniscoping keeps the naive enumeration from exploring quantifier
+     blocks irrelevant to each conjunct *)
+  let body = Diagres_logic.Fol.miniscope q.body in
+  let st = Diagres_logic.Structure.for_formula body db in
+  let rows = Diagres_logic.Structure.answers st ~order:q.head body in
+  if q.head = [] then
+    if Diagres_logic.Structure.eval_sentence st body then
+      D.Relation.of_lists [] [ [] ]
+    else D.Relation.empty []
+  else
+    let ty_of_col i =
+      match rows with
+      | [] -> D.Value.Tint
+      | row :: _ -> D.Value.type_of (List.nth row i)
+    in
+    let schema = List.mapi (fun i x -> D.Schema.attr ~ty:(ty_of_col i) x) q.head in
+    D.Relation.of_lists schema rows
+
+let eval_sentence db body =
+  let body = Diagres_logic.Fol.miniscope body in
+  let st = Diagres_logic.Structure.for_formula body db in
+  Diagres_logic.Structure.eval_sentence st body
+
+(* -------------------------------------------------------------------- *)
+(* Concrete syntax. *)
+
+let to_string q =
+  Printf.sprintf "{ %s | %s }"
+    (String.concat ", " q.head)
+    (Diagres_logic.Fol.to_string q.body)
+
+let pp ppf q = Fmt.string ppf (to_string q)

@@ -1,0 +1,99 @@
+(** Parser for the DRC concrete syntax printed by {!Drc.to_string}:
+
+    {v
+    { s | exists n, r, a (Sailor(s, n, r, a)
+          & exists b, d, c (Reserves(s, b, d) & Boat(b, n2, 'red'))) }
+    v}
+
+    Connectives accept both word ([and]/[or]/[not]) and symbol ([&]/[|]/[!])
+    spellings; quantifiers are [exists x, y (…)] and [forall x (…)]. *)
+
+module S = Diagres_parsekit.Stream
+module L = Diagres_parsekit.Lexer
+module F = Diagres_logic.Fol
+
+exception Parse_error = S.Parse_error
+
+let keywords =
+  [ "and"; "or"; "not"; "implies"; "exists"; "forall"; "true"; "false" ]
+
+let term s : F.term =
+  match S.peek s with
+  | L.Ident x when not (List.mem x keywords) ->
+    S.advance s;
+    F.Var x
+  | _ -> F.Const (S.value s)
+
+let var_list s = S.sep_list1 s ~sep:"," (fun s -> S.ident_not s keywords)
+
+let rec formula s : F.t =
+  let a = or_formula s in
+  if S.eat_kw s "implies" || S.eat_sym s "->" then F.Implies (a, formula s)
+  else a
+
+and or_formula s =
+  let a = ref (and_formula s) in
+  while S.at_kw s "or" || S.at_sym s "|" do
+    S.advance s;
+    a := F.Or (!a, and_formula s)
+  done;
+  !a
+
+and and_formula s =
+  let a = ref (unary s) in
+  while S.at_kw s "and" || S.at_sym s "&" do
+    S.advance s;
+    a := F.And (!a, unary s)
+  done;
+  !a
+
+and unary s =
+  if S.eat_kw s "not" || S.eat_sym s "!" then F.Not (unary s)
+  else if S.eat_kw s "true" then F.True
+  else if S.eat_kw s "false" then F.False
+  else if S.at_kw s "exists" || S.at_kw s "forall" then begin
+    let is_exists = S.at_kw s "exists" in
+    S.advance s;
+    let vs = var_list s in
+    S.expect_sym s "(";
+    let f = formula s in
+    S.expect_sym s ")";
+    if is_exists then F.exists_many vs f else F.forall_many vs f
+  end
+  else if S.at_sym s "(" then begin
+    S.expect_sym s "(";
+    let f = formula s in
+    S.expect_sym s ")";
+    f
+  end
+  else begin
+    (* predicate atom or comparison: ident "(" … ")" is an atom *)
+    match (S.peek s, S.peek2 s) with
+    | L.Ident p, L.Sym "(" when not (List.mem p keywords) ->
+      S.advance s;
+      S.expect_sym s "(";
+      let args = S.sep_list1 s ~sep:"," term in
+      S.expect_sym s ")";
+      F.Pred (p, args)
+    | _ -> (
+      let a = term s in
+      match S.cmp_op s with
+      | Some op -> F.Cmp (op, a, term s)
+      | None -> S.error s "expected comparison operator")
+  end
+
+let parse_formula src : F.t =
+  let s = S.make src in
+  let f = formula s in
+  S.expect_eof s;
+  f
+
+let parse src : Drc.query =
+  let s = S.make src in
+  S.expect_sym s "{";
+  let head = if S.at_sym s "|" then [] else var_list s in
+  S.expect_sym s "|";
+  let body = formula s in
+  S.expect_sym s "}";
+  S.expect_eof s;
+  { Drc.head; body }

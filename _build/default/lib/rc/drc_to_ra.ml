@@ -1,0 +1,258 @@
+(** DRC → RA under active-domain semantics (the constructive half of Codd's
+    theorem, in its compositional "adom" form).
+
+    Every subformula φ with free variables {x₁,…,xₖ} translates to an RA
+    expression over schema (x₁,…,xₖ):
+
+    - atoms select/equate positions of the base relation and rename columns
+      to variable names;
+    - comparisons select over products of the active-domain relation;
+    - ∧ is natural join, ∨ is union after padding both sides with adom
+      columns, ¬φ is adomᵏ − E(φ);
+    - ∃x projects the column away (∀ and ⇒ are rewritten first).
+
+    For safe-range queries (checked with {!Safety.safe_range}) the result
+    agrees with the natural semantics; for unsafe ones it realizes the
+    active-domain reading — exactly the semantic subtlety the tutorial
+    discusses for Peirce's beta graphs. *)
+
+module A = Diagres_ra.Ast
+module F = Diagres_logic.Fol
+
+exception Unsupported of string
+
+(** The active-domain relation with a single column named [x]:
+    ⋃_R ⋃_a ρ[a→x](π[a](R)). *)
+let adom schemas x : A.t =
+  let pieces =
+    List.concat_map
+      (fun (r, schema) ->
+        List.map
+          (fun a ->
+            let p = A.Project ([ a ], A.Rel r) in
+            if a = x then p else A.Rename ([ (a, x) ], p))
+          (Diagres_data.Schema.names schema))
+      schemas
+  in
+  match pieces with
+  | [] -> raise (Unsupported "empty database schema: no active domain")
+  | p :: ps -> List.fold_left (fun acc q -> A.Union (acc, q)) p ps
+
+let adom_product schemas xs : A.t =
+  match xs with
+  | [] -> raise (Unsupported "nullary active-domain product")
+  | x :: rest ->
+    List.fold_left (fun acc y -> A.Product (acc, adom schemas y)) (adom schemas x) rest
+
+(* Eliminate ⇒ and ∀ (as ¬∃¬), keeping ∃/∧/∨/¬ only. *)
+let rec prepare (f : F.t) : F.t =
+  match f with
+  | F.True | F.False | F.Pred _ | F.Cmp _ -> f
+  | F.Not g -> F.Not (prepare g)
+  | F.And (a, b) -> F.And (prepare a, prepare b)
+  | F.Or (a, b) -> F.Or (prepare a, prepare b)
+  | F.Implies (a, b) -> F.Or (F.Not (prepare a), prepare b)
+  | F.Exists (x, g) -> F.Exists (x, prepare g)
+  | F.Forall (x, g) -> F.Not (F.Exists (x, F.Not (prepare g)))
+
+(** Translate an atom R(t₁,…,tₖ): select positions carrying constants or
+    repeated variables, project one representative position per variable,
+    and rename to the variable names. *)
+let atom schemas (p : string) (ts : F.term list) : A.t * string list =
+  let schema =
+    match List.assoc_opt p schemas with
+    | Some s -> s
+    | None -> raise (Unsupported ("unknown relation " ^ p))
+  in
+  let attrs = Diagres_data.Schema.names schema in
+  if List.length attrs <> List.length ts then
+    raise (Unsupported ("arity mismatch for " ^ p));
+  let paired = List.combine attrs ts in
+  (* selection conditions *)
+  let conds =
+    List.concat_map
+      (fun (a, t) ->
+        match t with
+        | F.Const c -> [ A.Cmp (F.Eq, A.Attr a, A.Const c) ]
+        | F.Var _ -> [])
+      paired
+  in
+  (* first attribute position for each variable; equality among repeats *)
+  let var_repr = Hashtbl.create 8 in
+  let eq_conds =
+    List.concat_map
+      (fun (a, t) ->
+        match t with
+        | F.Var x -> (
+          match Hashtbl.find_opt var_repr x with
+          | None ->
+            Hashtbl.add var_repr x a;
+            []
+          | Some a0 -> [ A.Cmp (F.Eq, A.Attr a0, A.Attr a) ])
+        | F.Const _ -> [])
+      paired
+  in
+  let vars =
+    List.filter_map
+      (fun (a, t) ->
+        match t with
+        | F.Var x when Hashtbl.find_opt var_repr x = Some a -> Some (a, x)
+        | _ -> None)
+      paired
+  in
+  let selected = A.Select (A.pred_conj (conds @ eq_conds), A.Rel p) in
+  let projected = A.Project (List.map fst vars, selected) in
+  let renames = List.filter (fun (a, x) -> a <> x) vars in
+  let out = if renames = [] then projected else A.Rename (renames, projected) in
+  (out, List.map snd vars)
+
+(* Pad expression [e] (over columns [have]) with adom columns for the
+   variables in [want] missing from [have]; returns columns in [want]'s
+   order via a final projection. *)
+let pad schemas (e, have) want : A.t =
+  let missing = List.filter (fun x -> not (List.mem x have)) want in
+  let widened =
+    List.fold_left (fun acc x -> A.Product (acc, adom schemas x)) e missing
+  in
+  A.Project (want, widened)
+
+let sort_vars = List.sort_uniq String.compare
+
+(** Core translation: returns the expression and its column list (sorted). *)
+let rec trans schemas (f : F.t) : A.t * string list =
+  match f with
+  | F.True | F.False ->
+    raise
+      (Unsupported
+         "constant subformula with no free variables; simplify the formula \
+          first")
+  | F.Pred (p, ts) ->
+    let e, cols = atom schemas p ts in
+    let order = sort_vars cols in
+    ((if cols = order then e else A.Project (order, e)), order)
+  | F.Cmp (op, a, b) -> (
+    match (a, b) with
+    | F.Var x, F.Var y when x = y ->
+      if op = F.Eq || op = F.Le || op = F.Ge then (adom schemas x, [ x ])
+      else
+        (* x <> x and friends are unsatisfiable: the empty unary relation *)
+        let a = adom schemas x in
+        (A.Diff (a, a), [ x ])
+    | F.Var x, F.Var y ->
+      let order = sort_vars [ x; y ] in
+      let prod = adom_product schemas order in
+      (A.Select (A.Cmp (op, A.Attr x, A.Attr y), prod), order)
+    | F.Var x, F.Const c ->
+      (A.Select (A.Cmp (op, A.Attr x, A.Const c), adom schemas x), [ x ])
+    | F.Const c, F.Var x ->
+      (A.Select (A.Cmp (op, A.Const c, A.Attr x), adom schemas x), [ x ])
+    | F.Const _, F.Const _ ->
+      raise (Unsupported "ground comparison; constant-fold the formula first"))
+  | F.And _ ->
+    (* n-ary conjunction: translate non-comparison conjuncts first and join
+       them; comparisons whose variables are already bound then become
+       selections — avoiding the adomᵏ materialization entirely for the
+       common conjunctive-query shape. *)
+    let rec conjuncts = function
+      | F.And (a, b) -> conjuncts a @ conjuncts b
+      | g -> [ g ]
+    in
+    let is_cmp = function F.Cmp _ -> true | _ -> false in
+    let cmps, rest = List.partition is_cmp (conjuncts f) in
+    let base =
+      match rest with
+      | [] -> None
+      | g :: gs ->
+        Some
+          (List.fold_left
+             (fun (ea, va) g' ->
+               let eb, vb = trans schemas g' in
+               let vars = sort_vars (va @ vb) in
+               (A.Project (vars, A.Join (ea, eb)), vars))
+             (trans schemas g) gs)
+    in
+    let apply_cmp (e, cols) g =
+      match g with
+      | F.Cmp (op, x, y) ->
+        let needed = List.concat_map (function F.Var v -> [ v ] | F.Const _ -> []) [ x; y ] in
+        let missing = List.filter (fun v -> not (List.mem v cols)) needed in
+        let cols' = sort_vars (cols @ missing) in
+        let widened =
+          List.fold_left (fun acc v -> A.Product (acc, adom schemas v)) e missing
+        in
+        let operand = function
+          | F.Var v -> A.Attr v
+          | F.Const c -> A.Const c
+        in
+        (A.Project (cols', A.Select (A.Cmp (op, operand x, operand y), widened)), cols')
+      | _ -> assert false
+    in
+    (match base with
+    | Some acc -> List.fold_left apply_cmp acc cmps
+    | None -> (
+      (* pure comparison conjunction: fall back to pairwise translation *)
+      match cmps with
+      | [] -> assert false
+      | g :: gs ->
+        List.fold_left
+          (fun (ea, va) g' ->
+            let eb, vb = trans schemas g' in
+            let vars = sort_vars (va @ vb) in
+            (A.Project (vars, A.Join (ea, eb)), vars))
+          (trans schemas g) gs))
+  | F.Or (a, b) ->
+    let ea, va = trans schemas a and eb, vb = trans schemas b in
+    let vars = sort_vars (va @ vb) in
+    (A.Union (pad schemas (ea, va) vars, pad schemas (eb, vb) vars), vars)
+  | F.Not g ->
+    let eg, vg = trans schemas g in
+    if vg = [] then raise (Unsupported "negation of a closed subformula");
+    (A.Diff (A.Project (vg, adom_product schemas vg), eg), vg)
+  | F.Exists (x, g) ->
+    let eg, vg = trans schemas g in
+    if not (List.mem x vg) then (eg, vg)
+    else
+      let rest = List.filter (( <> ) x) vg in
+      (A.Project (rest, eg), rest)
+  | F.Implies _ | F.Forall _ ->
+    invalid_arg "trans: formula not prepared (Implies/Forall remain)"
+
+(* Fold True/False through connectives so [trans] never sees closed
+   constants except at top level. *)
+let rec simplify (f : F.t) : F.t =
+  match f with
+  | F.True | F.False | F.Pred _ -> f
+  | F.Cmp (op, F.Const a, F.Const b) ->
+    if F.cmp_eval op a b then F.True else F.False
+  | F.Cmp _ -> f
+  | F.Not g -> (
+    match simplify g with F.True -> F.False | F.False -> F.True | h -> F.Not h)
+  | F.And (a, b) -> (
+    match (simplify a, simplify b) with
+    | F.False, _ | _, F.False -> F.False
+    | F.True, h | h, F.True -> h
+    | a', b' -> F.And (a', b'))
+  | F.Or (a, b) -> (
+    match (simplify a, simplify b) with
+    | F.True, _ | _, F.True -> F.True
+    | F.False, h | h, F.False -> h
+    | a', b' -> F.Or (a', b'))
+  | F.Exists (x, g) -> (
+    match simplify g with
+    | F.False -> F.False
+    | h -> F.Exists (x, h))
+  | F.Forall (x, g) -> (
+    match simplify g with F.True -> F.True | h -> F.Forall (x, h))
+  | F.Implies (a, b) -> F.Implies (simplify a, simplify b)
+
+(** Translate a DRC query with a non-empty head into RA.  The result's
+    columns follow the query head order. *)
+let query schemas (q : Drc.query) : A.t =
+  Drc.typecheck schemas q;
+  let body = simplify (prepare q.Drc.body) in
+  match body with
+  | F.True | F.False ->
+    raise (Unsupported "query body is a closed constant; nothing to translate")
+  | _ ->
+    let e, vars = trans schemas body in
+    if vars = q.Drc.head then e else A.Project (q.Drc.head, e)

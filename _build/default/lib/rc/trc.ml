@@ -1,0 +1,332 @@
+(** Tuple Relational Calculus with range-coupled quantifiers.
+
+    Every tuple variable — free or quantified — is declared with the relation
+    it ranges over ([∃t ∈ Reserves], [t ∈ Sailor]).  This is the dialect the
+    tutorial (and the Relational Diagrams paper [26]) builds on: range
+    coupling makes safety syntactic and gives each diagram box a table name.
+
+    A query is [{ t.a, u.b | t ∈ R, u ∈ S : φ }]; a sentence (Boolean query /
+    logical statement) has an empty head and no free ranges. *)
+
+type term =
+  | Field of string * string  (** [t.attr] *)
+  | Const of Diagres_data.Value.t
+
+type formula =
+  | True
+  | False
+  | Cmp of Diagres_logic.Fol.cmp * term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of (string * string) list * formula
+      (** [∃ v₁∈R₁, …, vₖ∈Rₖ : φ] *)
+  | Forall of (string * string) list * formula
+
+type query = {
+  head : term list;            (** output terms, left to right *)
+  ranges : (string * string) list;  (** free variables with their relations *)
+  body : formula;
+}
+
+let field v a = Field (v, a)
+let const v = Const v
+let cmp op a b = Cmp (op, a, b)
+let eq a b = Cmp (Diagres_logic.Fol.Eq, a, b)
+let conj = function [] -> True | x :: xs -> List.fold_left (fun a b -> And (a, b)) x xs
+let disj = function [] -> False | x :: xs -> List.fold_left (fun a b -> Or (a, b)) x xs
+
+let query ?(head = []) ?(ranges = []) body = { head; ranges; body }
+
+(** Tuple variables used (declared) anywhere in a formula. *)
+let rec declared_vars = function
+  | True | False | Cmp _ -> []
+  | Not f -> declared_vars f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> declared_vars a @ declared_vars b
+  | Exists (rs, f) | Forall (rs, f) -> List.map fst rs @ declared_vars f
+
+let term_vars = function Field (v, _) -> [ v ] | Const _ -> []
+
+(** Free tuple variables of a formula (occurring, minus bound). *)
+let rec free_vars = function
+  | True | False -> []
+  | Cmp (_, a, b) -> term_vars a @ term_vars b
+  | Not f -> free_vars f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> free_vars a @ free_vars b
+  | Exists (rs, f) | Forall (rs, f) ->
+    let bound = List.map fst rs in
+    List.filter (fun v -> not (List.mem v bound)) (free_vars f)
+
+let free_var_list f = List.sort_uniq String.compare (free_vars f)
+
+(** Fields [v.a] referenced for each variable — used to typecheck against
+    the relation schemas and to label diagram attributes. *)
+let rec fields = function
+  | True | False -> []
+  | Cmp (_, a, b) ->
+    List.filter_map (function Field (v, x) -> Some (v, x) | Const _ -> None) [ a; b ]
+  | Not f -> fields f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> fields a @ fields b
+  | Exists (_, f) | Forall (_, f) -> fields f
+
+let rec size = function
+  | True | False | Cmp _ -> 1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) -> 1 + size a + size b
+  | Exists (rs, f) | Forall (rs, f) -> List.length rs + size f
+
+(** Rewrite ∀ as ¬∃¬ and eliminate ⇒ — the normal form Relational Diagrams
+    and Peirce-style readings draw directly. *)
+let rec existentialize = function
+  | (True | False | Cmp _) as f -> f
+  | Not f -> Not (existentialize f)
+  | And (a, b) -> And (existentialize a, existentialize b)
+  | Or (a, b) -> Or (existentialize a, existentialize b)
+  | Implies (a, b) -> Or (Not (existentialize a), existentialize b)
+  | Exists (rs, f) -> Exists (rs, existentialize f)
+  | Forall (rs, f) -> Not (Exists (rs, Not (existentialize f)))
+
+(** Does the formula (after ⇒-elimination) contain a disjunction?  Union-free
+    TRC is the fragment a single Relational Diagram panel can show. *)
+let rec has_disjunction = function
+  | True | False | Cmp _ -> false
+  | Not f -> has_disjunction f
+  | And (a, b) -> has_disjunction a || has_disjunction b
+  | Or _ -> true
+  | Implies (a, b) -> has_disjunction a || has_disjunction b
+  | Exists (_, f) | Forall (_, f) -> has_disjunction f
+
+(** Can the formula be drawn in a single nested-box panel?  This mirrors the
+    negation-pushing the diagram normalizer performs: a disjunction is
+    harmless exactly when it sits under an odd number of negations (it then
+    turns into a conjunction), and an implication is harmless in negative
+    position or directly under ∀. *)
+let rec single_panel = function
+  | True | False | Cmp _ -> true
+  | And (a, b) -> single_panel a && single_panel b
+  | Or _ | Implies _ -> false
+  | Not g -> single_panel_neg g
+  | Exists (_, g) -> single_panel g
+  | Forall (_, g) -> single_panel_neg g
+
+(* drawability of ¬g as box contents *)
+and single_panel_neg = function
+  | True | False | Cmp _ -> true
+  | Or (a, b) -> single_panel_neg a && single_panel_neg b
+  | Implies (a, b) -> single_panel a && single_panel_neg b
+  | Not g -> single_panel g
+  | And (a, b) -> single_panel a && single_panel b
+  | Exists (_, g) -> single_panel g
+  | Forall (_, g) -> single_panel_neg g
+
+(** Decompose a body into single-panel disjuncts: [f ≡ ⋁ᵢ fᵢ] with every
+    [fᵢ] satisfying {!single_panel}.  Positive disjunctions distribute out;
+    disjunctions under a negation flip into conjunctions of negated boxes
+    ([¬(d₁ ∨ d₂) = ¬d₁ ∧ ¬d₂]) and stay inside one panel.  The length of
+    the result is the number of diagram panels a query needs. *)
+let rec panel_split (f : formula) : formula list =
+  match f with
+  | True | False | Cmp _ -> [ f ]
+  | Or (a, b) -> panel_split a @ panel_split b
+  | And (a, b) ->
+    List.concat_map
+      (fun x -> List.map (fun y -> And (x, y)) (panel_split b))
+      (panel_split a)
+  | Implies (a, b) -> panel_split (Or (Not a, b))
+  | Exists (rs, g) -> List.map (fun d -> Exists (rs, d)) (panel_split g)
+  | Forall (rs, g) -> panel_split (Not (Exists (rs, Not g)))
+  | Not g ->
+    [ conj (List.map (fun d -> Not d) (panel_split g)) ]
+
+(* -------------------------------------------------------------------- *)
+(* Pretty-printing: concrete syntax accepted back by [Trc_parser].       *)
+
+let term_to_string = function
+  | Field (v, a) -> v ^ "." ^ a
+  | Const c -> Diagres_data.Value.to_literal c
+
+let range_to_string (v, r) = v ^ " in " ^ r
+
+let prec = function
+  | True | False | Cmp _ -> 5
+  | Not _ -> 4
+  | And _ -> 3
+  | Or _ -> 2
+  | Implies _ -> 1
+  | Exists _ | Forall _ -> 0
+
+let rec formula_to_string f =
+  let sub child =
+    if prec child <= prec f && child <> f then
+      "(" ^ formula_to_string child ^ ")"
+    else formula_to_string child
+  in
+  let sub_loose child =
+    if prec child < prec f then "(" ^ formula_to_string child ^ ")"
+    else formula_to_string child
+  in
+  match f with
+  | True -> "true"
+  | False -> "false"
+  | Cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (term_to_string a)
+      (Diagres_logic.Fol.cmp_name op)
+      (term_to_string b)
+  | Not g -> "not " ^ (if prec g < 4 then "(" ^ formula_to_string g ^ ")" else formula_to_string g)
+  | And (a, b) -> sub_loose a ^ " and " ^ sub b
+  | Or (a, b) -> sub_loose a ^ " or " ^ sub b
+  | Implies (a, b) -> sub a ^ " implies " ^ sub_loose b
+  | Exists (rs, g) ->
+    Printf.sprintf "exists %s (%s)"
+      (String.concat ", " (List.map range_to_string rs))
+      (formula_to_string g)
+  | Forall (rs, g) ->
+    Printf.sprintf "forall %s (%s)"
+      (String.concat ", " (List.map range_to_string rs))
+      (formula_to_string g)
+
+let to_string q =
+  Printf.sprintf "{ %s | %s%s%s }"
+    (String.concat ", " (List.map term_to_string q.head))
+    (String.concat ", " (List.map range_to_string q.ranges))
+    (if q.ranges = [] then "" else " : ")
+    (formula_to_string q.body)
+
+let pp ppf q = Fmt.string ppf (to_string q)
+
+(* -------------------------------------------------------------------- *)
+(* Typechecking against database schemas.                                *)
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(** Check that every variable is declared exactly once with a known relation
+    and that every referenced field exists in that relation's schema.
+    Returns the scope of the query head: the free ranges. *)
+let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
+  let lookup_rel r =
+    match List.assoc_opt r schemas with
+    | Some s -> s
+    | None -> type_error "unknown relation %S" r
+  in
+  let check_ranges scope rs =
+    List.fold_left
+      (fun scope (v, r) ->
+        if List.mem_assoc v scope then type_error "variable %S redeclared" v;
+        ignore (lookup_rel r);
+        (v, r) :: scope)
+      scope rs
+  in
+  let check_term scope = function
+    | Const _ -> ()
+    | Field (v, a) -> (
+      match List.assoc_opt v scope with
+      | None -> type_error "variable %S not in scope" v
+      | Some r ->
+        if not (Diagres_data.Schema.mem a (lookup_rel r)) then
+          type_error "relation %S has no attribute %S (via %s.%s)" r a v a)
+  in
+  let rec check scope = function
+    | True | False -> ()
+    | Cmp (_, a, b) ->
+      check_term scope a;
+      check_term scope b
+    | Not f -> check scope f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+      check scope a;
+      check scope b
+    | Exists (rs, f) | Forall (rs, f) -> check (check_ranges scope rs) f
+  in
+  let scope = check_ranges [] q.ranges in
+  List.iter (check_term scope) q.head;
+  check scope q.body;
+  scope
+
+(* -------------------------------------------------------------------- *)
+(* Direct evaluation: free ranges enumerate their relations, quantifiers
+   range over their declared relations.  Range coupling means no active-
+   domain construction is needed — this is the "safe by construction"
+   point the tutorial makes about TRC-based diagrams.                    *)
+
+exception Eval_error of string
+
+let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
+  let module D = Diagres_data in
+  let schemas = List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db) in
+  ignore (typecheck schemas q);
+  let rel r =
+    match D.Database.find_opt r db with
+    | Some x -> x
+    | None -> raise (Eval_error ("unknown relation " ^ r))
+  in
+  let term_value env = function
+    | Const c -> c
+    | Field (v, a) ->
+      let tup, r = List.assoc v env in
+      D.Tuple.field (D.Relation.schema (rel r)) a tup
+  in
+  let rec holds env = function
+    | True -> true
+    | False -> false
+    | Cmp (op, a, b) ->
+      Diagres_logic.Fol.cmp_eval op (term_value env a) (term_value env b)
+    | Not f -> not (holds env f)
+    | And (a, b) -> holds env a && holds env b
+    | Or (a, b) -> holds env a || holds env b
+    | Implies (a, b) -> (not (holds env a)) || holds env b
+    | Exists ([], f) -> holds env f
+    | Exists ((v, r) :: rest, f) ->
+      D.Relation.exists
+        (fun tup -> holds ((v, (tup, r)) :: env) (Exists (rest, f)))
+        (rel r)
+    | Forall ([], f) -> holds env f
+    | Forall ((v, r) :: rest, f) ->
+      D.Relation.for_all
+        (fun tup -> holds ((v, (tup, r)) :: env) (Forall (rest, f)))
+        (rel r)
+  in
+  let head_schema =
+    List.mapi
+      (fun i t ->
+        match t with
+        | Field (v, a) ->
+          let r = List.assoc v q.ranges in
+          let att =
+            match D.Schema.find_opt a (D.Relation.schema (rel r)) with
+            | Some at -> at
+            | None -> raise (Eval_error ("unknown field " ^ v ^ "." ^ a))
+          in
+          (* disambiguate duplicate output names positionally *)
+          let base = att.D.Schema.name in
+          let clash =
+            List.exists
+              (fun (j, t') ->
+                j < i
+                && match t' with Field (_, a') -> a' = base | Const _ -> false)
+              (List.mapi (fun j t' -> (j, t')) q.head)
+          in
+          D.Schema.attr ~ty:att.D.Schema.ty
+            (if clash then Printf.sprintf "%s_%d" base (i + 1) else base)
+        | Const c ->
+          D.Schema.attr ~ty:(D.Value.type_of c) (Printf.sprintf "c%d" (i + 1)))
+      q.head
+  in
+  (* enumerate assignments to the free ranges *)
+  let rec enumerate env = function
+    | [] -> if holds env q.body then [ List.map (term_value env) q.head ] else []
+    | (v, r) :: rest ->
+      List.concat_map
+        (fun tup -> enumerate ((v, (tup, r)) :: env) rest)
+        (D.Relation.tuples (rel r))
+  in
+  if q.head = [] then
+    (* Boolean query: nullary relation, nonempty iff the sentence holds *)
+    let rows = enumerate [] q.ranges in
+    if rows <> [] then D.Relation.of_lists [] [ [] ] else D.Relation.empty []
+  else D.Relation.of_lists head_schema (enumerate [] q.ranges)
+
+(** Boolean queries: true iff the (closed) query returns the empty tuple. *)
+let eval_sentence db body =
+  not (Diagres_data.Relation.is_empty (eval db { head = []; ranges = []; body }))

@@ -1,0 +1,103 @@
+(** Parser for the TRC concrete syntax printed by {!Trc.to_string}:
+
+    {v
+    { s.sid | s in Sailor : exists r in Reserves
+        (r.sid = s.sid and exists b in Boat (b.bid = r.bid and b.color = 'red')) }
+    v} *)
+
+module S = Diagres_parsekit.Stream
+module L = Diagres_parsekit.Lexer
+
+exception Parse_error = S.Parse_error
+
+let keywords =
+  [ "in"; "and"; "or"; "not"; "implies"; "exists"; "forall"; "true"; "false" ]
+
+let split_field s stream =
+  match String.index_opt s '.' with
+  | Some i ->
+    Trc.Field (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> S.error stream (Printf.sprintf "expected qualified field, got %S" s)
+
+let term s : Trc.term =
+  match S.peek s with
+  | L.Ident x when not (List.mem x keywords) ->
+    S.advance s;
+    split_field x s
+  | _ -> Trc.Const (S.value s)
+
+let range s =
+  let v = S.ident_not s keywords in
+  S.expect_kw s "in";
+  let r = S.ident_not s keywords in
+  (v, r)
+
+let range_list s = S.sep_list1 s ~sep:"," range
+
+let rec formula s : Trc.formula =
+  let a = or_formula s in
+  if S.eat_kw s "implies" then Trc.Implies (a, formula s) else a
+
+and or_formula s =
+  let a = ref (and_formula s) in
+  while S.at_kw s "or" do
+    S.advance s;
+    a := Trc.Or (!a, and_formula s)
+  done;
+  !a
+
+and and_formula s =
+  let a = ref (unary s) in
+  while S.at_kw s "and" do
+    S.advance s;
+    a := Trc.And (!a, unary s)
+  done;
+  !a
+
+and unary s =
+  if S.eat_kw s "not" then Trc.Not (unary s)
+  else if S.eat_kw s "true" then Trc.True
+  else if S.eat_kw s "false" then Trc.False
+  else if S.at_kw s "exists" || S.at_kw s "forall" then begin
+    let is_exists = S.at_kw s "exists" in
+    S.advance s;
+    let rs = range_list s in
+    S.expect_sym s "(";
+    let f = formula s in
+    S.expect_sym s ")";
+    if is_exists then Trc.Exists (rs, f) else Trc.Forall (rs, f)
+  end
+  else if S.at_sym s "(" then begin
+    S.expect_sym s "(";
+    let f = formula s in
+    S.expect_sym s ")";
+    f
+  end
+  else begin
+    let a = term s in
+    match S.cmp_op s with
+    | Some op -> Trc.Cmp (op, a, term s)
+    | None -> S.error s "expected comparison operator"
+  end
+
+let parse src : Trc.query =
+  let s = S.make ~ident_dot:true src in
+  S.expect_sym s "{";
+  let head =
+    if S.at_sym s "|" then []
+    else S.sep_list1 s ~sep:"," term
+  in
+  S.expect_sym s "|";
+  let ranges =
+    if S.at_sym s "}" || S.at_sym s ":" then []
+    else
+      (* ranges end at ':' (body follows) or '}' (pure range query) *)
+      S.sep_list1 s ~sep:"," range
+  in
+  let body =
+    if S.eat_sym s ":" then formula s
+    else Trc.True
+  in
+  S.expect_sym s "}";
+  S.expect_eof s;
+  { Trc.head; ranges; body }

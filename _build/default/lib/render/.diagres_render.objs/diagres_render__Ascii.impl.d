@@ -1,0 +1,1 @@
+lib/render/ascii.ml: Buffer Bytes String

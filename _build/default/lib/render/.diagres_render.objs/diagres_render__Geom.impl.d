@@ -1,0 +1,1 @@
+lib/render/geom.ml: Float List String

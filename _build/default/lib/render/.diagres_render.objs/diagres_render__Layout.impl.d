@@ -1,0 +1,1 @@
+lib/render/layout.ml: Array Float Geom Hashtbl List

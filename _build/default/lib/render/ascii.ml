@@ -1,0 +1,77 @@
+(** Monospace character canvas: the terminal renderer for every diagram.
+
+    Coordinates are (column, row) with the origin at the top left.  Drawing
+    clips silently at the canvas border; box-drawing uses ASCII so output
+    survives any terminal. *)
+
+type t = { width : int; height : int; cells : Bytes.t }
+
+let create width height =
+  { width; height; cells = Bytes.make (width * height) ' ' }
+
+let set canvas x y c =
+  if x >= 0 && x < canvas.width && y >= 0 && y < canvas.height then
+    Bytes.set canvas.cells ((y * canvas.width) + x) c
+
+let get canvas x y =
+  if x >= 0 && x < canvas.width && y >= 0 && y < canvas.height then
+    Bytes.get canvas.cells ((y * canvas.width) + x)
+  else ' '
+
+let text canvas x y s = String.iteri (fun i c -> set canvas (x + i) y c) s
+
+let hline canvas x0 x1 y =
+  for x = min x0 x1 to max x0 x1 do
+    let c = get canvas x y in
+    set canvas x y (if c = '|' || c = '+' then '+' else '-')
+  done
+
+let vline canvas x y0 y1 =
+  for y = min y0 y1 to max y0 y1 do
+    let c = get canvas x y in
+    set canvas x y (if c = '-' || c = '+' then '+' else '|')
+  done
+
+(** Box with corners; [dashed] renders the border with dots (our ASCII
+    convention for negated boxes/cuts). *)
+let box ?(dashed = false) canvas x y w h =
+  if w >= 2 && h >= 2 then begin
+    let hchar = if dashed then '.' else '-' in
+    let vchar = if dashed then ':' else '|' in
+    for i = x + 1 to x + w - 2 do
+      set canvas i y hchar;
+      set canvas i (y + h - 1) hchar
+    done;
+    for j = y + 1 to y + h - 2 do
+      set canvas x j vchar;
+      set canvas (x + w - 1) j vchar
+    done;
+    set canvas x y '+';
+    set canvas (x + w - 1) y '+';
+    set canvas x (y + h - 1) '+';
+    set canvas (x + w - 1) (y + h - 1) '+'
+  end
+
+(** Straight connector between two points: an L-shaped route (horizontal
+    then vertical), with an optional arrowhead at the destination. *)
+let connect ?(arrow = false) canvas (x0, y0) (x1, y1) =
+  hline canvas x0 x1 y0;
+  vline canvas x1 (min y0 y1) (max y0 y1);
+  if arrow then
+    set canvas x1 y1 (if y1 > y0 then 'v' else if y1 < y0 then '^'
+                      else if x1 > x0 then '>' else '<')
+
+let to_string canvas =
+  let buf = Buffer.create ((canvas.width + 1) * canvas.height) in
+  for y = 0 to canvas.height - 1 do
+    (* trim trailing blanks per line *)
+    let last = ref (-1) in
+    for x = 0 to canvas.width - 1 do
+      if get canvas x y <> ' ' then last := x
+    done;
+    for x = 0 to !last do
+      Buffer.add_char buf (get canvas x y)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

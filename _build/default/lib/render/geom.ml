@@ -1,0 +1,51 @@
+(** Plane geometry for diagram layout. *)
+
+type point = { x : float; y : float }
+
+type rect = { rx : float; ry : float; w : float; h : float }
+
+let pt x y = { x; y }
+let rect rx ry w h = { rx; ry; w; h }
+
+let center r = pt (r.rx +. (r.w /. 2.)) (r.ry +. (r.h /. 2.))
+let right r = r.rx +. r.w
+let bottom r = r.ry +. r.h
+
+let translate_rect dx dy r = { r with rx = r.rx +. dx; ry = r.ry +. dy }
+
+let contains r p =
+  p.x >= r.rx && p.x <= right r && p.y >= r.ry && p.y <= bottom r
+
+let inset d r =
+  { rx = r.rx +. d; ry = r.ry +. d; w = r.w -. (2. *. d); h = r.h -. (2. *. d) }
+
+(** Smallest rect covering all inputs (origin rect for the empty list). *)
+let bounding = function
+  | [] -> rect 0. 0. 0. 0.
+  | r :: rs ->
+    let x0 = List.fold_left (fun a q -> min a q.rx) r.rx rs in
+    let y0 = List.fold_left (fun a q -> min a q.ry) r.ry rs in
+    let x1 = List.fold_left (fun a q -> max a (right q)) (right r) rs in
+    let y1 = List.fold_left (fun a q -> max a (bottom q)) (bottom r) rs in
+    rect x0 y0 (x1 -. x0) (y1 -. y0)
+
+(** Point where the segment from [center r] towards [target] crosses the
+    rectangle border — where edges attach to node boxes. *)
+let border_point r target =
+  let c = center r in
+  let dx = target.x -. c.x and dy = target.y -. c.y in
+  if dx = 0. && dy = 0. then c
+  else begin
+    let hw = r.w /. 2. and hh = r.h /. 2. in
+    let tx = if dx = 0. then infinity else hw /. Float.abs dx in
+    let ty = if dy = 0. then infinity else hh /. Float.abs dy in
+    let t = Float.min tx ty in
+    pt (c.x +. (dx *. t)) (c.y +. (dy *. t))
+  end
+
+(** Rough text extent for a monospace-ish font: the layout engine needs
+    conservative label sizes without a font library. *)
+let text_width ?(font_size = 12.) s =
+  float_of_int (String.length s) *. font_size *. 0.62
+
+let text_height ?(font_size = 12.) () = font_size *. 1.3

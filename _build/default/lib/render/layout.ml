@@ -1,0 +1,153 @@
+(** Layered DAG layout ("stratisfimal-lite") for node-link diagrams.
+
+    Nodes are assigned to layers by longest path from the sources, ordered
+    within each layer by a couple of barycenter sweeps, and given
+    coordinates on a fixed grid.  This is a deliberately small instance of
+    the layered layout family the QueryVis system uses (STRATISFIMAL
+    LAYOUT [6]); optimality is not the point — determinism and absence of
+    overlap are. *)
+
+type node = { id : int; label : string; width : float; height : float }
+
+type edge = { src : int; dst : int }
+
+type placed = { node : node; rect : Geom.rect; layer : int }
+
+type result = {
+  nodes : placed list;
+  size : float * float;  (** canvas width, height *)
+}
+
+let find_placed result id =
+  List.find (fun p -> p.node.id = id) result.nodes
+
+(* Longest-path layering: sources at layer 0. *)
+let layers nodes edges =
+  let memo = Hashtbl.create 16 in
+  let preds n = List.filter (fun e -> e.dst = n) edges in
+  let rec layer_of visited n =
+    if List.mem n visited then
+      invalid_arg "Layout.layered: graph has a cycle"
+    else
+      match Hashtbl.find_opt memo n with
+      | Some l -> l
+      | None ->
+        let l =
+          match preds n with
+          | [] -> 0
+          | ps ->
+            1
+            + List.fold_left
+                (fun acc e -> max acc (layer_of (n :: visited) e.src))
+                0 ps
+        in
+        Hashtbl.replace memo n l;
+        l
+  in
+  List.map (fun nd -> (nd.id, layer_of [] nd.id)) nodes
+
+(* Barycenter ordering within layers: two top-down/bottom-up sweeps. *)
+let order_layers nodes edges node_layers =
+  let max_layer = List.fold_left (fun a (_, l) -> max a l) 0 node_layers in
+  let layer_nodes l =
+    List.filter (fun nd -> List.assoc nd.id node_layers = l) nodes
+  in
+  let orders = Array.make (max_layer + 1) [||] in
+  for l = 0 to max_layer do
+    orders.(l) <- Array.of_list (List.map (fun nd -> nd.id) (layer_nodes l))
+  done;
+  let position l id =
+    let arr = orders.(l) in
+    let rec go i = if arr.(i) = id then i else go (i + 1) in
+    float_of_int (go 0)
+  in
+  let barycenter neighbors l id =
+    let ns = neighbors id in
+    if ns = [] then position l id
+    else
+      List.fold_left ( +. ) 0.
+        (List.map
+           (fun (n, nl) -> position nl n)
+           ns)
+      /. float_of_int (List.length ns)
+  in
+  let sweep ~down =
+    let range =
+      if down then List.init max_layer (fun i -> i + 1)
+      else List.rev (List.init max_layer (fun i -> i))
+    in
+    List.iter
+      (fun l ->
+        let neighbors id =
+          List.filter_map
+            (fun e ->
+              if down && e.dst = id then
+                Some (e.src, List.assoc e.src node_layers)
+              else if (not down) && e.src = id then
+                Some (e.dst, List.assoc e.dst node_layers)
+              else None)
+            edges
+        in
+        let arr = orders.(l) in
+        let keyed =
+          Array.map (fun id -> (barycenter neighbors l id, id)) arr
+        in
+        Array.sort compare keyed;
+        orders.(l) <- Array.map snd keyed)
+      range
+  in
+  sweep ~down:true;
+  sweep ~down:false;
+  sweep ~down:true;
+  orders
+
+(** Lay out a DAG top-to-bottom.  [hgap]/[vgap] are the minimum distances
+    between node borders. *)
+let layered ?(hgap = 30.) ?(vgap = 40.) (nodes : node list) (edges : edge list)
+    : result =
+  if nodes = [] then { nodes = []; size = (10., 10.) }
+  else begin
+    let node_layers = layers nodes edges in
+    let orders = order_layers nodes edges node_layers in
+    let node_of id = List.find (fun nd -> nd.id = id) nodes in
+    let max_layer = Array.length orders - 1 in
+    (* row heights *)
+    let row_height l =
+      Array.fold_left (fun a id -> Float.max a (node_of id).height) 0. orders.(l)
+    in
+    let placed = ref [] in
+    let y = ref vgap in
+    for l = 0 to max_layer do
+      let x = ref hgap in
+      Array.iter
+        (fun id ->
+          let nd = node_of id in
+          placed :=
+            { node = nd; rect = Geom.rect !x !y nd.width nd.height; layer = l }
+            :: !placed;
+          x := !x +. nd.width +. hgap)
+        orders.(l);
+      y := !y +. row_height l +. vgap
+    done;
+    (* center each layer horizontally *)
+    let total_width =
+      List.fold_left
+        (fun a p -> Float.max a (Geom.right p.rect))
+        0. !placed
+      +. hgap
+    in
+    let placed =
+      List.map
+        (fun p ->
+          let row =
+            List.filter (fun q -> q.layer = p.layer) !placed
+          in
+          let row_w =
+            List.fold_left (fun a q -> Float.max a (Geom.right q.rect)) 0. row
+          in
+          let dx = (total_width -. hgap -. row_w) /. 2. in
+          { p with rect = Geom.translate_rect dx 0. p.rect })
+        !placed
+    in
+    { nodes = placed; size = (total_width, !y) }
+  end

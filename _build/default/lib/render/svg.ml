@@ -1,0 +1,142 @@
+(** SVG emission: a tiny retained scene of primitive shapes serialized to a
+    standalone SVG document.  No external renderer is needed — the tutorial
+    artifacts are static figures. *)
+
+type style = {
+  stroke : string;
+  stroke_width : float;
+  fill : string;
+  dashed : bool;
+  opacity : float;
+}
+
+let default_style =
+  { stroke = "#222222"; stroke_width = 1.2; fill = "none"; dashed = false;
+    opacity = 1.0 }
+
+let filled color = { default_style with fill = color; stroke = "none" }
+
+type shape =
+  | Rect of Geom.rect * float * style  (** rounded corner radius *)
+  | Circle of Geom.point * float * style
+  | Ellipse of Geom.point * float * float * style
+  | Line of Geom.point * Geom.point * style
+  | Polyline of Geom.point list * bool * style  (** arrowhead at end? *)
+  | Text of Geom.point * string * float * string * bool
+      (** anchor point, content, font size, color, bold *)
+  | Group of string * shape list  (** labelled group, for debuggability *)
+
+type t = { mutable shapes : shape list }
+
+let create () = { shapes = [] }
+let add scene shape = scene.shapes <- shape :: scene.shapes
+
+let rect ?(style = default_style) ?(radius = 6.) scene r =
+  add scene (Rect (r, radius, style))
+
+let circle ?(style = default_style) scene c radius =
+  add scene (Circle (c, radius, style))
+
+let ellipse ?(style = default_style) scene c radx rady =
+  add scene (Ellipse (c, radx, rady, style))
+
+let line ?(style = default_style) scene a b = add scene (Line (a, b, style))
+
+let polyline ?(style = default_style) ?(arrow = false) scene pts =
+  add scene (Polyline (pts, arrow, style))
+
+let text ?(size = 12.) ?(color = "#111111") ?(bold = false) scene p s =
+  add scene (Text (p, s, size, color, bold))
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let f = Printf.sprintf "%.1f"
+
+let style_attrs st =
+  Printf.sprintf
+    "stroke=\"%s\" stroke-width=\"%s\" fill=\"%s\"%s%s" st.stroke
+    (f st.stroke_width) st.fill
+    (if st.dashed then " stroke-dasharray=\"5,4\"" else "")
+    (if st.opacity < 1.0 then Printf.sprintf " opacity=\"%s\"" (f st.opacity)
+     else "")
+
+let rec shape_to_svg buf = function
+  | Rect (r, radius, st) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" rx=\"%s\" %s/>\n"
+         (f r.Geom.rx) (f r.Geom.ry) (f r.Geom.w) (f r.Geom.h) (f radius)
+         (style_attrs st))
+  | Circle (c, radius, st) ->
+    Buffer.add_string buf
+      (Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" r=\"%s\" %s/>\n"
+         (f c.Geom.x) (f c.Geom.y) (f radius) (style_attrs st))
+  | Ellipse (c, radx, rady, st) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<ellipse cx=\"%s\" cy=\"%s\" rx=\"%s\" ry=\"%s\" %s/>\n"
+         (f c.Geom.x) (f c.Geom.y) (f radx) (f rady) (style_attrs st))
+  | Line (a, b, st) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" %s/>\n"
+         (f a.Geom.x) (f a.Geom.y) (f b.Geom.x) (f b.Geom.y) (style_attrs st))
+  | Polyline (pts, arrow, st) ->
+    let points =
+      String.concat " "
+        (List.map (fun p -> Printf.sprintf "%s,%s" (f p.Geom.x) (f p.Geom.y)) pts)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "<polyline points=\"%s\" %s%s/>\n" points
+         (style_attrs st)
+         (if arrow then " marker-end=\"url(#arrow)\"" else ""))
+  | Text (p, s, size, color, bold) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%s\" y=\"%s\" font-size=\"%s\" font-family=\"Menlo, \
+          monospace\" fill=\"%s\"%s>%s</text>\n"
+         (f p.Geom.x) (f p.Geom.y) (f size) color
+         (if bold then " font-weight=\"bold\"" else "")
+         (escape s))
+  | Group (label, shapes) ->
+    Buffer.add_string buf
+      (Printf.sprintf "<g data-label=\"%s\">\n" (escape label));
+    List.iter (shape_to_svg buf) shapes;
+    Buffer.add_string buf "</g>\n"
+
+(** Serialize the scene; the viewBox is computed from a given size. *)
+let to_string ?(width = 800.) ?(height = 600.) scene =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%s\" \
+        height=\"%s\" viewBox=\"0 0 %s %s\">\n"
+       (f width) (f height) (f width) (f height));
+  Buffer.add_string buf
+    "<defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" \
+     refY=\"5\" markerWidth=\"7\" markerHeight=\"7\" \
+     orient=\"auto-start-reverse\"><path d=\"M 0 0 L 10 5 L 0 10 z\" \
+     fill=\"#222222\"/></marker></defs>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%s\" height=\"%s\" fill=\"white\"/>\n"
+       (f width) (f height));
+  List.iter (shape_to_svg buf) (List.rev scene.shapes);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?width ?height scene path =
+  let oc = open_out path in
+  output_string oc (to_string ?width ?height scene);
+  close_out oc

@@ -1,0 +1,1 @@
+lib/sql/of_trc.ml: Ast Diagres_data Diagres_logic Diagres_rc List Pretty

@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Diagres_data Diagres_logic List Printf String

@@ -1,0 +1,1 @@
+lib/sql/resolve.ml: Ast Diagres_data Format List Option Printf

@@ -1,0 +1,1 @@
+lib/sql/to_ra.ml: Ast Diagres_data Diagres_ra Diagres_rc List Parser To_trc

@@ -1,0 +1,85 @@
+(** SQL subset: SELECT [DISTINCT] – FROM – WHERE blocks with correlated
+    subqueries ([EXISTS] / [IN]), combined by UNION / INTERSECT / EXCEPT.
+
+    This is the fragment the tutorial uses: it is exactly as expressive as
+    safe RC / RA (first-order logic), and it is the input language of the
+    QueryVis and Relational-Diagram generators.  Aggregation and grouping
+    are deliberately out of scope (they leave FOL). *)
+
+type col = { table : string option; column : string }
+(** [s.sid] or bare [sid] (resolved against the FROM scope). *)
+
+type expr =
+  | Col of col
+  | Lit of Diagres_data.Value.t
+
+type cond =
+  | True
+  | Cmp of Diagres_logic.Fol.cmp * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Exists of query  (** [EXISTS (subquery)] — possibly correlated *)
+  | In of expr * query  (** [e IN (subquery)] — subquery selects one column *)
+
+and table_ref = { name : string; alias : string }
+(** [FROM Sailor s]; [alias = name] when no alias was written. *)
+
+and query = {
+  distinct : bool;
+  select : select_item list;
+  from : table_ref list;
+  where : cond;
+}
+
+and select_item =
+  | Star                     (** [SELECT *] *)
+  | Item of expr * string option  (** expression with optional [AS] alias *)
+
+(** Top level: query expression combined with set operators. *)
+type statement =
+  | Query of query
+  | Union of statement * statement
+  | Intersect of statement * statement
+  | Except of statement * statement
+
+let query ?(distinct = true) ~select ~from ?(where = True) () =
+  { distinct; select; from; where }
+
+let col ?table column = Col { table; column }
+
+let rec statement_queries = function
+  | Query q -> [ q ]
+  | Union (a, b) | Intersect (a, b) | Except (a, b) ->
+    statement_queries a @ statement_queries b
+
+(** Nesting depth of subqueries — the complexity axis for the QueryVis
+    benches (diagrams shine on deeply nested [NOT EXISTS]). *)
+let rec query_depth (q : query) = 1 + cond_depth q.where
+
+and cond_depth = function
+  | True | Cmp _ -> 0
+  | And (a, b) | Or (a, b) -> max (cond_depth a) (cond_depth b)
+  | Not c -> cond_depth c
+  | Exists q | In (_, q) -> query_depth q
+
+let rec statement_depth = function
+  | Query q -> query_depth q
+  | Union (a, b) | Intersect (a, b) | Except (a, b) ->
+    max (statement_depth a) (statement_depth b)
+
+(** Number of table occurrences (the metric for the QBE-vs-Datalog
+    discussion: division-style queries repeat tables). *)
+let rec query_tables (q : query) =
+  List.length q.from + cond_tables q.where
+
+and cond_tables = function
+  | True | Cmp _ -> 0
+  | And (a, b) | Or (a, b) -> cond_tables a + cond_tables b
+  | Not c -> cond_tables c
+  | Exists q | In (_, q) -> query_tables q
+
+let rec statement_tables = function
+  | Query q -> query_tables q
+  | Union (a, b) | Intersect (a, b) | Except (a, b) ->
+    statement_tables a + statement_tables b

@@ -1,0 +1,70 @@
+(** TRC → SQL: the back-translation that closes the tutorial's Fig. 2 loop.
+
+    A diagram's logical reading is a (list of) range-coupled TRC queries;
+    this module renders them as executable SQL text, so the full circle
+    SQL → diagram → TRC → SQL can be checked end to end.  Range-coupled
+    TRC maps onto SQL almost syntactically: free ranges become FROM items,
+    ∃-blocks become EXISTS subqueries, ∀ and ⇒ are rewritten to ¬∃¬. *)
+
+module T = Diagres_rc.Trc
+
+exception Unsupported of string
+
+let expr_of_term : T.term -> Ast.expr = function
+  | T.Field (v, a) -> Ast.Col { Ast.table = Some v; column = a }
+  | T.Const c -> Ast.Lit c
+
+(* SQL EXISTS subqueries need a select list; a constant does fine. *)
+let exists_query ranges cond : Ast.query =
+  {
+    Ast.distinct = false;
+    select = [ Ast.Item (Ast.Lit (Diagres_data.Value.Int 1), None) ];
+    from = List.map (fun (v, r) -> { Ast.name = r; alias = v }) ranges;
+    where = cond;
+  }
+
+let rec cond_of_formula (f : T.formula) : Ast.cond =
+  match f with
+  | T.True -> Ast.True
+  | T.False ->
+    (* SQL has no FALSE literal in our subset: use a refutable comparison *)
+    Ast.Cmp
+      ( Diagres_logic.Fol.Neq,
+        Ast.Lit (Diagres_data.Value.Int 0),
+        Ast.Lit (Diagres_data.Value.Int 0) )
+  | T.Cmp (op, a, b) -> Ast.Cmp (op, expr_of_term a, expr_of_term b)
+  | T.And (a, b) -> Ast.And (cond_of_formula a, cond_of_formula b)
+  | T.Or (a, b) -> Ast.Or (cond_of_formula a, cond_of_formula b)
+  | T.Not g -> Ast.Not (cond_of_formula g)
+  | T.Implies (a, b) ->
+    Ast.Or (Ast.Not (cond_of_formula a), cond_of_formula b)
+  | T.Exists (rs, g) -> Ast.Exists (exists_query rs (cond_of_formula g))
+  | T.Forall (rs, g) ->
+    (* ∀r̄ φ = ¬∃r̄ ¬φ *)
+    Ast.Not (Ast.Exists (exists_query rs (Ast.Not (cond_of_formula g))))
+
+(** One TRC query to one SELECT block. *)
+let query (q : T.query) : Ast.query =
+  if q.T.ranges = [] then
+    raise
+      (Unsupported
+         "a TRC query without free ranges (a Boolean statement) has no \
+          SELECT block; SQL needs at least one FROM table");
+  {
+    Ast.distinct = true;
+    select = List.map (fun t -> Ast.Item (expr_of_term t, None)) q.T.head;
+    from = List.map (fun (v, r) -> { Ast.name = r; alias = v }) q.T.ranges;
+    where = cond_of_formula q.T.body;
+  }
+
+(** Panels to a UNION statement. *)
+let statement (qs : T.query list) : Ast.statement =
+  match qs with
+  | [] -> raise (Unsupported "no panels")
+  | q :: rest ->
+    List.fold_left
+      (fun acc q' -> Ast.Union (acc, Ast.Query (query q')))
+      (Ast.Query (query q))
+      rest
+
+let to_string qs = Pretty.to_string (statement qs)

@@ -1,0 +1,186 @@
+(** Recursive-descent SQL parser (case-insensitive keywords).
+
+    Grammar:
+    {v
+    statement := set_term (("union"|"intersect"|"except") set_term)*
+    set_term  := "(" statement ")" | query
+    query     := "select" ["distinct"] items "from" tables ["where" cond]
+    items     := "*" | item ("," item)*
+    item      := expr ["as" ident]
+    tables    := table ("," table)* ("join" table "on" cond)*
+    table     := ident [["as"] ident]
+    cond      := or ; or := and ("or" and)* ; and := atom ("and" atom)*
+    atom      := "not" atom | "exists" "(" statement-query ")"
+               | expr ("in"|"not in") "(" query ")" | expr cmp expr
+               | "(" cond ")"
+    expr      := qualified-ident | literal
+    v} *)
+
+module S = Diagres_parsekit.Stream
+module L = Diagres_parsekit.Lexer
+
+exception Parse_error = S.Parse_error
+
+let keywords =
+  [ "select"; "distinct"; "from"; "where"; "and"; "or"; "not"; "exists";
+    "in"; "union"; "intersect"; "except"; "as"; "join"; "on"; "true" ]
+
+let col_of_string s stream =
+  match String.index_opt s '.' with
+  | Some i ->
+    if String.contains_from s (i + 1) '.' then
+      S.error stream "too many qualifiers in column reference"
+    else
+      { Ast.table = Some (String.sub s 0 i);
+        column = String.sub s (i + 1) (String.length s - i - 1) }
+  | None -> { Ast.table = None; column = s }
+
+let expr s : Ast.expr =
+  match S.peek s with
+  | L.Ident x when not (List.mem (String.lowercase_ascii x) keywords) ->
+    S.advance s;
+    Ast.Col (col_of_string x s)
+  | _ -> Ast.Lit (S.value s)
+
+let rec cond s : Ast.cond =
+  let a = ref (and_cond s) in
+  while S.at_kw s "or" do
+    S.advance s;
+    a := Ast.Or (!a, and_cond s)
+  done;
+  !a
+
+and and_cond s =
+  let a = ref (atom s) in
+  while S.at_kw s "and" do
+    S.advance s;
+    a := Ast.And (!a, atom s)
+  done;
+  !a
+
+and atom s =
+  let peek2_is_in =
+    match S.peek2 s with
+    | L.Ident x -> String.lowercase_ascii x = "in"
+    | _ -> false
+  in
+  if S.at_kw s "not" && not peek2_is_in then begin
+    S.advance s;
+    Ast.Not (atom s)
+  end
+  else if S.at_kw s "exists" then begin
+    S.advance s;
+    S.expect_sym s "(";
+    let q = query s in
+    S.expect_sym s ")";
+    Ast.Exists q
+  end
+  else if S.at_sym s "(" then begin
+    S.expect_sym s "(";
+    let c = cond s in
+    S.expect_sym s ")";
+    c
+  end
+  else if S.eat_kw s "true" then Ast.True
+  else begin
+    let e = expr s in
+    if S.at_kw s "in" then begin
+      S.advance s;
+      S.expect_sym s "(";
+      let q = query s in
+      S.expect_sym s ")";
+      Ast.In (e, q)
+    end
+    else if S.at_kw s "not" then begin
+      S.advance s;
+      S.expect_kw s "in";
+      S.expect_sym s "(";
+      let q = query s in
+      S.expect_sym s ")";
+      Ast.Not (Ast.In (e, q))
+    end
+    else
+      match S.cmp_op s with
+      | Some op -> Ast.Cmp (op, e, expr s)
+      | None -> S.error s "expected comparison, IN, or NOT IN"
+  end
+
+and table s : Ast.table_ref =
+  let name = S.ident_not s keywords in
+  let alias =
+    if S.eat_kw s "as" then S.ident_not s keywords
+    else
+      match S.peek s with
+      | L.Ident x when not (List.mem (String.lowercase_ascii x) keywords) ->
+        S.advance s;
+        x
+      | _ -> name
+  in
+  { Ast.name; alias }
+
+and query s : Ast.query =
+  S.expect_kw s "select";
+  let distinct = S.eat_kw s "distinct" in
+  let select =
+    if S.eat_sym s "*" then [ Ast.Star ]
+    else
+      S.sep_list1 s ~sep:"," (fun s ->
+          let e = expr s in
+          let alias = if S.eat_kw s "as" then Some (S.ident_not s keywords) else None in
+          Ast.Item (e, alias))
+  in
+  S.expect_kw s "from";
+  let first = table s in
+  let tables = ref [ first ] in
+  let joins = ref Ast.True in
+  let rec more () =
+    if S.eat_sym s "," then begin
+      tables := table s :: !tables;
+      more ()
+    end
+    else if S.eat_kw s "join" then begin
+      tables := table s :: !tables;
+      S.expect_kw s "on";
+      (* ON binds a single atom-or-parenthesized condition to avoid
+         swallowing a following AND that belongs to WHERE-less chains *)
+      joins := Ast.And (!joins, cond s);
+      more ()
+    end
+  in
+  more ();
+  let where = if S.eat_kw s "where" then cond s else Ast.True in
+  let where =
+    match !joins with Ast.True -> where | j -> Ast.And (j, where)
+  in
+  { Ast.distinct; select; from = List.rev !tables; where }
+
+let rec statement s : Ast.statement =
+  let a = ref (set_term s) in
+  let rec go () =
+    if S.eat_kw s "union" then (a := Ast.Union (!a, set_term s); go ())
+    else if S.eat_kw s "intersect" then (a := Ast.Intersect (!a, set_term s); go ())
+    else if S.eat_kw s "except" then (a := Ast.Except (!a, set_term s); go ())
+  in
+  go ();
+  !a
+
+and set_term s =
+  if S.at_sym s "(" then begin
+    S.expect_sym s "(";
+    let st = statement s in
+    S.expect_sym s ")";
+    st
+  end
+  else Ast.Query (query s)
+
+let parse src : Ast.statement =
+  let s = S.make ~ident_dot:true ~case_fold:true src in
+  let st = statement s in
+  (if S.at_sym s ";" then S.expect_sym s ";");
+  S.expect_eof s;
+  st
+
+let parse_query src : Ast.query =
+  match parse src with
+  | Ast.Query q -> q
+  | _ -> raise (Parse_error ("expected a single SELECT block", 0))

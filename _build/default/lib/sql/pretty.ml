@@ -1,0 +1,79 @@
+(** SQL pretty-printer: emits the canonical text accepted back by
+    {!Parser.parse} (round-trip property-tested). *)
+
+let expr = function
+  | Ast.Lit v -> Diagres_data.Value.to_literal v
+  | Ast.Col { Ast.table = Some t; column } -> t ^ "." ^ column
+  | Ast.Col { Ast.table = None; column } -> column
+
+let cmp = Diagres_logic.Fol.cmp_name
+
+let indent_lines prefix s =
+  String.split_on_char '\n' s
+  |> List.map (fun l -> if l = "" then l else prefix ^ l)
+  |> String.concat "\n"
+
+let rec cond ?(depth = 0) (c : Ast.cond) =
+  match c with
+  | Ast.True -> "true"
+  | Ast.Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (expr a) (cmp op) (expr b)
+  | Ast.And (a, b) -> Printf.sprintf "%s AND %s" (cond_sub ~depth a) (cond_sub ~depth b)
+  | Ast.Or (a, b) -> Printf.sprintf "%s OR %s" (cond_sub ~depth a) (cond_sub ~depth b)
+  | Ast.Not (Ast.Exists q) ->
+    Printf.sprintf "NOT EXISTS (\n%s)" (indent_lines "  " (query ~depth:(depth + 1) q))
+  | Ast.Not (Ast.In (e, q)) ->
+    Printf.sprintf "%s NOT IN (\n%s)" (expr e)
+      (indent_lines "  " (query ~depth:(depth + 1) q))
+  | Ast.Not c -> Printf.sprintf "NOT %s" (cond_sub ~depth c)
+  | Ast.Exists q ->
+    Printf.sprintf "EXISTS (\n%s)" (indent_lines "  " (query ~depth:(depth + 1) q))
+  | Ast.In (e, q) ->
+    Printf.sprintf "%s IN (\n%s)" (expr e)
+      (indent_lines "  " (query ~depth:(depth + 1) q))
+
+and cond_sub ~depth c =
+  match c with
+  | Ast.Or _ | Ast.And _ -> "(" ^ cond ~depth c ^ ")"
+  | _ -> cond ~depth c
+
+and query ?(depth = 0) (q : Ast.query) =
+  ignore depth;
+  let items =
+    List.map
+      (function
+        | Ast.Star -> "*"
+        | Ast.Item (e, None) -> expr e
+        | Ast.Item (e, Some a) -> expr e ^ " AS " ^ a)
+      q.Ast.select
+  in
+  let tables =
+    List.map
+      (fun t ->
+        if t.Ast.alias = t.Ast.name then t.Ast.name
+        else t.Ast.name ^ " " ^ t.Ast.alias)
+      q.Ast.from
+  in
+  let where =
+    match q.Ast.where with
+    | Ast.True -> ""
+    | c -> "\nWHERE " ^ cond c
+  in
+  Printf.sprintf "SELECT %s%s\nFROM %s%s"
+    (if q.Ast.distinct then "DISTINCT " else "")
+    (String.concat ", " items)
+    (String.concat ", " tables)
+    where
+
+let rec statement = function
+  | Ast.Query q -> query q
+  | Ast.Union (a, b) -> statement a ^ "\nUNION\n" ^ statement b
+  | Ast.Intersect (a, b) ->
+    set_sub a ^ "\nINTERSECT\n" ^ set_sub b
+  | Ast.Except (a, b) -> set_sub a ^ "\nEXCEPT\n" ^ set_sub b
+
+and set_sub st =
+  match st with
+  | Ast.Query _ -> statement st
+  | _ -> "(" ^ statement st ^ ")"
+
+let to_string = statement

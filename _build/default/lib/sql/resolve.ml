@@ -1,0 +1,137 @@
+(** Name resolution: qualify every column reference with its table alias.
+
+    SQL lets queries reference columns bare ([sid]) and subqueries reference
+    enclosing FROM aliases (correlation).  Resolution walks the scope stack
+    innermost-first, mirroring SQL's rules; ambiguous bare columns are
+    errors.  The output AST has every [Col] qualified, every [Star]
+    expanded, and every missing alias made explicit — the canonical form the
+    translators consume. *)
+
+module D = Diagres_data
+
+exception Resolve_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Resolve_error s)) fmt
+
+type env = {
+  schemas : (string * D.Schema.t) list;
+  scopes : Ast.table_ref list list;  (** innermost scope first *)
+}
+
+let table_schema env name =
+  match List.assoc_opt name env.schemas with
+  | Some s -> s
+  | None -> error "unknown table %S" name
+
+let check_from env (from : Ast.table_ref list) =
+  let aliases = List.map (fun t -> t.Ast.alias) from in
+  let rec dup = function
+    | [] -> ()
+    | a :: rest ->
+      if List.mem a rest then error "duplicate table alias %S" a else dup rest
+  in
+  dup aliases;
+  List.iter (fun t -> ignore (table_schema env t.Ast.name)) from
+
+(** Resolve a column reference against the scope stack. *)
+let resolve_col env (c : Ast.col) : Ast.col =
+  match c.Ast.table with
+  | Some alias ->
+    let found =
+      List.exists
+        (fun scope -> List.exists (fun t -> t.Ast.alias = alias) scope)
+        env.scopes
+    in
+    if not found then error "unknown table alias %S" alias;
+    let tref =
+      List.find_map
+        (fun scope -> List.find_opt (fun t -> t.Ast.alias = alias) scope)
+        env.scopes
+      |> Option.get
+    in
+    if not (D.Schema.mem c.Ast.column (table_schema env tref.Ast.name)) then
+      error "table %S (alias %S) has no column %S" tref.Ast.name alias
+        c.Ast.column;
+    c
+  | None ->
+    (* find candidate tables, innermost scope first; stop at the first scope
+       with a match, error on ambiguity within that scope *)
+    let rec go = function
+      | [] -> error "unknown column %S" c.Ast.column
+      | scope :: outer -> (
+        let hits =
+          List.filter
+            (fun t -> D.Schema.mem c.Ast.column (table_schema env t.Ast.name))
+            scope
+        in
+        match hits with
+        | [] -> go outer
+        | [ t ] -> { c with Ast.table = Some t.Ast.alias }
+        | _ -> error "ambiguous column %S" c.Ast.column)
+    in
+    go env.scopes
+
+let resolve_expr env = function
+  | Ast.Col c -> Ast.Col (resolve_col env c)
+  | Ast.Lit v -> Ast.Lit v
+
+let rec resolve_cond env = function
+  | Ast.True -> Ast.True
+  | Ast.Cmp (op, a, b) -> Ast.Cmp (op, resolve_expr env a, resolve_expr env b)
+  | Ast.And (a, b) -> Ast.And (resolve_cond env a, resolve_cond env b)
+  | Ast.Or (a, b) -> Ast.Or (resolve_cond env a, resolve_cond env b)
+  | Ast.Not c -> Ast.Not (resolve_cond env c)
+  | Ast.Exists q -> Ast.Exists (resolve_query env q)
+  | Ast.In (e, q) ->
+    let q' = resolve_query env q in
+    (match q'.Ast.select with
+    | [ Ast.Item (_, _) ] -> ()
+    | _ -> error "IN subquery must select exactly one column");
+    Ast.In (resolve_expr env e, q')
+
+and resolve_query env (q : Ast.query) : Ast.query =
+  check_from env q.Ast.from;
+  let env' = { env with scopes = q.Ast.from :: env.scopes } in
+  let select =
+    List.concat_map
+      (function
+        | Ast.Star ->
+          (* expand * to every column of every FROM table, qualified *)
+          List.concat_map
+            (fun t ->
+              List.map
+                (fun a ->
+                  Ast.Item
+                    (Ast.Col { Ast.table = Some t.Ast.alias; column = a }, None))
+                (D.Schema.names (table_schema env t.Ast.name)))
+            q.Ast.from
+        | Ast.Item (e, alias) -> [ Ast.Item (resolve_expr env' e, alias) ])
+      q.Ast.select
+  in
+  if select = [] then error "empty select list";
+  { q with Ast.select; where = resolve_cond env' q.Ast.where }
+
+let rec resolve_statement env = function
+  | Ast.Query q -> Ast.Query (resolve_query env q)
+  | Ast.Union (a, b) ->
+    Ast.Union (resolve_statement env a, resolve_statement env b)
+  | Ast.Intersect (a, b) ->
+    Ast.Intersect (resolve_statement env a, resolve_statement env b)
+  | Ast.Except (a, b) ->
+    Ast.Except (resolve_statement env a, resolve_statement env b)
+
+let statement schemas st =
+  resolve_statement { schemas; scopes = [] } st
+
+let query schemas q = resolve_query { schemas; scopes = [] } q
+
+(** Output column names of a resolved query (for schema compatibility checks
+    across set operations). *)
+let output_columns (q : Ast.query) =
+  List.mapi
+    (fun i -> function
+      | Ast.Item (_, Some a) -> a
+      | Ast.Item (Ast.Col c, None) -> c.Ast.column
+      | Ast.Item (Ast.Lit _, None) -> Printf.sprintf "c%d" (i + 1)
+      | Ast.Star -> invalid_arg "output_columns: unresolved *")
+    q.Ast.select

@@ -1,0 +1,190 @@
+(** SQL → TRC, the tutorial's canonical reading of a SELECT block:
+
+    [SELECT s.a FROM R s, S t WHERE φ]  ↦  [{ s.a | s ∈ R, t ∈ S : φ′ }]
+
+    [EXISTS] subqueries become ∃-blocks over the subquery's FROM ranges,
+    [e IN (SELECT x …)] becomes [∃ ranges (x = e ∧ …)], and correlation
+    falls out of TRC scoping for free.  Set operators do not exist in
+    (single-panel) TRC, so a statement translates to one TRC query per
+    UNION branch with INTERSECT/EXCEPT folded into ∃/¬∃ — precisely the
+    panel decomposition Relational Diagrams use. *)
+
+module T = Diagres_rc.Trc
+
+exception Unsupported of string
+
+(* Table aliases must be distinct from every alias in enclosing scopes for
+   TRC variable naming; SQL guarantees per-scope uniqueness, and we rename
+   shadowing aliases with a fresh suffix. *)
+type ctx = {
+  schemas : (string * Diagres_data.Schema.t) list;
+  renaming : (string * string) list;  (** alias → TRC variable *)
+  supply : Diagres_logic.Names.t;
+}
+
+let term ctx : Ast.expr -> T.term = function
+  | Ast.Lit v -> T.Const v
+  | Ast.Col { Ast.table = Some alias; column } ->
+    let v =
+      match List.assoc_opt alias ctx.renaming with
+      | Some v -> v
+      | None -> alias
+    in
+    T.Field (v, column)
+  | Ast.Col { Ast.table = None; column } ->
+    raise (Unsupported ("unresolved column " ^ column ^ "; run Resolve first"))
+
+(* Bring a FROM list into scope: pick TRC variable names (reusing the SQL
+   alias when it does not shadow an outer one) and extend the renaming. *)
+let bind_from ctx (from : Ast.table_ref list) =
+  List.fold_left
+    (fun (ctx, ranges) t ->
+      let taken = List.map snd ctx.renaming in
+      let v =
+        if List.mem t.Ast.alias taken then
+          Diagres_logic.Names.fresh ctx.supply (t.Ast.alias ^ "_")
+        else begin
+          Diagres_logic.Names.reserve ctx.supply [ t.Ast.alias ];
+          t.Ast.alias
+        end
+      in
+      ( { ctx with renaming = (t.Ast.alias, v) :: ctx.renaming },
+        (v, t.Ast.name) :: ranges ))
+    (ctx, []) from
+  |> fun (ctx, ranges) -> (ctx, List.rev ranges)
+
+let rec cond ctx : Ast.cond -> T.formula = function
+  | Ast.True -> T.True
+  | Ast.Cmp (op, a, b) -> T.Cmp (op, term ctx a, term ctx b)
+  | Ast.And (a, b) -> T.And (cond ctx a, cond ctx b)
+  | Ast.Or (a, b) -> T.Or (cond ctx a, cond ctx b)
+  | Ast.Not c -> T.Not (cond ctx c)
+  | Ast.Exists q ->
+    let ctx', ranges = bind_from ctx q.Ast.from in
+    T.Exists (ranges, cond ctx' q.Ast.where)
+  | Ast.In (e, q) ->
+    let outer_term = term ctx e in
+    let ctx', ranges = bind_from ctx q.Ast.from in
+    let selected =
+      match q.Ast.select with
+      | [ Ast.Item (se, _) ] -> term ctx' se
+      | _ -> raise (Unsupported "IN subquery must select exactly one column")
+    in
+    T.Exists
+      ( ranges,
+        T.And (T.Cmp (Diagres_logic.Fol.Eq, selected, outer_term), cond ctx' q.Ast.where) )
+
+(** One SELECT block to one TRC query. *)
+let of_query schemas (q : Ast.query) : T.query =
+  (* The DISTINCT flag is immaterial: RC, RA and Datalog are set languages,
+     so the translation always has set semantics (the tutorial's setting). *)
+  let q = Resolve.query schemas q in
+  let ctx = { schemas; renaming = []; supply = Diagres_logic.Names.create () } in
+  let ctx, ranges = bind_from ctx q.Ast.from in
+  let head =
+    List.map
+      (function
+        | Ast.Item (e, _) -> term ctx e
+        | Ast.Star -> assert false (* removed by Resolve *))
+      q.Ast.select
+  in
+  { T.head; ranges; body = cond ctx q.Ast.where }
+
+(* INTERSECT and EXCEPT fold into the first operand's body:
+   A ∩ B = A where ∃B-ranges (B ∧ heads equal);  A − B adds ¬∃. *)
+let rec fold_set_ops schemas (st : Ast.statement) : T.query list =
+  match st with
+  | Ast.Query q -> [ of_query schemas q ]
+  | Ast.Union (a, b) -> fold_set_ops schemas a @ fold_set_ops schemas b
+  | Ast.Intersect (a, b) -> combine schemas ~negate:false a b
+  | Ast.Except (a, b) -> combine schemas ~negate:true a b
+
+and combine schemas ~negate a b =
+  let bs = fold_set_ops schemas b in
+  (* Rename b's variables apart from a's, then conjoin (or negate) the
+     existential closure of each b-panel.  A − (B₁ ∪ B₂) needs *all* panels
+     negated; A ∩ (B₁ ∪ B₂) needs the disjunction of the panels. *)
+  List.map
+    (fun (qa : T.query) ->
+      let clauses =
+        List.map
+          (fun (qb : T.query) ->
+            let qb = rename_apart qa qb in
+            let equalities =
+              List.map2
+                (fun ta tb -> T.Cmp (Diagres_logic.Fol.Eq, ta, tb))
+                qa.T.head qb.T.head
+            in
+            let inner = T.conj (equalities @ [ qb.T.body ]) in
+            if qb.T.ranges = [] then inner else T.Exists (qb.T.ranges, inner))
+          bs
+      in
+      let clause = T.disj clauses in
+      let clause = if negate then T.Not clause else clause in
+      { qa with T.body = T.And (qa.T.body, clause) })
+    (fold_set_ops schemas a)
+
+(* Rename qb's range variables (free and bound are all in ranges for the
+   top level; bound blocks inside body keep their names, which cannot clash
+   because TRC scoping is lexical and we only prefix top-level ranges). *)
+and rename_apart (qa : T.query) (qb : T.query) : T.query =
+  let taken =
+    List.map fst qa.T.ranges
+    @ T.declared_vars qa.T.body
+  in
+  let supply = Diagres_logic.Names.create ~reserved:(taken @ List.map fst qb.T.ranges @ T.declared_vars qb.T.body) () in
+  let mapping =
+    List.map
+      (fun (v, r) ->
+        if List.mem v taken then ((v, r), (Diagres_logic.Names.fresh supply (v ^ "_"), r))
+        else ((v, r), (v, r)))
+      qb.T.ranges
+  in
+  let rename_var v =
+    match List.find_opt (fun ((v0, _), _) -> v0 = v) mapping with
+    | Some (_, (v', _)) -> v'
+    | None -> v
+  in
+  let rename_term = function
+    | T.Field (v, a) -> T.Field (rename_var v, a)
+    | T.Const c -> T.Const c
+  in
+  (* only free occurrences of the top-level range variables are renamed;
+     shadowing re-declarations inside the body win, matching TRC scoping *)
+  let rec rename_formula bound = function
+    | T.True -> T.True
+    | T.False -> T.False
+    | T.Cmp (op, x, y) ->
+      let fix t =
+        match t with
+        | T.Field (v, a) when not (List.mem v bound) -> T.Field (rename_var v, a)
+        | _ -> t
+      in
+      T.Cmp (op, fix x, fix y)
+    | T.Not f -> T.Not (rename_formula bound f)
+    | T.And (x, y) -> T.And (rename_formula bound x, rename_formula bound y)
+    | T.Or (x, y) -> T.Or (rename_formula bound x, rename_formula bound y)
+    | T.Implies (x, y) ->
+      T.Implies (rename_formula bound x, rename_formula bound y)
+    | T.Exists (rs, f) ->
+      T.Exists (rs, rename_formula (List.map fst rs @ bound) f)
+    | T.Forall (rs, f) ->
+      T.Forall (rs, rename_formula (List.map fst rs @ bound) f)
+  in
+  { T.head = List.map rename_term qb.T.head;
+    ranges = List.map (fun ((_, _), vr) -> vr) mapping;
+    body = rename_formula [] qb.T.body }
+
+(** Entry point: a statement becomes one TRC query per UNION panel. *)
+let statement schemas (st : Ast.statement) : T.query list =
+  fold_set_ops schemas (Resolve.statement schemas st)
+
+(** Single-panel statements (no top-level UNION). *)
+let statement_single schemas st =
+  match statement schemas st with
+  | [ q ] -> q
+  | qs ->
+    raise
+      (Unsupported
+         (Printf.sprintf "statement needs %d TRC panels (top-level UNION)"
+            (List.length qs)))

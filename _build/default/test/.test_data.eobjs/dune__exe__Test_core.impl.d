@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Diagres Diagres_data Diagres_diagrams Diagres_ra Diagres_rc List Printf QCheck String Testutil

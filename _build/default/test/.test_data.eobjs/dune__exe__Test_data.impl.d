@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Diagres_data Filename Fun List QCheck Sys Testutil

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Diagres_data Diagres_datalog Diagres_logic Diagres_ra Diagres_rc Fun List Option QCheck Random Testutil

@@ -1,0 +1,1 @@
+test/test_diagrams.ml: Alcotest Diagres Diagres_data Diagres_datalog Diagres_diagrams Diagres_logic Diagres_ra Diagres_rc Diagres_render Diagres_sql List QCheck Random String Testutil

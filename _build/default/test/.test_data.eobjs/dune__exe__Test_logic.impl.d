@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Diagres_data Diagres_logic List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_ra.ml: Alcotest Diagres_data Diagres_logic Diagres_ra List QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_rc.ml: Alcotest Diagres_data Diagres_logic Diagres_ra Diagres_rc List QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Diagres Diagres_data Diagres_ra Diagres_rc Diagres_sql List QCheck Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Diagres_data Diagres_logic Diagres_ra List Printf QCheck QCheck_alcotest Random

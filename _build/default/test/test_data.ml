@@ -1,0 +1,274 @@
+(* Unit and property tests for the relational substrate. *)
+
+module D = Diagres_data
+module V = D.Value
+
+let v_int n = V.Int n
+let v_str s = V.String s
+
+(* ---------------- Value ---------------- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int eq" true (V.equal (V.Int 3) (V.Int 3));
+  Alcotest.(check bool) "int/float eq" true (V.equal (V.Int 2) (V.Float 2.));
+  Alcotest.(check bool) "int lt" true (V.lt (V.Int 1) (V.Int 2));
+  Alcotest.(check bool) "string order" true (V.lt (v_str "a") (v_str "b"));
+  Alcotest.(check bool) "null never equal" false (V.eq V.Null V.Null);
+  Alcotest.(check bool) "null never lt" false (V.lt V.Null (V.Int 1));
+  Alcotest.(check bool) "neq null" false (V.neq V.Null (V.Int 1))
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (V.of_string "42" = V.Int 42);
+  Alcotest.(check bool) "float" true (V.of_string "4.5" = V.Float 4.5);
+  Alcotest.(check bool) "bool" true (V.of_string "true" = V.Bool true);
+  Alcotest.(check bool) "string" true (V.of_string "red" = V.String "red");
+  Alcotest.(check bool) "null" true (V.of_string "" = V.Null);
+  Alcotest.(check bool) "NULL kw" true (V.of_string "NULL" = V.Null)
+
+let test_value_arith () =
+  Alcotest.(check bool) "add" true (V.add (V.Int 2) (V.Int 3) = Some (V.Int 5));
+  Alcotest.(check bool) "promote" true
+    (V.add (V.Int 2) (V.Float 0.5) = Some (V.Float 2.5));
+  Alcotest.(check bool) "div0" true (V.div (V.Int 2) (V.Int 0) = None);
+  Alcotest.(check bool) "string add" true (V.add (v_str "a") (V.Int 1) = None)
+
+let test_value_literal () =
+  Alcotest.(check string) "string quoted" "'red'" (V.to_literal (v_str "red"));
+  Alcotest.(check string) "quote escaped" "'O''Neil'"
+    (V.to_literal (v_str "O'Neil"));
+  Alcotest.(check string) "int plain" "7" (V.to_literal (V.Int 7))
+
+let test_ty_join () =
+  Alcotest.(check bool) "int join float" true (V.ty_join V.Tint V.Tfloat = V.Tfloat);
+  Alcotest.(check bool) "int join string" true (V.ty_join V.Tint V.Tstring = V.Tany);
+  Alcotest.(check bool) "compat any" true (V.ty_compatible V.Tany V.Tstring)
+
+let prop_value_compare_total =
+  QCheck.Test.make ~name:"Value.compare is antisymmetric across types"
+    ~count:200
+    QCheck.(triple small_int small_int small_int)
+    (fun (a, b, c) ->
+      let va = V.Int a and vb = V.Float (float_of_int b) and vc = V.String (string_of_int c) in
+      let antisym x y = compare (V.compare x y) 0 = -compare (V.compare y x) 0 in
+      antisym va vb && antisym vb vc && antisym va vc)
+
+(* ---------------- Schema ---------------- *)
+
+let s1 = D.Schema.make [ ("a", V.Tint); ("b", V.Tstring) ]
+
+let test_schema_basics () =
+  Alcotest.(check int) "arity" 2 (D.Schema.arity s1);
+  Alcotest.(check int) "index" 1 (D.Schema.index "b" s1);
+  Alcotest.(check bool) "mem" true (D.Schema.mem "a" s1);
+  Alcotest.check_raises "unknown attr"
+    (D.Schema.Schema_error "unknown attribute \"z\" (schema: a, b)")
+    (fun () -> ignore (D.Schema.index "z" s1))
+
+let test_schema_rename () =
+  let s = D.Schema.rename "a" "c" s1 in
+  Alcotest.(check bool) "renamed" true (D.Schema.mem "c" s);
+  Alcotest.check_raises "rename to existing"
+    (D.Schema.Schema_error "rename target \"b\" already exists") (fun () ->
+      ignore (D.Schema.rename "a" "b" s1))
+
+let test_schema_concat () =
+  let s2 = D.Schema.make [ ("c", V.Tint) ] in
+  Alcotest.(check int) "concat" 3 (D.Schema.arity (D.Schema.concat_disjoint s1 s2));
+  Alcotest.check_raises "clash"
+    (D.Schema.Schema_error "attribute \"a\" occurs on both sides of a product")
+    (fun () -> ignore (D.Schema.concat_disjoint s1 s1))
+
+let test_schema_project () =
+  let p = D.Schema.project [ "b" ] s1 in
+  Alcotest.(check int) "projected" 1 (D.Schema.arity p);
+  Alcotest.(check int) "empty projection ok" 0 (D.Schema.arity (D.Schema.project [] s1))
+
+(* ---------------- Relation ---------------- *)
+
+let rel rows = D.Relation.of_lists s1 rows
+
+let r_abc =
+  rel [ [ v_int 1; v_str "x" ]; [ v_int 2; v_str "y" ]; [ v_int 3; v_str "x" ] ]
+
+let test_relation_set_semantics () =
+  let r = rel [ [ v_int 1; v_str "x" ]; [ v_int 1; v_str "x" ] ] in
+  Alcotest.(check int) "dupes collapse" 1 (D.Relation.cardinality r)
+
+let test_relation_ops () =
+  let r2 = rel [ [ v_int 2; v_str "y" ] ] in
+  Alcotest.(check int) "union" 3 (D.Relation.cardinality (D.Relation.union r_abc r2));
+  Alcotest.(check int) "inter" 1 (D.Relation.cardinality (D.Relation.inter r_abc r2));
+  Alcotest.(check int) "diff" 2 (D.Relation.cardinality (D.Relation.diff r_abc r2));
+  Alcotest.(check int) "project" 2
+    (D.Relation.cardinality (D.Relation.project [ "b" ] r_abc))
+
+let test_relation_product_join () =
+  let s2 = D.Schema.make [ ("c", V.Tint) ] in
+  let r2 = D.Relation.of_lists s2 [ [ v_int 10 ]; [ v_int 20 ] ] in
+  Alcotest.(check int) "product" 6
+    (D.Relation.cardinality (D.Relation.product r_abc r2));
+  let s3 = D.Schema.make [ ("a", V.Tint); ("c", V.Tstring) ] in
+  let r3 =
+    D.Relation.of_lists s3
+      [ [ v_int 1; v_str "p" ]; [ v_int 1; v_str "q" ]; [ v_int 9; v_str "r" ] ]
+  in
+  let j = D.Relation.natural_join r_abc r3 in
+  Alcotest.(check int) "join rows" 2 (D.Relation.cardinality j);
+  Alcotest.(check int) "join arity" 3 (D.Schema.arity (D.Relation.schema j))
+
+let test_relation_division () =
+  let dividend = D.Relation.project [ "sid"; "bid" ] D.Sample_db.reserves in
+  let divisor =
+    D.Relation.project [ "bid" ]
+      (D.Relation.filter
+         (fun t ->
+           V.eq (D.Tuple.field D.Sample_db.boat_schema "color" t) (v_str "red"))
+         D.Sample_db.boats)
+  in
+  let q = D.Relation.division dividend divisor in
+  Testutil.check_same_rows "division" (Testutil.sids [ 22; 31 ]) q
+
+let test_relation_division_empty_divisor () =
+  let dividend = D.Relation.project [ "sid"; "bid" ] D.Sample_db.reserves in
+  let divisor = D.Relation.empty (D.Schema.make [ ("bid", V.Tint) ]) in
+  let q = D.Relation.division dividend divisor in
+  Alcotest.(check int) "x / empty = all candidates" 5 (D.Relation.cardinality q)
+
+let test_active_domain () =
+  Alcotest.(check int) "distinct values" 5
+    (List.length (D.Relation.active_domain r_abc))
+
+let test_same_rows_ignores_names () =
+  let other_schema = D.Schema.make [ ("x", V.Tint); ("y", V.Tstring) ] in
+  let r2 = D.Relation.of_tuples other_schema (D.Relation.tuples r_abc) in
+  Alcotest.(check bool) "same rows" true (D.Relation.same_rows r_abc r2)
+
+let prop_set_ops_commute =
+  QCheck.Test.make ~name:"union and inter commute" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (sa, sb) ->
+      let mk seed =
+        D.Database.find "Reserves" (D.Generator.sailors_db ~n_reserves:10 seed)
+      in
+      let a = mk sa and b = mk sb in
+      D.Relation.same_rows (D.Relation.union a b) (D.Relation.union b a)
+      && D.Relation.same_rows (D.Relation.inter a b) (D.Relation.inter b a))
+
+let prop_division_definition =
+  QCheck.Test.make
+    ~name:"division agrees with its π/×/− definition" ~count:40
+    QCheck.small_int
+    (fun seed ->
+      let db = D.Generator.sailors_db ~n_reserves:20 seed in
+      let reserves = D.Database.find "Reserves" db in
+      let boats = D.Database.find "Boat" db in
+      let dividend = D.Relation.project [ "sid"; "bid" ] reserves in
+      let divisor = D.Relation.project [ "bid" ] boats in
+      let direct = D.Relation.division dividend divisor in
+      let candidates = D.Relation.project [ "sid" ] dividend in
+      let all = D.Relation.project [ "sid"; "bid" ] (D.Relation.product candidates divisor) in
+      let missing = D.Relation.diff all dividend in
+      let defined = D.Relation.diff candidates (D.Relation.project [ "sid" ] missing) in
+      D.Relation.same_rows direct defined)
+
+(* ---------------- CSV ---------------- *)
+
+let test_csv_roundtrip () =
+  let text = D.Csv.relation_to_string D.Sample_db.sailors in
+  let back = D.Csv.relation_of_string text in
+  Alcotest.(check bool) "roundtrip" true
+    (D.Relation.same_rows D.Sample_db.sailors back)
+
+let test_csv_quoting () =
+  let s = D.Schema.make [ ("a", V.Tstring) ] in
+  let r = D.Relation.of_lists s [ [ v_str "x,\"y\"" ] ] in
+  let back = D.Csv.relation_of_string (D.Csv.relation_to_string r) in
+  Alcotest.(check bool) "quoted field survives" true (D.Relation.same_rows r back)
+
+let test_csv_database_roundtrip () =
+  let dir = Filename.temp_file "diagres" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      D.Csv.save_database dir D.Sample_db.db;
+      let back = D.Csv.load_database dir in
+      Alcotest.(check (list string)) "relation names"
+        (D.Database.relation_names D.Sample_db.db)
+        (D.Database.relation_names back);
+      List.iter
+        (fun (name, rel) ->
+          Alcotest.(check bool) ("rows of " ^ name) true
+            (D.Relation.same_rows rel (D.Database.find name back)))
+        (D.Database.relations D.Sample_db.db))
+
+let test_csv_errors () =
+  Alcotest.check_raises "unterminated quote"
+    (D.Csv.Csv_error "unterminated quote: a,\"b") (fun () ->
+      ignore (D.Csv.parse_string "a,\"b"))
+
+(* ---------------- Database / Generator ---------------- *)
+
+let test_database () =
+  Alcotest.(check int) "3 relations" 3
+    (List.length (D.Database.relation_names D.Sample_db.db));
+  Alcotest.(check int) "tuples" 25 (D.Database.total_tuples D.Sample_db.db);
+  Alcotest.check_raises "unknown" (D.Database.Unknown_relation "Nope")
+    (fun () -> ignore (D.Database.find "Nope" D.Sample_db.db))
+
+let test_generator_deterministic () =
+  let a = D.Generator.sailors_db 42 and b = D.Generator.sailors_db 42 in
+  List.iter2
+    (fun (n1, r1) (n2, r2) ->
+      Alcotest.(check string) "name" n1 n2;
+      Alcotest.(check bool) ("rel " ^ n1) true (D.Relation.same_rows r1 r2))
+    (D.Database.relations a) (D.Database.relations b)
+
+let test_generator_sizes () =
+  let db = D.Generator.sailors_db ~n_sailors:30 ~n_boats:5 ~n_reserves:10 1 in
+  Alcotest.(check int) "sailors" 30
+    (D.Relation.cardinality (D.Database.find "Sailor" db));
+  Alcotest.(check int) "boats" 5
+    (D.Relation.cardinality (D.Database.find "Boat" db))
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "value",
+        [ Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "arith" `Quick test_value_arith;
+          Alcotest.test_case "literal" `Quick test_value_literal;
+          Alcotest.test_case "ty_join" `Quick test_ty_join;
+          Testutil.qtest prop_value_compare_total ] );
+      ( "schema",
+        [ Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "rename" `Quick test_schema_rename;
+          Alcotest.test_case "concat" `Quick test_schema_concat;
+          Alcotest.test_case "project" `Quick test_schema_project ] );
+      ( "relation",
+        [ Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
+          Alcotest.test_case "set ops" `Quick test_relation_ops;
+          Alcotest.test_case "product/join" `Quick test_relation_product_join;
+          Alcotest.test_case "division" `Quick test_relation_division;
+          Alcotest.test_case "division empty divisor" `Quick
+            test_relation_division_empty_divisor;
+          Alcotest.test_case "active domain" `Quick test_active_domain;
+          Alcotest.test_case "same_rows" `Quick test_same_rows_ignores_names;
+          Testutil.qtest prop_set_ops_commute;
+          Testutil.qtest prop_division_definition ] );
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "database roundtrip" `Quick
+            test_csv_database_roundtrip;
+          Alcotest.test_case "errors" `Quick test_csv_errors ] );
+      ( "database",
+        [ Alcotest.test_case "catalog" `Quick test_database;
+          Alcotest.test_case "generator deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "generator sizes" `Quick test_generator_sizes ] );
+    ]

@@ -1,0 +1,285 @@
+(* Tests for non-recursive Datalog with stratified negation. *)
+
+module A = Diagres_datalog.Ast
+module D = Diagres_data
+
+let db = Testutil.db
+let schemas = Testutil.schemas
+let parse = Diagres_datalog.Parser.parse
+
+let q3_src =
+  "missing(S) :- Sailor(S, N, R, Ag), Boat(B, BN, 'red'), not res2(S, B).\n\
+   res2(S, B) :- Reserves(S, B, Dy).\n\
+   q3(S) :- Sailor(S, N, R, Ag), not missing(S)."
+
+(* ---------------- parser ---------------- *)
+
+let test_parse () =
+  let p = parse q3_src in
+  Alcotest.(check int) "3 rules" 3 (List.length p);
+  Alcotest.(check (list string)) "idb" [ "missing"; "q3"; "res2" ]
+    (A.idb_preds p)
+
+let test_parse_conditions () =
+  let p = parse "older(X, Y) :- Sailor(X, N1, R1, A1), Sailor(Y, N2, R2, A2), A1 > A2." in
+  match (List.hd p).A.body with
+  | [ A.Pos _; A.Pos _; A.Cond (Diagres_logic.Fol.Gt, A.Var "A1", A.Var "A2") ] -> ()
+  | _ -> Alcotest.fail "condition literal"
+
+let test_parse_print_roundtrip () =
+  let p = parse q3_src in
+  Alcotest.(check bool) "roundtrip" true (parse (A.to_string p) = p)
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | exception Diagres_datalog.Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "should not parse: %s" s
+  in
+  fails "q(X) :- Sailor(X.";
+  fails "q(X) Sailor(X).";
+  fails "q() :- Sailor(X)."
+
+(* ---------------- checks ---------------- *)
+
+let test_check_recursion () =
+  let p = parse "a(X) :- b(X).\nb(X) :- a(X)." in
+  match Diagres_datalog.Check.check_program schemas p with
+  | exception Diagres_datalog.Check.Check_error _ -> ()
+  | _ -> Alcotest.fail "recursion must be rejected"
+
+let test_check_safety () =
+  let fails src =
+    match Diagres_datalog.Check.check_program schemas (parse src) with
+    | exception Diagres_datalog.Check.Check_error _ -> ()
+    | _ -> Alcotest.failf "should be unsafe: %s" src
+  in
+  (* head var not bound *)
+  fails "q(X, Y) :- Sailor(X, N, R, A).";
+  (* negated var not bound *)
+  fails "q(X) :- Sailor(X, N, R, A), not Reserves(X, B, D2), B > 1.";
+  (* condition var not bound positively *)
+  fails "q(X) :- Sailor(X, N, R, A), Z > 1."
+
+let test_check_arity () =
+  match Diagres_datalog.Check.check_program schemas (parse "q(X) :- Sailor(X).") with
+  | exception Diagres_datalog.Check.Check_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+let test_check_undefined () =
+  match Diagres_datalog.Check.check_program schemas (parse "q(X) :- mystery(X).") with
+  | exception Diagres_datalog.Check.Check_error _ -> ()
+  | _ -> Alcotest.fail "undefined predicate must be rejected"
+
+let test_strata () =
+  let p = parse q3_src in
+  let strata = Diagres_datalog.Check.strata p in
+  Alcotest.(check int) "res2 stratum" 0 (List.assoc "res2" strata);
+  Alcotest.(check int) "missing stratum" 1 (List.assoc "missing" strata);
+  Alcotest.(check int) "q3 stratum" 2 (List.assoc "q3" strata)
+
+let test_eval_order () =
+  let p = parse q3_src in
+  let order = Diagres_datalog.Check.eval_order p in
+  let pos x = Option.get (List.find_index (( = ) x) order) in
+  Alcotest.(check bool) "res2 before missing" true (pos "res2" < pos "missing");
+  Alcotest.(check bool) "missing before q3" true (pos "missing" < pos "q3")
+
+(* ---------------- evaluation ---------------- *)
+
+let test_eval_q3 () =
+  Testutil.check_same_rows "q3 datalog"
+    (Testutil.sids D.Sample_db.q3_expected_sids)
+    (Diagres_datalog.Eval.query db (parse q3_src) ~goal:"q3")
+
+let test_eval_union_rules () =
+  let p =
+    parse
+      "q4(S) :- Reserves(S, B, D2), Boat(B, N, 'red').\n\
+       q4(S) :- Reserves(S, B, D2), Boat(B, N, 'green')."
+  in
+  Testutil.check_same_rows "q4 via two rules"
+    (Testutil.sids D.Sample_db.q4_expected_sids)
+    (Diagres_datalog.Eval.query db p ~goal:"q4")
+
+let test_eval_constants_in_head () =
+  let p = parse "flag('hi', S) :- Sailor(S, N, R, A), R = 10." in
+  let r = Diagres_datalog.Eval.query db p ~goal:"flag" in
+  Alcotest.(check int) "two rows" 2 (D.Relation.cardinality r)
+
+let test_eval_condition () =
+  let p = parse "old(S) :- Sailor(S, N, R, A), A > 50.0." in
+  Testutil.check_same_rows "old sailors"
+    (Testutil.sids [ 31; 95 ])
+    (Diagres_datalog.Eval.query db p ~goal:"old")
+
+let prop_datalog_vs_ra =
+  QCheck.Test.make ~name:"datalog eval = RA unfolding on random DBs"
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let rdb = Diagres_data.Generator.sailors_db ~n_sailors:6 ~n_boats:3 ~n_reserves:10 seed in
+      let rschemas =
+        List.map
+          (fun (n, r) -> (n, D.Relation.schema r))
+          (D.Database.relations rdb)
+      in
+      let p = parse q3_src in
+      let direct = Diagres_datalog.Eval.query rdb p ~goal:"q3" in
+      let via_ra =
+        Diagres_ra.Eval.eval rdb (Diagres_datalog.To_drc.to_ra rschemas p ~goal:"q3")
+      in
+      D.Relation.same_rows direct via_ra)
+
+(* ---------------- unfolding ---------------- *)
+
+let test_unfold_to_drc () =
+  let p = parse q3_src in
+  let d = Diagres_datalog.To_drc.query schemas p ~goal:"q3" in
+  Testutil.check_same_rows "unfolded drc"
+    (Testutil.sids D.Sample_db.q3_expected_sids)
+    (Diagres_rc.Drc.eval db d)
+
+let test_unfold_safe_range () =
+  let p = parse q3_src in
+  let d = Diagres_datalog.To_drc.query schemas p ~goal:"q3" in
+  Alcotest.(check bool) "unfolding is safe-range" true
+    (Diagres_rc.Safety.safe_query d)
+
+let test_stats () =
+  let rules, occs, repeats = A.stats (parse q3_src) in
+  Alcotest.(check int) "rules" 3 rules;
+  Alcotest.(check int) "occurrences" 6 occs;
+  Alcotest.(check bool) "repeats > 0" true (repeats > 0)
+
+(* ---------------- recursive fixpoint (extension) ---------------- *)
+
+let graph_db =
+  let i n = D.Value.Int n in
+  let schema = D.Schema.make [ ("src", D.Value.Tint); ("dst", D.Value.Tint) ] in
+  D.Database.of_list
+    [ ( "Edge",
+        D.Relation.of_lists schema
+          [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ]; [ i 5; i 6 ] ] ) ]
+
+let tc_src =
+  "path(X, Y) :- Edge(X, Y).\npath(X, Y) :- Edge(X, Z), path(Z, Y)."
+
+let test_fixpoint_transitive_closure () =
+  let r = Diagres_datalog.Fixpoint.query graph_db (parse tc_src) ~goal:"path" in
+  (* 1→2,3,4; 2→3,4; 3→4; 5→6 = 7 pairs *)
+  Alcotest.(check int) "closure size" 7 (D.Relation.cardinality r);
+  Alcotest.(check bool) "1 reaches 4" true
+    (D.Relation.mem (D.Tuple.of_list [ D.Value.Int 1; D.Value.Int 4 ]) r);
+  Alcotest.(check bool) "1 not reaches 6" false
+    (D.Relation.mem (D.Tuple.of_list [ D.Value.Int 1; D.Value.Int 6 ]) r)
+
+let test_fixpoint_stratified_negation () =
+  (* unreachable pairs over the node set, via negation of a recursive
+     predicate in a higher stratum *)
+  let src =
+    tc_src
+    ^ "\nnode(X) :- Edge(X, Y).\nnode(Y) :- Edge(X, Y).\n\
+       unreach(X, Y) :- node(X), node(Y), not path(X, Y)."
+  in
+  let r = Diagres_datalog.Fixpoint.query graph_db (parse src) ~goal:"unreach" in
+  Alcotest.(check bool) "5 cannot reach 1" true
+    (D.Relation.mem (D.Tuple.of_list [ D.Value.Int 5; D.Value.Int 1 ]) r);
+  Alcotest.(check bool) "1 can reach 4" false
+    (D.Relation.mem (D.Tuple.of_list [ D.Value.Int 1; D.Value.Int 4 ]) r)
+
+let test_fixpoint_rejects_unstratified () =
+  let src = "p(X) :- Edge(X, Y), not p(X)." in
+  match Diagres_datalog.Fixpoint.query graph_db (parse src) ~goal:"p" with
+  | exception Diagres_datalog.Fixpoint.Fixpoint_error _ -> ()
+  | _ -> Alcotest.fail "negation through recursion must be rejected"
+
+let test_fixpoint_agrees_on_nonrecursive () =
+  (* on non-recursive programs the fixpoint engine equals the stratified
+     one-pass engine *)
+  let p = parse q3_src in
+  Testutil.check_same_rows "fixpoint = one-pass"
+    (Diagres_datalog.Eval.query db p ~goal:"q3")
+    (Diagres_datalog.Fixpoint.query db p ~goal:"q3")
+
+let prop_fixpoint_closure_correct =
+  QCheck.Test.make ~name:"fixpoint closure = reference reachability"
+    ~count:30 QCheck.small_int
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 5 + Random.State.int rand 4 in
+      let edges =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if i <> j && Random.State.int rand 4 = 0 then Some (i, j)
+                else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let edges = if edges = [] then [ (0, 1) ] else edges in
+      let schema = D.Schema.make [ ("src", D.Value.Tint); ("dst", D.Value.Tint) ] in
+      let gdb =
+        D.Database.of_list
+          [ ( "Edge",
+              D.Relation.of_lists schema
+                (List.map (fun (a, b) -> [ D.Value.Int a; D.Value.Int b ]) edges)
+            ) ]
+      in
+      let r = Diagres_datalog.Fixpoint.query gdb (parse tc_src) ~goal:"path" in
+      (* reference: Floyd-Warshall style boolean closure *)
+      let reach = Array.make_matrix n n false in
+      List.iter (fun (a, b) -> reach.(a).(b) <- true) edges;
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+          done
+        done
+      done;
+      let expected = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if reach.(i).(j) then incr expected
+        done
+      done;
+      D.Relation.cardinality r = !expected)
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "parser",
+        [ Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "conditions" `Quick test_parse_conditions;
+          Alcotest.test_case "print roundtrip" `Quick
+            test_parse_print_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "checks",
+        [ Alcotest.test_case "recursion" `Quick test_check_recursion;
+          Alcotest.test_case "safety" `Quick test_check_safety;
+          Alcotest.test_case "arity" `Quick test_check_arity;
+          Alcotest.test_case "undefined" `Quick test_check_undefined;
+          Alcotest.test_case "strata" `Quick test_strata;
+          Alcotest.test_case "eval order" `Quick test_eval_order ] );
+      ( "eval",
+        [ Alcotest.test_case "q3" `Quick test_eval_q3;
+          Alcotest.test_case "union rules" `Quick test_eval_union_rules;
+          Alcotest.test_case "constants in head" `Quick
+            test_eval_constants_in_head;
+          Alcotest.test_case "conditions" `Quick test_eval_condition;
+          Testutil.qtest prop_datalog_vs_ra ] );
+      ( "unfold",
+        [ Alcotest.test_case "to drc" `Quick test_unfold_to_drc;
+          Alcotest.test_case "safe range" `Quick test_unfold_safe_range;
+          Alcotest.test_case "stats" `Quick test_stats ] );
+      ( "fixpoint",
+        [ Alcotest.test_case "transitive closure" `Quick
+            test_fixpoint_transitive_closure;
+          Alcotest.test_case "stratified negation" `Quick
+            test_fixpoint_stratified_negation;
+          Alcotest.test_case "rejects unstratified" `Quick
+            test_fixpoint_rejects_unstratified;
+          Alcotest.test_case "agrees on non-recursive" `Quick
+            test_fixpoint_agrees_on_nonrecursive;
+          Testutil.qtest prop_fixpoint_closure_correct ] );
+    ]

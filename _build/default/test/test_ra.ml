@@ -1,0 +1,285 @@
+(* Tests for the relational algebra: parser, typechecker, evaluator,
+   optimizer. *)
+
+module A = Diagres_ra.Ast
+module D = Diagres_data
+
+let db = Testutil.db
+let env = Testutil.env
+let parse = Diagres_ra.Parser.parse
+let eval src = Diagres_ra.Eval.eval db (parse src)
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_basics () =
+  (match parse "Sailor" with
+  | A.Rel "Sailor" -> ()
+  | _ -> Alcotest.fail "rel");
+  (match parse "project[sid](Sailor)" with
+  | A.Project ([ "sid" ], A.Rel "Sailor") -> ()
+  | _ -> Alcotest.fail "project");
+  (match parse "sigma[rating >= 8](Sailor)" with
+  | A.Select (A.Cmp (Diagres_logic.Fol.Ge, A.Attr "rating", A.Const (D.Value.Int 8)), _) -> ()
+  | _ -> Alcotest.fail "sigma alias")
+
+let test_parse_precedence () =
+  (* union binds looser than join *)
+  match parse "Sailor union Boat join Reserves" with
+  | A.Union (A.Rel "Sailor", A.Join (A.Rel "Boat", A.Rel "Reserves")) -> ()
+  | e -> Alcotest.failf "precedence: %s" (Diagres_ra.Pretty.ascii e)
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | exception Diagres_ra.Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "should not parse: %s" s
+  in
+  fails "select[rating >](Sailor)";
+  fails "Sailor join";
+  fails "project[sid](Sailor) trailing"
+
+let prop_parse_print_roundtrip =
+  QCheck.Test.make ~name:"RA: parse ∘ ascii = id" ~count:200
+    (Testutil.arbitrary_ra ())
+    (fun e -> parse (Diagres_ra.Pretty.ascii e) = e)
+
+(* ---------------- typecheck ---------------- *)
+
+let test_typecheck_infer () =
+  let s = Diagres_ra.Typecheck.infer env (parse "project[sid](Sailor)") in
+  Alcotest.(check (list string)) "schema" [ "sid" ] (D.Schema.names s);
+  let j = Diagres_ra.Typecheck.infer env (parse "Sailor join Reserves") in
+  Alcotest.(check int) "join arity" 6 (D.Schema.arity j)
+
+let test_typecheck_errors () =
+  let fails s =
+    match Diagres_ra.Typecheck.infer env (parse s) with
+    | exception Diagres_ra.Typecheck.Type_error _ -> ()
+    | _ -> Alcotest.failf "should not typecheck: %s" s
+  in
+  fails "Nowhere";
+  fails "project[zzz](Sailor)";
+  fails "select[zzz = 1](Sailor)";
+  fails "Sailor * Sailor";
+  fails "Sailor union Boat";
+  fails "rename[sid -> sname](Sailor)";
+  fails "Boat div project[sid](Sailor)"
+
+(* ---------------- eval ---------------- *)
+
+let test_eval_select_project () =
+  Testutil.check_same_rows "high rated"
+    (Testutil.sids [ 58; 71 ])
+    (eval "project[sid](select[rating = 10](Sailor))")
+
+let test_eval_join_q1 () =
+  Testutil.check_same_rows "q1"
+    (Testutil.sids D.Sample_db.q1_expected_sids)
+    (eval "project[sid](Reserves join project[bid](select[color = 'red'](Boat)))")
+
+let test_eval_division_q3 () =
+  Testutil.check_same_rows "q3"
+    (Testutil.sids D.Sample_db.q3_expected_sids)
+    (eval "project[sid,bid](Reserves) div project[bid](select[color='red'](Boat))")
+
+let test_eval_setops_q2 () =
+  Testutil.check_same_rows "q2"
+    (Testutil.sids D.Sample_db.q2_expected_sids)
+    (eval
+       "project[sid](Sailor) minus project[sid](Reserves join \
+        project[bid](select[color='red'](Boat)))")
+
+let test_eval_theta_join () =
+  let r =
+    eval
+      "project[sid, sid2](rename[sid -> sid2, sname -> sname2, rating -> \
+       rating2, age -> age2](Sailor) join[rating = rating2 and age > age2] \
+       Sailor)"
+  in
+  Alcotest.(check int) "q5 pairs" 4 (D.Relation.cardinality r)
+
+let test_eval_product () =
+  let r = eval "project[sid](Sailor) * project[bid](Boat)" in
+  Alcotest.(check int) "product size" 40 (D.Relation.cardinality r)
+
+let test_eval_nullary_projection () =
+  let r = eval "project[](select[color = 'red'](Boat))" in
+  Alcotest.(check int) "boolean true = one empty tuple" 1 (D.Relation.cardinality r);
+  let r2 = eval "project[](select[color = 'mauve'](Boat))" in
+  Alcotest.(check int) "boolean false = empty" 0 (D.Relation.cardinality r2)
+
+(* ---------------- optimizer ---------------- *)
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"optimize preserves semantics" ~count:200
+    (Testutil.arbitrary_ra ~fuel:4 ())
+    (fun e ->
+      let o = Diagres_ra.Optimize.optimize env e in
+      D.Relation.same_rows (Diagres_ra.Eval.eval db e) (Diagres_ra.Eval.eval db o))
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"optimize is idempotent" ~count:100
+    (Testutil.arbitrary_ra ~fuel:4 ())
+    (fun e ->
+      let o = Diagres_ra.Optimize.optimize env e in
+      A.equal o (Diagres_ra.Optimize.optimize env o))
+
+let test_optimize_pushdown () =
+  (* σ over × must become a join or pushed selections *)
+  let e =
+    parse
+      "select[sid = sid_p and rating = 9]((Sailor) * rename[sid -> sid_p, \
+       bid -> bid_p, day -> day_p](Reserves))"
+  in
+  let o = Diagres_ra.Optimize.optimize env e in
+  (match o with
+  | A.Theta_join _ -> ()
+  | _ -> Alcotest.failf "expected theta join, got %s" (Diagres_ra.Pretty.ascii o));
+  Alcotest.(check bool) "same result" true
+    (D.Relation.same_rows (Diagres_ra.Eval.eval db e) (Diagres_ra.Eval.eval db o))
+
+let test_optimize_cascades () =
+  let e = parse "select[rating = 9](select[age > 30.0](Sailor))" in
+  match Diagres_ra.Optimize.optimize env e with
+  | A.Select (A.And _, A.Rel "Sailor") -> ()
+  | o -> Alcotest.failf "expected merged selection, got %s" (Diagres_ra.Pretty.ascii o)
+
+let test_optimize_identity_projection () =
+  let e = parse "project[sid, sname, rating, age](Sailor)" in
+  match Diagres_ra.Optimize.optimize env e with
+  | A.Rel "Sailor" -> ()
+  | o -> Alcotest.failf "expected bare relation, got %s" (Diagres_ra.Pretty.ascii o)
+
+(* ---------------- aggregation (beyond-FOL extension) ---------------- *)
+
+let test_aggregate_count_per_group () =
+  let module Agg = Diagres_ra.Aggregate in
+  let r =
+    Agg.group ~by:[ "sid" ]
+      ~specs:[ { Agg.func = Agg.Count; output = "n" } ]
+      D.Sample_db.reserves
+  in
+  (* sailor 22 has 4 reservations *)
+  let row22 =
+    List.find
+      (fun t -> D.Tuple.get t 0 = D.Value.Int 22)
+      (D.Relation.tuples r)
+  in
+  Alcotest.(check bool) "count 4" true (D.Tuple.get row22 1 = D.Value.Int 4);
+  Alcotest.(check int) "five groups" 5 (D.Relation.cardinality r)
+
+let test_aggregate_global () =
+  let module Agg = Diagres_ra.Aggregate in
+  let r =
+    Agg.group ~by:[]
+      ~specs:
+        [ { Agg.func = Agg.Count; output = "n" };
+          { Agg.func = Agg.Avg "age"; output = "avg_age" };
+          { Agg.func = Agg.Max "rating"; output = "top" } ]
+      D.Sample_db.sailors
+  in
+  Alcotest.(check int) "one row" 1 (D.Relation.cardinality r);
+  let row = List.hd (D.Relation.tuples r) in
+  Alcotest.(check bool) "count 10" true (D.Tuple.get row 0 = D.Value.Int 10);
+  Alcotest.(check bool) "max rating 10" true (D.Tuple.get row 2 = D.Value.Int 10)
+
+let test_aggregate_empty_input () =
+  let module Agg = Diagres_ra.Aggregate in
+  let empty = D.Relation.empty D.Sample_db.sailor_schema in
+  let g =
+    Agg.group ~by:[] ~specs:[ { Agg.func = Agg.Count; output = "n" } ] empty
+  in
+  Alcotest.(check int) "global over empty: one row" 1 (D.Relation.cardinality g);
+  Alcotest.(check bool) "count 0" true
+    (D.Tuple.get (List.hd (D.Relation.tuples g)) 0 = D.Value.Int 0);
+  let per =
+    Agg.group ~by:[ "rating" ]
+      ~specs:[ { Agg.func = Agg.Count; output = "n" } ]
+      empty
+  in
+  Alcotest.(check int) "grouped over empty: no rows" 0 (D.Relation.cardinality per)
+
+let test_aggregate_having () =
+  let module Agg = Diagres_ra.Aggregate in
+  let grouped =
+    Agg.group ~by:[ "sid" ]
+      ~specs:[ { Agg.func = Agg.Count; output = "n" } ]
+      D.Sample_db.reserves
+  in
+  let frequent =
+    Agg.having
+      (fun t schema -> D.Value.ge (D.Tuple.field schema "n" t) (D.Value.Int 3))
+      grouped
+  in
+  (* sailors 22 (4 reservations) and 31 (3) *)
+  Alcotest.(check int) "two heavy reservers" 2 (D.Relation.cardinality frequent)
+
+let test_aggregate_errors () =
+  let module Agg = Diagres_ra.Aggregate in
+  (match
+     Agg.group ~by:[ "zzz" ]
+       ~specs:[ { Agg.func = Agg.Count; output = "n" } ]
+       D.Sample_db.sailors
+   with
+  | exception Agg.Aggregate_error _ -> ()
+  | _ -> Alcotest.fail "unknown grouping attr must fail");
+  match Agg.group ~by:[] ~specs:[] D.Sample_db.sailors with
+  | exception Agg.Aggregate_error _ -> ()
+  | _ -> Alcotest.fail "empty spec must fail"
+
+(* ---------------- pretty / tree ---------------- *)
+
+let test_unicode_pretty () =
+  let s = Diagres_ra.Pretty.unicode (parse "project[sid](select[rating = 10](Sailor))") in
+  Alcotest.(check bool) "has pi" true (String.length s > 0 && String.sub s 0 2 = "\207\128")
+
+let test_tree_render () =
+  let t = Diagres_ra.Pretty.tree (parse "Sailor join Reserves") in
+  Alcotest.(check bool) "three lines" true
+    (List.length (String.split_on_char '\n' (String.trim t)) = 3)
+
+let test_ast_stats () =
+  let e = parse "project[sid](Sailor join Reserves)" in
+  Alcotest.(check int) "size" 4 (A.size e);
+  Alcotest.(check (list string)) "bases" [ "Sailor"; "Reserves" ]
+    (A.base_relations e)
+
+let () =
+  Alcotest.run "ra"
+    [
+      ( "parser",
+        [ Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Testutil.qtest prop_parse_print_roundtrip ] );
+      ( "typecheck",
+        [ Alcotest.test_case "infer" `Quick test_typecheck_infer;
+          Alcotest.test_case "errors" `Quick test_typecheck_errors ] );
+      ( "eval",
+        [ Alcotest.test_case "select/project" `Quick test_eval_select_project;
+          Alcotest.test_case "join (q1)" `Quick test_eval_join_q1;
+          Alcotest.test_case "division (q3)" `Quick test_eval_division_q3;
+          Alcotest.test_case "set ops (q2)" `Quick test_eval_setops_q2;
+          Alcotest.test_case "theta join (q5)" `Quick test_eval_theta_join;
+          Alcotest.test_case "product" `Quick test_eval_product;
+          Alcotest.test_case "nullary projection" `Quick
+            test_eval_nullary_projection ] );
+      ( "optimizer",
+        [ Testutil.qtest prop_optimize_preserves_semantics;
+          Testutil.qtest prop_optimize_idempotent;
+          Alcotest.test_case "pushdown" `Quick test_optimize_pushdown;
+          Alcotest.test_case "cascades" `Quick test_optimize_cascades;
+          Alcotest.test_case "identity projection" `Quick
+            test_optimize_identity_projection ] );
+      ( "aggregate",
+        [ Alcotest.test_case "count per group" `Quick
+            test_aggregate_count_per_group;
+          Alcotest.test_case "global" `Quick test_aggregate_global;
+          Alcotest.test_case "empty input" `Quick test_aggregate_empty_input;
+          Alcotest.test_case "having" `Quick test_aggregate_having;
+          Alcotest.test_case "errors" `Quick test_aggregate_errors ] );
+      ( "pretty",
+        [ Alcotest.test_case "unicode" `Quick test_unicode_pretty;
+          Alcotest.test_case "tree" `Quick test_tree_render;
+          Alcotest.test_case "stats" `Quick test_ast_stats ] );
+    ]
