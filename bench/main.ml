@@ -193,14 +193,62 @@ let e10_table () =
   hr "E10  survey capability matrix";
   print_string (Diagres.Survey.to_table ())
 
+(* ------------------------------------------------------------------ *)
+(* JSON result sink (--json FILE): every measurement below also lands
+   here as {name, ns_per_run, tuples, rows}.  Hand-rolled emission — no
+   JSON dependency in the tree.                                          *)
+
+let results : (string * float * int * int) list ref = ref []
+
+let record ~name ~ns ~tuples ~rows =
+  results := (name, ns, tuples, rows) :: !results
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let rows = List.rev !results in
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, ns, tuples, nrows) ->
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"ns_per_run\": %.1f, \"tuples\": %d, \
+         \"rows\": %d}%s\n"
+        (json_escape name) ns tuples nrows
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d measurements to %s\n" (List.length rows) path
+
+(* wall-clock one-shot timing for the macro experiments; Bechamel stays in
+   charge of the micro-benchmarks *)
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (Sys.time () -. t0, r)
+
 let scaling_table () =
-  hr "Evaluator scaling (Q1; RA vs TRC vs naive DRC), wall-clock";
-  let time f =
-    let t0 = Sys.time () in
-    ignore (f ());
-    Sys.time () -. t0
-  in
-  Printf.printf "%8s %12s %12s %12s\n" "tuples" "RA(s)" "TRC(s)" "DRC(s)";
+  hr "Evaluator scaling (Q1; RA / TRC / DRC / Datalog), wall-clock";
+  let e = Diagres.Catalog.find "q1" in
+  let ra = Diagres.Catalog.parsed_ra e in
+  let trc = Diagres.Catalog.parsed_trc e in
+  let drc = Diagres.Catalog.parsed_drc e in
+  let dl = Diagres.Catalog.parsed_datalog e in
+  Printf.printf "%8s %10s %10s %10s %10s %13s %13s\n" "tuples" "RA(s)"
+    "TRC(s)" "DRC(s)" "DL(s)" "TRCnaive(s)" "DRCnaive(s)";
   List.iter
     (fun n ->
       let rdb =
@@ -208,18 +256,81 @@ let scaling_table () =
           ~n_boats:(max 4 (n / 10))
           ~n_reserves:(2 * n) (n + 7)
       in
-      let e = Diagres.Catalog.find "q1" in
-      let ra = Diagres.Catalog.parsed_ra e in
-      let trc = Diagres.Catalog.parsed_trc e in
-      let drc = Diagres.Catalog.parsed_drc e in
-      let t_ra = time (fun () -> Diagres_ra.Eval.eval rdb ra) in
-      let t_trc = time (fun () -> Diagres_rc.Trc.eval rdb trc) in
-      let t_drc = time (fun () -> Diagres_rc.Drc.eval rdb drc) in
-      Printf.printf "%8d %12.5f %12.5f %12.5f\n"
-        (Diagres_data.Database.total_tuples rdb)
-        t_ra t_trc t_drc)
-    [ 10; 50; 100; 200 ];
-  Printf.printf "(expected shape: RA fastest; TRC close; naive DRC slowest)\n"
+      let ntup = Diagres_data.Database.total_tuples rdb in
+      let run name f =
+        let t, r = timed f in
+        record ~name:(Printf.sprintf "scaling/%s/n=%d" name n)
+          ~ns:(t *. 1e9) ~tuples:ntup
+          ~rows:(Diagres_data.Relation.cardinality r);
+        t
+      in
+      let t_ra = run "q1-ra" (fun () -> Diagres_ra.Eval.eval rdb ra) in
+      let t_trc = run "q1-trc" (fun () -> Diagres_rc.Trc.eval rdb trc) in
+      let t_drc = run "q1-drc" (fun () -> Diagres_rc.Drc.eval rdb drc) in
+      let t_dl =
+        run "q1-datalog" (fun () ->
+            Diagres_datalog.Eval.query rdb dl ~goal:"q1")
+      in
+      (* the full-scan baselines are quadratic-and-worse: only run them
+         while they stay in check, so the 10k row finishes in seconds *)
+      let naive name f =
+        if n > 1000 then None else Some (run name f)
+      in
+      let t_trc_n =
+        naive "q1-trc-naive" (fun () -> Diagres_rc.Trc.eval_naive rdb trc)
+      in
+      let t_drc_n =
+        if n > 100 then None
+        else Some (run "q1-drc-naive" (fun () -> Diagres_rc.Drc.eval_naive rdb drc))
+      in
+      let opt = function
+        | Some t -> Printf.sprintf "%13.5f" t
+        | None -> Printf.sprintf "%13s" "-"
+      in
+      Printf.printf "%8d %10.5f %10.5f %10.5f %10.5f %s %s\n" ntup t_ra t_trc
+        t_drc t_dl (opt t_trc_n) (opt t_drc_n))
+    [ 10; 100; 1000; 10_000 ];
+  Printf.printf
+    "(index-backed engines stay near-linear; '-' = full-scan baseline \
+     skipped beyond its feasible size)\n"
+
+let tc_table () =
+  hr "Datalog transitive closure (chain graph): naive vs semi-naive fixpoint";
+  let module DD = Diagres_data in
+  let chain n =
+    let schema =
+      [ DD.Schema.attr ~ty:DD.Value.Tint "src";
+        DD.Schema.attr ~ty:DD.Value.Tint "dst" ]
+    in
+    let rows = List.init n (fun i -> [ DD.Value.Int i; DD.Value.Int (i + 1) ]) in
+    DD.Database.of_list [ ("Edge", DD.Relation.of_lists schema rows) ]
+  in
+  let p =
+    Diagres_datalog.Parser.parse
+      "path(X, Y) :- Edge(X, Y).\npath(X, Y) :- Edge(X, Z), path(Z, Y)."
+  in
+  Printf.printf "%8s %12s %14s %9s %8s\n" "depth" "naive(s)" "semi-naive(s)"
+    "speedup" "paths";
+  List.iter
+    (fun depth ->
+      let gdb = chain depth in
+      let t_naive, _ =
+        timed (fun () -> Diagres_datalog.Fixpoint.query_naive gdb p ~goal:"path")
+      in
+      let t_semi, r =
+        timed (fun () -> Diagres_datalog.Fixpoint.query gdb p ~goal:"path")
+      in
+      let rows = DD.Relation.cardinality r in
+      record ~name:(Printf.sprintf "tc/naive/depth=%d" depth)
+        ~ns:(t_naive *. 1e9) ~tuples:depth ~rows;
+      record ~name:(Printf.sprintf "tc/semi-naive/depth=%d" depth)
+        ~ns:(t_semi *. 1e9) ~tuples:depth ~rows;
+      Printf.printf "%8d %12.4f %14.4f %8.1fx %8d\n" depth t_naive t_semi
+        (t_naive /. t_semi) rows)
+    [ 50; 100; 200 ];
+  Printf.printf
+    "(naive re-derives every path each round: Θ(depth) rounds × Θ(depth²) \
+     tuples; semi-naive joins only the last round's delta)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                           *)
@@ -325,6 +436,9 @@ let run_benchmarks () =
             | _ -> nan
           in
           let name = Test.Elt.name elt in
+          record ~name:("micro/" ^ name) ~ns
+            ~tuples:(Diagres_data.Database.total_tuples db)
+            ~rows:0;
           if ns >= 1e6 then
             Printf.printf "%-42s %12.2f ms/run\n" name (ns /. 1e6)
           else if ns >= 1e3 then
@@ -334,6 +448,14 @@ let run_benchmarks () =
     (bench_tests ())
 
 let () =
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   e1_table ();
   e2_table ();
   e4_table ();
@@ -343,5 +465,7 @@ let () =
   e8_table ();
   e10_table ();
   scaling_table ();
+  tc_table ();
   run_benchmarks ();
+  Option.iter write_json json_path;
   print_newline ()

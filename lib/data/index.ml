@@ -1,0 +1,57 @@
+(** Secondary hash indexes over tuple sets.
+
+    An index maps the values a tuple takes at a fixed list of positions (the
+    key columns) to the tuples carrying those values.  Relations build these
+    lazily and cache them per position set ({!Relation.matching}), so a join
+    or a Datalog atom match pays the build cost once and every subsequent
+    probe is a hash lookup.  Keys hash with {!Value.hash}, which is
+    consistent with {!Value.equal} (notably [Int 2] and [Float 2.] collide,
+    as they must). *)
+
+module Vkey = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i =
+      i = Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
+    in
+    go 0
+
+  let hash k =
+    Array.fold_left (fun acc v -> ((acc * 31) + Value.hash v) land max_int) 7 k
+end
+
+module H = Hashtbl.Make (Vkey)
+
+type t = { positions : int array; table : Tuple.t list H.t }
+
+(** Per-relation cache: one index per distinct key-column set. *)
+type cache = (int list, t) Hashtbl.t
+
+let fresh_cache () : cache = Hashtbl.create 4
+
+(** Key of [tup] at [positions]. *)
+let key positions (tup : Tuple.t) = Array.map (Tuple.get tup) positions
+
+(** [build positions iter] indexes every tuple produced by [iter] on
+    [positions]. *)
+let build (positions : int array) (iter : (Tuple.t -> unit) -> unit) : t =
+  let table = H.create 64 in
+  iter (fun tup ->
+      let k = key positions tup in
+      match H.find_opt table k with
+      | Some tups -> H.replace table k (tup :: tups)
+      | None -> H.add table k [ tup ]);
+  { positions; table }
+
+(** Tuples whose key columns equal [k] (any order). *)
+let lookup (ix : t) (k : Value.t array) : Tuple.t list =
+  match H.find_opt ix.table k with Some tups -> tups | None -> []
+
+(** Distinct keys in the index (used for statistics and tests). *)
+let cardinal (ix : t) = H.length ix.table
+
+let cache_find (c : cache) positions = Hashtbl.find_opt c positions
+let cache_add (c : cache) positions ix = Hashtbl.replace c positions ix

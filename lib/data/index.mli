@@ -1,0 +1,30 @@
+(** Secondary hash indexes on attribute-position subsets.
+
+    Built lazily by {!Relation.matching} and cached per relation; a probe
+    returns the tuples whose key columns equal the probe key under
+    {!Value.equal}. *)
+
+type t
+
+(** Mutable per-relation store of built indexes, keyed by position list. *)
+type cache
+
+val fresh_cache : unit -> cache
+
+(** Key of a tuple at the given positions. *)
+val key : int array -> Tuple.t -> Value.t array
+
+(** [build positions iter] indexes every tuple produced by [iter]. *)
+val build : int array -> ((Tuple.t -> unit) -> unit) -> t
+
+(** Tuples matching the key, in no particular order. *)
+val lookup : t -> Value.t array -> Tuple.t list
+
+(** Number of distinct keys. *)
+val cardinal : t -> int
+
+(**/**)
+
+(* Exposed for Relation's internal cache management. *)
+val cache_find : cache -> int list -> t option
+val cache_add : cache -> int list -> t -> unit

@@ -3,7 +3,12 @@
     The tutorial works throughout with set semantics (RA, RC, and Datalog are
     all set-based); the SQL front-end inserts explicit duplicate elimination.
     Tuple sets are represented with [Stdlib.Set] over [Tuple.compare], which
-    keeps all RA operators purely functional. *)
+    keeps all RA operators purely functional.
+
+    Each relation additionally carries a mutable cache of secondary hash
+    indexes ({!Index}) keyed by attribute-position subsets.  The cache is
+    invisible to the functional interface — it only memoizes lookups — and is
+    reset whenever an operation produces a new tuple set. *)
 
 module Tset = Set.Make (struct
   type t = Tuple.t
@@ -11,7 +16,12 @@ module Tset = Set.Make (struct
   let compare = Tuple.compare
 end)
 
-type t = { schema : Schema.t; tuples : Tset.t }
+type t = { schema : Schema.t; tuples : Tset.t; indexes : Index.cache }
+
+(* The only constructor: every new tuple set gets a fresh (empty) index
+   cache.  Schema-only changes (rename) may share the cache, since indexes
+   are position-based. *)
+let make schema tuples = { schema; tuples; indexes = Index.fresh_cache () }
 
 let schema r = r.schema
 let cardinality r = Tset.cardinal r.tuples
@@ -19,7 +29,7 @@ let is_empty r = Tset.is_empty r.tuples
 let tuples r = Tset.elements r.tuples
 let mem tup r = Tset.mem tup r.tuples
 
-let empty schema = { schema; tuples = Tset.empty }
+let empty schema = make schema Tset.empty
 
 let check_tuple schema tup =
   if Tuple.arity tup <> Schema.arity schema then
@@ -28,24 +38,25 @@ let check_tuple schema tup =
 
 let add tup r =
   check_tuple r.schema tup;
-  { r with tuples = Tset.add tup r.tuples }
+  make r.schema (Tset.add tup r.tuples)
 
 let of_tuples schema tups =
   Schema.check_distinct schema;
   List.iter (check_tuple schema) tups;
-  { schema; tuples = Tset.of_list tups }
+  make schema (Tset.of_list tups)
 
 (** Convenience constructor from value lists. *)
 let of_lists schema rows = of_tuples schema (List.map Tuple.of_list rows)
 
 let fold f r init = Tset.fold f r.tuples init
 let iter f r = Tset.iter f r.tuples
-let filter p r = { r with tuples = Tset.filter p r.tuples }
+let filter p r = make r.schema (Tset.filter p r.tuples)
 let for_all p r = Tset.for_all p r.tuples
 let exists p r = Tset.exists p r.tuples
 
 let map schema f r =
-  { schema; tuples = Tset.fold (fun t acc -> Tset.add (f t) acc) r.tuples Tset.empty }
+  make schema
+    (Tset.fold (fun t acc -> Tset.add (f t) acc) r.tuples Tset.empty)
 
 let equal a b =
   Schema.compatible a.schema b.schema && Tset.equal a.tuples b.tuples
@@ -54,6 +65,25 @@ let equal a b =
     across query languages that name columns differently. *)
 let same_rows a b = Tset.equal a.tuples b.tuples
 
+(* ---------------- secondary indexes ---------------- *)
+
+(** The cached hash index of [r] on [positions]; built on first use. *)
+let index r (positions : int list) : Index.t =
+  match Index.cache_find r.indexes positions with
+  | Some ix -> ix
+  | None ->
+    let ix =
+      Index.build (Array.of_list positions) (fun f -> Tset.iter f r.tuples)
+    in
+    Index.cache_add r.indexes positions ix;
+    ix
+
+(** [matching r positions key]: tuples whose values at [positions] equal
+    [key] (under {!Value.equal}), via the lazily built cached index.  An
+    empty position list returns all tuples. *)
+let matching r (positions : int list) (key : Value.t array) : Tuple.t list =
+  if positions = [] then tuples r else Index.lookup (index r positions) key
+
 let require_compatible op a b =
   if not (Schema.compatible a.schema b.schema) then
     Schema.error "%s: incompatible schemas %s vs %s" op
@@ -61,21 +91,20 @@ let require_compatible op a b =
 
 let union a b =
   require_compatible "union" a b;
-  { schema = Schema.join_types a.schema b.schema;
-    tuples = Tset.union a.tuples b.tuples }
+  make (Schema.join_types a.schema b.schema) (Tset.union a.tuples b.tuples)
 
 let inter a b =
   require_compatible "intersect" a b;
-  { a with tuples = Tset.inter a.tuples b.tuples }
+  make a.schema (Tset.inter a.tuples b.tuples)
 
 let diff a b =
   require_compatible "except" a b;
-  { a with tuples = Tset.diff a.tuples b.tuples }
+  make a.schema (Tset.diff a.tuples b.tuples)
 
 let project names r =
   let schema = Schema.project names r.schema in
-  let idx = List.map (fun n -> Schema.index n r.schema) names in
-  let proj t = Array.of_list (List.map (fun i -> Tuple.get t i) idx) in
+  let idx = Array.of_list (List.map (fun n -> Schema.index n r.schema) names) in
+  let proj t = Array.map (Tuple.get t) idx in
   map schema proj r
 
 let rename from_ to_ r = { r with schema = Schema.rename from_ to_ r.schema }
@@ -97,44 +126,38 @@ let product a b =
         Tset.fold (fun tb acc -> Tset.add (Tuple.concat ta tb) acc) b.tuples acc)
       a.tuples Tset.empty
   in
-  { schema; tuples }
+  make schema tuples
 
-(** Natural join on the common attribute names.  A hash-partitioned build on
-    the smaller side keeps this near-linear, which matters for the scaling
-    benches. *)
+(** Natural join on the common attribute names.  Probes a cached hash index
+    on [b]'s shared columns; key extraction works over precomputed integer
+    position arrays, so no per-tuple schema lookups remain. *)
 let natural_join a b =
   let shared = Schema.names (Schema.common a.schema b.schema) in
   if shared = [] then product a b
   else begin
-    let ia = List.map (fun n -> Schema.index n a.schema) shared in
+    let ia = Array.of_list (List.map (fun n -> Schema.index n a.schema) shared) in
     let ib = List.map (fun n -> Schema.index n b.schema) shared in
-    let b_rest =
-      List.filteri
-        (fun i _ -> not (List.mem i ib))
-        (List.mapi (fun i (attr : Schema.attribute) -> (i, attr)) b.schema
-         |> List.map snd)
-    in
-    (* positions of b's non-shared attributes *)
+    (* positions (and attributes) of b's non-shared columns *)
     let ib_rest =
       List.filter (fun i -> not (List.mem i ib))
         (List.init (Schema.arity b.schema) Fun.id)
     in
+    let b_rest = List.map (fun i -> List.nth b.schema i) ib_rest in
     let schema = a.schema @ b_rest in
-    let key idx t = List.map (fun i -> Tuple.get t i) idx in
-    let table = Hashtbl.create (max 16 (cardinality b)) in
-    Tset.iter (fun t -> Hashtbl.add table (key ib t) t) b.tuples;
+    let ib_rest = Array.of_list ib_rest in
+    let ix = index b ib in
     let tuples =
       Tset.fold
         (fun ta acc ->
-          let matches = Hashtbl.find_all table (key ia ta) in
           List.fold_left
             (fun acc tb ->
-              let extra = Array.of_list (List.map (Tuple.get tb) ib_rest) in
+              let extra = Array.map (Tuple.get tb) ib_rest in
               Tset.add (Array.append ta extra) acc)
-            acc matches)
+            acc
+            (Index.lookup ix (Index.key ia ta)))
         a.tuples Tset.empty
     in
-    { schema; tuples }
+    make schema tuples
   end
 
 (** Relational division [a ÷ b]: tuples [t] over (attrs(a) − attrs(b)) such
@@ -153,23 +176,22 @@ let division a b =
   let candidates = project keep a in
   let required = tuples b in
   let ia = List.map (fun n -> Schema.index n a.schema) keep in
-  let ja = List.map (fun n -> Schema.index n a.schema) b_names in
-  (* index a by its [keep] part *)
-  let table = Hashtbl.create (max 16 (cardinality a)) in
-  Tset.iter
-    (fun t ->
-      let k = List.map (Tuple.get t) ia in
-      let v = List.map (Tuple.get t) ja in
-      Hashtbl.add table k v)
-    a.tuples;
-  let jb = List.map (fun n -> Schema.index n b.schema) b_names in
+  let ja = Array.of_list (List.map (fun n -> Schema.index n a.schema) b_names) in
+  let jb = Array.of_list (List.map (fun n -> Schema.index n b.schema) b_names) in
+  (* index a by its [keep] part; each bucket holds the divisor-column values *)
+  let ix = index a ia in
   filter
     (fun cand ->
-      let have = Hashtbl.find_all table (Array.to_list cand) in
+      let have = List.map (Index.key ja) (Index.lookup ix cand) in
       List.for_all
         (fun u ->
-          let uvals = List.map (Tuple.get u) jb in
-          List.exists (fun v -> List.for_all2 Value.equal v uvals) have)
+          let uvals = Index.key jb u in
+          List.exists
+            (fun v ->
+              let n = Array.length v in
+              let rec eq i = i = n || (Value.equal v.(i) uvals.(i) && eq (i + 1)) in
+              eq 0)
+            have)
         required)
     candidates
 

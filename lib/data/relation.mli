@@ -70,6 +70,14 @@ val natural_join : t -> t -> t
     outer relation. *)
 val division : t -> t -> t
 
+(** [matching r positions key]: the tuples of [r] whose values at
+    [positions] equal [key] under {!Value.equal}, served from a lazily
+    built, per-relation cached hash index ({!Index}).  An empty position
+    list returns all tuples.  This is the probe primitive behind
+    [natural_join], division, Datalog atom matching, and range-restricted
+    calculus evaluation. *)
+val matching : t -> int list -> Value.t array -> Tuple.t list
+
 (** All values appearing anywhere in the relation, deduplicated. *)
 val active_domain : t -> Value.t list
 

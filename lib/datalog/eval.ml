@@ -41,8 +41,20 @@ let literal_ready env = function
       (fun v -> List.mem_assoc v env)
       (Ast.term_vars x @ Ast.term_vars y)
 
+(* Number of already-bound argument positions of an atom — the selectivity
+   heuristic for join ordering: the more bound columns, the narrower the
+   index probe. *)
+let bound_count env (a : Ast.atom) =
+  List.fold_left
+    (fun n t ->
+      match t with
+      | Ast.Const _ -> n + 1
+      | Ast.Var x -> if List.mem_assoc x env then n + 1 else n)
+    0 a.Ast.args
+
 (* Pick the next evaluable literal: prefer bound-only negations and
-   conditions (cheap filters), else the first positive literal. *)
+   conditions (cheap filters), else the positive literal with the most
+   bound argument positions (the most index-selective probe). *)
 let pick env literals =
   let rec go acc = function
     | [] -> None
@@ -53,13 +65,24 @@ let pick env literals =
   in
   match go [] literals with
   | Some x -> Some x
-  | None -> (
-    let rec first acc = function
-      | [] -> None
-      | Ast.Pos a :: rest -> Some (Ast.Pos a, List.rev_append acc rest)
-      | l :: rest -> first (l :: acc) rest
+  | None ->
+    let best =
+      List.fold_left
+        (fun best (i, l) ->
+          match l with
+          | Ast.Pos a -> (
+            let c = bound_count env a in
+            match best with
+            | Some (_, _, c') when c' >= c -> best
+            | _ -> Some (i, l, c))
+          | _ -> best)
+        None
+        (List.mapi (fun i l -> (i, l)) literals)
     in
-    first [] literals)
+    Option.map
+      (fun (i, l, _) ->
+        (l, List.filteri (fun j _ -> j <> i) literals))
+      best
 
 let lookup store name =
   match D.Database.find_opt name store with
@@ -85,20 +108,45 @@ let eval_rule_tuples store (r : Ast.rule) : D.Tuple.t list =
         in
         D.Tuple.of_list row :: acc
       | Some (Ast.Pos a, rest) ->
-        D.Relation.fold
-          (fun tup acc ->
+        (* probe the relation through an index on the atom's bound argument
+           positions (constants and env-bound variables); match_atom then
+           only has to bind the remaining variables *)
+        let rel = lookup store a.Ast.pred in
+        let positions, key_rev =
+          List.fold_left
+            (fun (ps, ks) (i, t) ->
+              match t with
+              | Ast.Const c -> (i :: ps, c :: ks)
+              | Ast.Var x -> (
+                match List.assoc_opt x env with
+                | Some v -> (i :: ps, v :: ks)
+                | None -> (ps, ks)))
+            ([], [])
+            (List.mapi (fun i t -> (i, t)) a.Ast.args)
+        in
+        let positions = List.rev positions in
+        let key = Array.of_list (List.rev key_rev) in
+        List.fold_left
+          (fun acc tup ->
             match match_atom env a tup with
             | Some env' -> go env' rest acc
             | None -> acc)
-          (lookup store a.Ast.pred) acc
+          acc
+          (D.Relation.matching rel positions key)
       | Some (Ast.Neg a, rest) ->
+        (* a negated literal is only picked once all its variables are
+           bound (safety + readiness), so this is a membership test *)
         let rel = lookup store a.Ast.pred in
-        let holds =
-          D.Relation.exists
-            (fun tup -> match_atom env a tup <> None)
-            rel
+        let tup =
+          List.map
+            (fun t ->
+              match term_value env t with
+              | Some v -> v
+              | None -> raise (Eval_error "unbound variable in negated literal"))
+            a.Ast.args
         in
-        if holds then acc else go env rest acc
+        if D.Relation.mem (D.Tuple.of_list tup) rel then acc
+        else go env rest acc
       | Some (Ast.Cond (op, x, y), rest) -> (
         match (term_value env x, term_value env y) with
         | Some a, Some b ->

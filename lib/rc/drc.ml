@@ -34,14 +34,17 @@ let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
             (Diagres_data.Schema.arity s))
     (Diagres_logic.Fol.predicate_list q.body)
 
-(** Active-domain evaluation (naive).  For safe-range queries this agrees
-    with the natural (domain-independent) semantics; for unsafe ones it
-    exhibits exactly the domain dependence the tutorial discusses around
-    Peirce's beta graphs. *)
+(** Active-domain evaluation.  Variables are bound from the atoms that
+    mention them through {!Diagres_logic.Structure.answers} (range
+    restriction with index probes), falling back to active-domain
+    enumeration only for genuinely unrestricted variables.  For safe-range
+    queries this agrees with the natural (domain-independent) semantics;
+    for unsafe ones it exhibits exactly the domain dependence the tutorial
+    discusses around Peirce's beta graphs. *)
 let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
   let module D = Diagres_data in
-  (* miniscoping keeps the naive enumeration from exploring quantifier
-     blocks irrelevant to each conjunct *)
+  (* miniscoping eliminates ∀/⇒ and keeps the enumeration from exploring
+     quantifier blocks irrelevant to each conjunct *)
   let body = Diagres_logic.Fol.miniscope q.body in
   let st = Diagres_logic.Structure.for_formula body db in
   let rows = Diagres_logic.Structure.answers st ~order:q.head body in
@@ -62,6 +65,33 @@ let eval_sentence db body =
   let body = Diagres_logic.Fol.miniscope body in
   let st = Diagres_logic.Structure.for_formula body db in
   Diagres_logic.Structure.eval_sentence st body
+
+(** Naive active-domain evaluation — quantifiers enumerate the universe
+    narrowed only by static column guards.  The reference implementation
+    {!eval} is differentially tested against, and the benchmark baseline. *)
+let eval_naive (db : Diagres_data.Database.t) (q : query) :
+    Diagres_data.Relation.t =
+  let module D = Diagres_data in
+  let body = Diagres_logic.Fol.miniscope q.body in
+  let st = Diagres_logic.Structure.for_formula body db in
+  let rows = Diagres_logic.Structure.answers_naive st ~order:q.head body in
+  if q.head = [] then
+    if Diagres_logic.Structure.eval_sentence_naive st body then
+      D.Relation.of_lists [] [ [] ]
+    else D.Relation.empty []
+  else
+    let ty_of_col i =
+      match rows with
+      | [] -> D.Value.Tint
+      | row :: _ -> D.Value.type_of (List.nth row i)
+    in
+    let schema = List.mapi (fun i x -> D.Schema.attr ~ty:(ty_of_col i) x) q.head in
+    D.Relation.of_lists schema rows
+
+let eval_sentence_naive db body =
+  let body = Diagres_logic.Fol.miniscope body in
+  let st = Diagres_logic.Structure.for_formula body db in
+  Diagres_logic.Structure.eval_sentence_naive st body
 
 (* -------------------------------------------------------------------- *)
 (* Concrete syntax. *)

@@ -248,11 +248,19 @@ let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
 (* Direct evaluation: free ranges enumerate their relations, quantifiers
    range over their declared relations.  Range coupling means no active-
    domain construction is needed — this is the "safe by construction"
-   point the tutorial makes about TRC-based diagrams.                    *)
+   point the tutorial makes about TRC-based diagrams.
+
+   The restricted engine additionally narrows each tuple variable to the
+   tuples matching the equality constraints its formula imposes — served
+   by a hash-index probe (Relation.matching) instead of a full scan — so
+   equi-join-shaped queries run in time proportional to the join result
+   rather than the product of the relation sizes.  The naive engine scans
+   every relation in full and is kept as the differential-test reference. *)
 
 exception Eval_error of string
 
-let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
+let eval_gen ~restricted (db : Diagres_data.Database.t) (q : query) :
+    Diagres_data.Relation.t =
   let module D = Diagres_data in
   let schemas = List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db) in
   ignore (typecheck schemas q);
@@ -267,6 +275,61 @@ let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
       let tup, r = List.assoc v env in
       D.Tuple.field (D.Relation.schema (rel r)) a tup
   in
+  let term_value_opt env = function
+    | Const c -> Some c
+    | Field (v, a) -> (
+      match List.assoc_opt v env with
+      | Some (tup, r) -> Some (D.Tuple.field (D.Relation.schema (rel r)) a tup)
+      | None -> None)
+  in
+  (* [constraints env v rname f]: equalities [(position, value)] that every
+     tuple bound to [v] must satisfy for [f] to hold under [env] — collected
+     from conjunctively required comparisons [v.a = t] whose other side is
+     evaluable now.  Conjunctively required means reachable through ∧ and
+     through ∃ over other variables; never through ¬, →, ∨ or ∀ (a ∀ can be
+     vacuously true, so nothing under it is required).  [None] marks
+     contradictory equalities: no tuple can satisfy [f]. *)
+  let constraints env v rname f =
+    let schema = D.Relation.schema (rel rname) in
+    let add (i, value) = function
+      | None -> None
+      | Some cs as acc -> (
+        match List.assoc_opt i cs with
+        | Some v' -> if D.Value.equal v' value then acc else None
+        | None -> Some ((i, value) :: cs))
+    in
+    let rec go f acc =
+      match f with
+      | And (a, b) -> go b (go a acc)
+      | Exists (rs, g)
+        when List.for_all
+               (fun (u, _) -> u <> v && not (List.mem_assoc u env))
+               rs ->
+        go g acc
+      | Cmp (Diagres_logic.Fol.Eq, Field (v', a), t) when v' = v -> (
+        match term_value_opt env t with
+        | Some value -> add (D.Schema.index a schema, value) acc
+        | None -> acc)
+      | Cmp (Diagres_logic.Fol.Eq, t, Field (v', a)) when v' = v -> (
+        match term_value_opt env t with
+        | Some value -> add (D.Schema.index a schema, value) acc
+        | None -> acc)
+      | _ -> acc
+    in
+    go f (Some [])
+  in
+  (* candidate tuples for binding [v ∈ rname] given that [f] must then hold *)
+  let candidates env v rname f =
+    if not restricted then D.Relation.tuples (rel rname)
+    else
+      match constraints env v rname f with
+      | None -> []
+      | Some [] -> D.Relation.tuples (rel rname)
+      | Some cs ->
+        let cs = List.sort (fun (i, _) (j, _) -> compare i j) cs in
+        D.Relation.matching (rel rname) (List.map fst cs)
+          (Array.of_list (List.map snd cs))
+  in
   let rec holds env = function
     | True -> true
     | False -> false
@@ -278,14 +341,27 @@ let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
     | Implies (a, b) -> (not (holds env a)) || holds env b
     | Exists ([], f) -> holds env f
     | Exists ((v, r) :: rest, f) ->
-      D.Relation.exists
+      List.exists
         (fun tup -> holds ((v, (tup, r)) :: env) (Exists (rest, f)))
-        (rel r)
+        (candidates env v r (Exists (rest, f)))
     | Forall ([], f) -> holds env f
     | Forall ((v, r) :: rest, f) ->
-      D.Relation.for_all
+      (* ∀ can only be narrowed through an implication guard: a tuple
+         violating an equality required by [g] satisfies [g → h] (and hence
+         the whole remaining ∀-block) vacuously, so only the matching tuples
+         need checking.  The extracted equalities never mention [rest]
+         variables (they are not in [env]), so vacuity holds under every
+         binding of [rest]. *)
+      let tups =
+        if not restricted then D.Relation.tuples (rel r)
+        else
+          match f with
+          | Implies (g, _) | Or (Not g, _) -> candidates env v r g
+          | _ -> D.Relation.tuples (rel r)
+      in
+      List.for_all
         (fun tup -> holds ((v, (tup, r)) :: env) (Forall (rest, f)))
-        (rel r)
+        tups
   in
   let head_schema =
     List.mapi
@@ -313,13 +389,13 @@ let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
           D.Schema.attr ~ty:(D.Value.type_of c) (Printf.sprintf "c%d" (i + 1)))
       q.head
   in
-  (* enumerate assignments to the free ranges *)
+  (* enumerate assignments to the free ranges, narrowed by the body *)
   let rec enumerate env = function
     | [] -> if holds env q.body then [ List.map (term_value env) q.head ] else []
     | (v, r) :: rest ->
       List.concat_map
         (fun tup -> enumerate ((v, (tup, r)) :: env) rest)
-        (D.Relation.tuples (rel r))
+        (candidates env v r q.body)
   in
   if q.head = [] then
     (* Boolean query: nullary relation, nonempty iff the sentence holds *)
@@ -327,6 +403,18 @@ let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
     if rows <> [] then D.Relation.of_lists [] [ [] ] else D.Relation.empty []
   else D.Relation.of_lists head_schema (enumerate [] q.ranges)
 
+let eval db q = eval_gen ~restricted:true db q
+
+(** Full-scan reference evaluation: every tuple variable enumerates its
+    whole relation.  Used by the differential tests and as the benchmark
+    baseline for {!eval}. *)
+let eval_naive db q = eval_gen ~restricted:false db q
+
 (** Boolean queries: true iff the (closed) query returns the empty tuple. *)
 let eval_sentence db body =
   not (Diagres_data.Relation.is_empty (eval db { head = []; ranges = []; body }))
+
+let eval_sentence_naive db body =
+  not
+    (Diagres_data.Relation.is_empty
+       (eval_naive db { head = []; ranges = []; body }))

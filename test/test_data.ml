@@ -171,6 +171,77 @@ let prop_division_definition =
       let defined = D.Relation.diff candidates (D.Relation.project [ "sid" ] missing) in
       D.Relation.same_rows direct defined)
 
+(* ---------------- secondary indexes ---------------- *)
+
+let test_matching_basics () =
+  let r = D.Sample_db.reserves in
+  (* empty position list = all tuples *)
+  Alcotest.(check int) "no positions = full scan"
+    (D.Relation.cardinality r)
+    (List.length (D.Relation.matching r [] [||]));
+  (* miss key = no tuples *)
+  Alcotest.(check int) "miss" 0
+    (List.length (D.Relation.matching r [ 0 ] [| v_int 424242 |]))
+
+let test_matching_after_rename () =
+  (* rename shares the index cache (indexes are position-based); probes must
+     agree before and after *)
+  let r = D.Sample_db.reserves in
+  let probe rel = List.length (D.Relation.matching rel [ 0 ] [| v_int 22 |]) in
+  let before = probe r in
+  Alcotest.(check bool) "sailor 22 reserved something" true (before > 0);
+  Alcotest.(check int) "same probe after rename" before
+    (probe (D.Relation.rename "day" "d" r))
+
+let prop_matching_equals_filter =
+  QCheck.Test.make ~name:"matching = filter on the key positions" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let r =
+        D.Database.find "Reserves" (D.Generator.sailors_db ~n_reserves:25 seed)
+      in
+      let tuples = D.Relation.tuples r in
+      let miss = [| v_int 424242; v_int 424242 |] in
+      let keys =
+        miss :: List.map (fun t -> [| D.Tuple.get t 0; D.Tuple.get t 1 |]) tuples
+      in
+      List.for_all
+        (fun (key : V.t array) ->
+          let expected =
+            List.filter
+              (fun t ->
+                V.eq (D.Tuple.get t 0) key.(0) && V.eq (D.Tuple.get t 1) key.(1))
+              tuples
+          in
+          List.sort D.Tuple.compare (D.Relation.matching r [ 0; 1 ] key)
+          = List.sort D.Tuple.compare expected)
+        keys)
+
+let prop_join_equals_nested_loop =
+  QCheck.Test.make ~name:"indexed natural join = nested-loop reference"
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let db = D.Generator.sailors_db ~n_reserves:20 seed in
+      let sailors = D.Database.find "Sailor" db in
+      let reserves = D.Database.find "Reserves" db in
+      let j = D.Relation.natural_join sailors reserves in
+      (* reference: quadratic loop on the shared column (sid, position 0 in
+         both schemas), appending reserves' remaining columns *)
+      let expected =
+        List.concat_map
+          (fun ts ->
+            List.filter_map
+              (fun tr ->
+                if V.eq (D.Tuple.get ts 0) (D.Tuple.get tr 0) then
+                  Some
+                    (Array.append ts [| D.Tuple.get tr 1; D.Tuple.get tr 2 |])
+                else None)
+              (D.Relation.tuples reserves))
+          (D.Relation.tuples sailors)
+      in
+      D.Relation.same_rows j
+        (D.Relation.of_tuples (D.Relation.schema j) expected))
+
 (* ---------------- CSV ---------------- *)
 
 let test_csv_roundtrip () =
@@ -260,6 +331,12 @@ let () =
           Alcotest.test_case "same_rows" `Quick test_same_rows_ignores_names;
           Testutil.qtest prop_set_ops_commute;
           Testutil.qtest prop_division_definition ] );
+      ( "index",
+        [ Alcotest.test_case "matching basics" `Quick test_matching_basics;
+          Alcotest.test_case "matching after rename" `Quick
+            test_matching_after_rename;
+          Testutil.qtest prop_matching_equals_filter;
+          Testutil.qtest prop_join_equals_nested_loop ] );
       ( "csv",
         [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "quoting" `Quick test_csv_quoting;

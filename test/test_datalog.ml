@@ -201,6 +201,106 @@ let test_fixpoint_agrees_on_nonrecursive () =
     (Diagres_datalog.Eval.query db p ~goal:"q3")
     (Diagres_datalog.Fixpoint.query db p ~goal:"q3")
 
+let chain_db n =
+  let schema = D.Schema.make [ ("src", D.Value.Tint); ("dst", D.Value.Tint) ] in
+  D.Database.of_list
+    [ ( "Edge",
+        D.Relation.of_lists schema
+          (List.init n (fun i -> [ D.Value.Int i; D.Value.Int (i + 1) ])) ) ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_fixpoint_max_rounds () =
+  let n = 30 in
+  let gdb = chain_db n in
+  (match
+     Diagres_datalog.Fixpoint.query ~max_rounds:2 gdb (parse tc_src)
+       ~goal:"path"
+   with
+  | exception Diagres_datalog.Fixpoint.Fixpoint_error msg ->
+    Alcotest.(check bool) "error names the predicate" true
+      (contains msg "path")
+  | _ -> Alcotest.fail "expected a divergence error at max_rounds=2");
+  (match
+     Diagres_datalog.Fixpoint.query_naive ~max_rounds:2 gdb (parse tc_src)
+       ~goal:"path"
+   with
+  | exception Diagres_datalog.Fixpoint.Fixpoint_error _ -> ()
+  | _ -> Alcotest.fail "naive engine must honor max_rounds too");
+  (* a sufficient bound converges to the full closure *)
+  let r =
+    Diagres_datalog.Fixpoint.query ~max_rounds:(n + 2) gdb (parse tc_src)
+      ~goal:"path"
+  in
+  Alcotest.(check int) "full closure" (n * (n + 1) / 2)
+    (D.Relation.cardinality r)
+
+(* the headline differential property of this module: the semi-naive engine
+   agrees with the naive reference on recursion + stratified negation over
+   random graphs *)
+let prop_semi_naive_equals_naive =
+  QCheck.Test.make ~name:"semi-naive = naive fixpoint on random graphs"
+    ~count:30 QCheck.small_int
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rand 5 in
+      let edges =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if i <> j && Random.State.int rand 3 = 0 then Some (i, j)
+                else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let edges = if edges = [] then [ (0, 1) ] else edges in
+      let schema = D.Schema.make [ ("src", D.Value.Tint); ("dst", D.Value.Tint) ] in
+      let gdb =
+        D.Database.of_list
+          [ ( "Edge",
+              D.Relation.of_lists schema
+                (List.map (fun (a, b) -> [ D.Value.Int a; D.Value.Int b ]) edges)
+            ) ]
+      in
+      let src =
+        tc_src
+        ^ "\nnode(X) :- Edge(X, Y).\nnode(Y) :- Edge(X, Y).\n\
+           unreach(X, Y) :- node(X), node(Y), not path(X, Y)."
+      in
+      let p = parse src in
+      List.for_all
+        (fun goal ->
+          D.Relation.same_rows
+            (Diagres_datalog.Fixpoint.query gdb p ~goal)
+            (Diagres_datalog.Fixpoint.query_naive gdb p ~goal))
+        [ "path"; "unreach" ])
+
+(* every catalog Datalog program: semi-naive = naive = one-pass engine, on
+   the sample db and on random instances *)
+let test_fixpoint_catalog_differential () =
+  let dbs = db :: Testutil.random_dbs 6 in
+  List.iter
+    (fun e ->
+      let p = Diagres.Catalog.parsed_datalog e in
+      let goal = e.Diagres.Catalog.id in
+      List.iteri
+        (fun i rdb ->
+          let one_pass = Diagres_datalog.Eval.query rdb p ~goal in
+          Testutil.check_same_rows
+            (Printf.sprintf "%s semi-naive (db %d)" goal i)
+            one_pass
+            (Diagres_datalog.Fixpoint.query rdb p ~goal);
+          Testutil.check_same_rows
+            (Printf.sprintf "%s naive fixpoint (db %d)" goal i)
+            one_pass
+            (Diagres_datalog.Fixpoint.query_naive rdb p ~goal))
+        dbs)
+    Diagres.Catalog.all
+
 let prop_fixpoint_closure_correct =
   QCheck.Test.make ~name:"fixpoint closure = reference reachability"
     ~count:30 QCheck.small_int
@@ -281,5 +381,9 @@ let () =
             test_fixpoint_rejects_unstratified;
           Alcotest.test_case "agrees on non-recursive" `Quick
             test_fixpoint_agrees_on_nonrecursive;
+          Alcotest.test_case "max_rounds" `Quick test_fixpoint_max_rounds;
+          Alcotest.test_case "catalog differential" `Quick
+            test_fixpoint_catalog_differential;
+          Testutil.qtest prop_semi_naive_equals_naive;
           Testutil.qtest prop_fixpoint_closure_correct ] );
     ]

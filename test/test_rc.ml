@@ -282,6 +282,57 @@ let prop_union_free_forms =
         in
         D.Relation.same_rows expected union)
 
+(* ---------------- restricted vs naive evaluation ---------------- *)
+
+(* the differential properties for this PR's range-restricted engines: on
+   the whole catalog and on random instances, the index-probing evaluators
+   must agree with the full-scan / active-domain references *)
+
+let test_trc_restricted_vs_naive () =
+  let dbs = db :: Testutil.random_dbs 6 in
+  List.iter
+    (fun e ->
+      let q = Diagres.Catalog.parsed_trc e in
+      List.iteri
+        (fun i rdb ->
+          Testutil.check_same_rows
+            (Printf.sprintf "%s trc restricted (db %d)" e.Diagres.Catalog.id i)
+            (T.eval_naive rdb q) (T.eval rdb q))
+        dbs)
+    Diagres.Catalog.all
+
+let test_drc_restricted_vs_naive () =
+  let dbs = db :: Testutil.random_dbs 6 in
+  List.iter
+    (fun e ->
+      let q = Diagres.Catalog.parsed_drc e in
+      List.iteri
+        (fun i rdb ->
+          Testutil.check_same_rows
+            (Printf.sprintf "%s drc restricted (db %d)" e.Diagres.Catalog.id i)
+            (Drc.eval_naive rdb q) (Drc.eval rdb q))
+        dbs)
+    Diagres.Catalog.all
+
+let prop_trc_restricted_vs_naive =
+  QCheck.Test.make ~name:"TRC restricted = full-scan on RA-derived queries"
+    ~count:40
+    (Testutil.arbitrary_ra ~fuel:2 ())
+    (fun e ->
+      List.for_all
+        (fun q -> D.Relation.same_rows (T.eval_naive db q) (T.eval db q))
+        (Diagres_rc.Translate.ra_to_trc env e))
+
+let prop_drc_restricted_vs_naive =
+  QCheck.Test.make ~name:"DRC restricted = active-domain on RA-derived queries"
+    ~count:30
+    (Testutil.arbitrary_ra ~fuel:2 ())
+    (fun e ->
+      (* tiny database: the naive side enumerates the active domain *)
+      let tdb = Testutil.tiny_db in
+      let d = Diagres_rc.Translate.ra_to_drc env e in
+      D.Relation.same_rows (Drc.eval_naive tdb d) (Drc.eval tdb d))
+
 let () =
   Alcotest.run "rc"
     [
@@ -318,4 +369,11 @@ let () =
           Testutil.qtest prop_ra_to_drc_safe;
           Testutil.qtest prop_drc_to_ra_roundtrip;
           Testutil.qtest prop_union_free_forms ] );
+      ( "restricted-vs-naive",
+        [ Alcotest.test_case "trc catalog + random dbs" `Quick
+            test_trc_restricted_vs_naive;
+          Alcotest.test_case "drc catalog + random dbs" `Quick
+            test_drc_restricted_vs_naive;
+          Testutil.qtest prop_trc_restricted_vs_naive;
+          Testutil.qtest prop_drc_restricted_vs_naive ] );
     ]
