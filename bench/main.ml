@@ -240,7 +240,7 @@ let timed f =
   let r = f () in
   (Sys.time () -. t0, r)
 
-let scaling_table () =
+let scaling_table ~quick () =
   hr "Evaluator scaling (Q1; RA / TRC / DRC / Datalog), wall-clock";
   let e = Diagres.Catalog.find "q1" in
   let ra = Diagres.Catalog.parsed_ra e in
@@ -289,12 +289,12 @@ let scaling_table () =
       in
       Printf.printf "%8d %10.5f %10.5f %10.5f %10.5f %s %s\n" ntup t_ra t_trc
         t_drc t_dl (opt t_trc_n) (opt t_drc_n))
-    [ 10; 100; 1000; 10_000 ];
+    (if quick then [ 10; 100 ] else [ 10; 100; 1000; 10_000 ]);
   Printf.printf
     "(index-backed engines stay near-linear; '-' = full-scan baseline \
      skipped beyond its feasible size)\n"
 
-let tc_table () =
+let tc_table ~quick () =
   hr "Datalog transitive closure (chain graph): naive vs semi-naive fixpoint";
   let module DD = Diagres_data in
   let chain n =
@@ -327,10 +327,84 @@ let tc_table () =
         ~ns:(t_semi *. 1e9) ~tuples:depth ~rows;
       Printf.printf "%8d %12.4f %14.4f %8.1fx %8d\n" depth t_naive t_semi
         (t_naive /. t_semi) rows)
-    [ 50; 100; 200 ];
+    (if quick then [ 50 ] else [ 50; 100; 200 ]);
   Printf.printf
     "(naive re-derives every path each round: Θ(depth) rounds × Θ(depth²) \
      tuples; semi-naive joins only the last round's delta)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11: the cost-based physical planner against the two older engines:
+   the naive tree-walker on the raw expression, and the same tree-walker
+   on the logically optimized expression (PR-1's best).  Two workloads:
+   a selective theta-join written as σ over ×, and the RA produced by the
+   TRC → RA translation of catalog Q1.                                  *)
+
+let e11_table ~quick () =
+  hr "E11  cost-based physical planner (naive / optimized-logical / planned)";
+  let agree =
+    List.for_all
+      (fun e ->
+        let ra = Diagres.Catalog.parsed_ra e in
+        Diagres_data.Relation.same_rows (Diagres_ra.Eval.eval db ra)
+          (Diagres_ra.Eval.eval_planned db ra))
+      Diagres.Catalog.all
+  in
+  Printf.printf "catalog q1–q5: planned result = reference result: %b\n\n" agree;
+  let theta =
+    Diagres_ra.Parser.parse
+      "project[sid2](select[sid = sid2 and rating = 10](Sailor * rename[sid \
+       -> sid2, bid -> bid2, day -> day2](Reserves)))"
+  in
+  let q1_translated =
+    Diagres_rc.Translate.trc_to_ra schemas
+      (Diagres.Catalog.parsed_trc (Diagres.Catalog.find "q1"))
+  in
+  let queries = [ ("theta-join", theta); ("q1-from-trc", q1_translated) ] in
+  Printf.printf "%-12s %9s %11s %14s %12s %10s\n" "query" "tuples" "naive(s)"
+    "optimized(s)" "planned(s)" "speedup";
+  let sizes = if quick then [ 100; 500 ] else [ 1000; 10_000 ] in
+  List.iter
+    (fun n ->
+      let rdb =
+        Diagres_data.Generator.sailors_db ~n_sailors:n
+          ~n_boats:(max 4 (n / 10))
+          ~n_reserves:(2 * n) (n + 7)
+      in
+      let ntup = Diagres_data.Database.total_tuples rdb in
+      List.iter
+        (fun (qname, ra) ->
+          let opt = Diagres_ra.Optimize.optimize_db rdb ra in
+          let run engine f =
+            let t, r = timed f in
+            record
+              ~name:(Printf.sprintf "planner/%s/%s/n=%d" qname engine n)
+              ~ns:(t *. 1e9) ~tuples:ntup
+              ~rows:(Diagres_data.Relation.cardinality r);
+            t
+          in
+          (* the raw tree walk materializes the full n × 2n product: only
+             feasible at the small scale *)
+          let t_naive =
+            if n > 1000 then None
+            else Some (run "naive" (fun () -> Diagres_ra.Eval.eval rdb ra))
+          in
+          let t_opt =
+            run "optimized" (fun () -> Diagres_ra.Eval.eval rdb opt)
+          in
+          let t_plan =
+            run "planned" (fun () -> Diagres_ra.Eval.eval_planned rdb ra)
+          in
+          let opt_s = function
+            | Some t -> Printf.sprintf "%11.4f" t
+            | None -> Printf.sprintf "%11s" "-"
+          in
+          Printf.printf "%-12s %9d %s %14.4f %12.4f %9.1fx\n" qname ntup
+            (opt_s t_naive) t_opt t_plan (t_opt /. t_plan))
+        queries)
+    sizes;
+  Printf.printf
+    "(speedup = optimized-logical / planned: what hash-join extraction, \
+     join ordering and compiled predicates add on top of the rewrites)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                           *)
@@ -412,6 +486,8 @@ let bench_tests () =
       (stage (fun () -> Diagres_ra.Eval.eval db raw_translated));
     Test.make ~name:"ablation/eval-translated-optimized"
       (stage (fun () -> Diagres_ra.Eval.eval db opt_translated));
+    Test.make ~name:"ablation/eval-translated-planned"
+      (stage (fun () -> Diagres_ra.Eval.eval_planned db raw_translated));
   ]
 
 let run_benchmarks () =
@@ -456,6 +532,8 @@ let () =
     in
     find (Array.to_list Sys.argv)
   in
+  (* --quick: CI smoke mode — small scaling sizes, skip the bechamel micros *)
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   e1_table ();
   e2_table ();
   e4_table ();
@@ -464,8 +542,9 @@ let () =
   nesting_table ();
   e8_table ();
   e10_table ();
-  scaling_table ();
-  tc_table ();
-  run_benchmarks ();
+  scaling_table ~quick ();
+  tc_table ~quick ();
+  e11_table ~quick ();
+  if not quick then run_benchmarks ();
   Option.iter write_json json_path;
   print_newline ()

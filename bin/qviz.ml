@@ -140,16 +140,36 @@ let translate_cmd =
 (* ---------------- eval ---------------- *)
 
 let eval_cmd =
-  let run dbdir lang query =
+  let explain_arg =
+    let doc =
+      "Print the physical plan chosen by the cost-based planner (operators, \
+       estimated and actual row counts) before the result.  Non-RA queries \
+       are first translated to RA."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run dbdir lang explain query =
     handle_errors @@ fun () ->
     let db = load_db dbdir in
     let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
-    print_string
-      (Diagres_data.Relation.to_string (Diagres.Languages.eval db q))
+    if explain then begin
+      let ra = Diagres.Languages.to_ra (schemas_of db) q in
+      let plan = Diagres_ra.Planner.plan db ra in
+      let result = Diagres_ra.Plan.exec plan in
+      (* explain after exec so every operator line shows actual counts *)
+      print_string (Diagres_ra.Plan.explain plan);
+      Printf.printf "evaluated %d plan nodes, %d served from the shared-subtree memo\n\n"
+        (Diagres_ra.Plan.total_evals plan)
+        (Diagres_ra.Plan.total_hits plan);
+      print_string (Diagres_data.Relation.to_string result)
+    end
+    else
+      print_string
+        (Diagres_data.Relation.to_string (Diagres.Languages.eval db q))
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query on the sample sailors database")
-    Term.(const run $ db_arg $ lang_arg $ query_arg)
+    Term.(const run $ db_arg $ lang_arg $ explain_arg $ query_arg)
 
 (* ---------------- catalog ---------------- *)
 

@@ -62,7 +62,7 @@ let lang_of = function
 
 let eval db : query -> Diagres_data.Relation.t = function
   | Q_sql st -> Diagres_sql.To_ra.eval db st
-  | Q_ra e -> Diagres_ra.Eval.eval db e
+  | Q_ra e -> Diagres_ra.Eval.eval_planned db e
   | Q_trc q -> Diagres_rc.Trc.eval db q
   | Q_drc q -> Diagres_rc.Drc.eval db q
   | Q_datalog (p, goal) -> Diagres_datalog.Eval.query db p ~goal

@@ -16,12 +16,19 @@ module Tset = Set.Make (struct
   let compare = Tuple.compare
 end)
 
-type t = { schema : Schema.t; tuples : Tset.t; indexes : Index.cache }
+type t = {
+  schema : Schema.t;
+  tuples : Tset.t;
+  indexes : Index.cache;
+  stats : Stats.cache;
+}
 
 (* The only constructor: every new tuple set gets a fresh (empty) index
    cache.  Schema-only changes (rename) may share the cache, since indexes
-   are position-based. *)
-let make schema tuples = { schema; tuples; indexes = Index.fresh_cache () }
+   and statistics are position-based. *)
+let make schema tuples =
+  { schema; tuples; indexes = Index.fresh_cache ();
+    stats = Stats.fresh_cache () }
 
 let schema r = r.schema
 let cardinality r = Tset.cardinal r.tuples
@@ -83,6 +90,23 @@ let index r (positions : int list) : Index.t =
     empty position list returns all tuples. *)
 let matching r (positions : int list) (key : Value.t array) : Tuple.t list =
   if positions = [] then tuples r else Index.lookup (index r positions) key
+
+(** Cardinality and per-column distinct counts, computed on first use and
+    cached like the indexes.  The distinct counts are read off cached
+    single-column hash indexes, so a later equi-join on the same column
+    reuses the build work. *)
+let stats r : Stats.t =
+  match Stats.cached r.stats with
+  | Some s -> s
+  | None ->
+    let s =
+      { Stats.rows = cardinality r;
+        distinct =
+          Array.init (Schema.arity r.schema) (fun i ->
+              Index.cardinal (index r [ i ])) }
+    in
+    Stats.fill r.stats s;
+    s
 
 let require_compatible op a b =
   if not (Schema.compatible a.schema b.schema) then

@@ -78,6 +78,11 @@ val division : t -> t -> t
     calculus evaluation. *)
 val matching : t -> int list -> Value.t array -> Tuple.t list
 
+(** Cardinality and per-column distinct counts ({!Stats}), computed lazily
+    on first use and cached on the relation like its secondary indexes.
+    Statistics are positional, so renamed views share the cache. *)
+val stats : t -> Stats.t
+
 (** All values appearing anywhere in the relation, deduplicated. *)
 val active_domain : t -> Value.t list
 

@@ -1,0 +1,34 @@
+(** Per-relation statistics for cost-based planning.
+
+    A statistics record holds the relation's cardinality and, per column,
+    the number of distinct values — the two inputs the classic System-R
+    selectivity formulas need (equality selects as [1/distinct], equi-joins
+    as [|A|·|B| / max(dA, dB)]).  Records are computed lazily by
+    {!Relation.stats} and cached on the relation alongside the secondary
+    index cache: the per-column distinct counts come straight from
+    {!Index.cardinal} of the cached single-column indexes, so a join that
+    later probes the same column reuses the very same hash table. *)
+
+type t = {
+  rows : int;  (** tuple count *)
+  distinct : int array;
+      (** [distinct.(i)] = number of distinct values in column [i] *)
+}
+
+(** Mutable per-relation slot, owned by {!Relation}; filled on first use.
+    Schema-only transformations (rename) may share it, since statistics are
+    positional. *)
+type cache = t option ref
+
+let fresh_cache () : cache = ref None
+let cached (c : cache) = !c
+let fill (c : cache) (s : t) = c := Some s
+
+(** Distinct count of column [i], never below 1 (guards the selectivity
+    divisions; an empty relation reports 1, not 0). *)
+let distinct_col (s : t) i =
+  if i < 0 || i >= Array.length s.distinct then 1 else max 1 s.distinct.(i)
+
+let to_string (s : t) =
+  Printf.sprintf "rows=%d distinct=[%s]" s.rows
+    (String.concat "; " (Array.to_list (Array.map string_of_int s.distinct)))

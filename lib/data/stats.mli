@@ -1,0 +1,22 @@
+(** Per-relation statistics (cardinality + per-column distinct counts) for
+    cost-based planning; computed lazily and cached per relation by
+    {!Relation.stats}. *)
+
+type t = {
+  rows : int;  (** tuple count *)
+  distinct : int array;
+      (** [distinct.(i)] = number of distinct values in column [i] *)
+}
+
+(** Mutable per-relation slot, owned by {!Relation}. *)
+type cache
+
+val fresh_cache : unit -> cache
+val cached : cache -> t option
+val fill : cache -> t -> unit
+
+(** Distinct count of column [i], clamped to ≥ 1 so selectivity divisions
+    are always safe. *)
+val distinct_col : t -> int -> int
+
+val to_string : t -> string

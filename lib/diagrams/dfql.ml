@@ -38,6 +38,11 @@ let of_ra (e : A.t) : t =
   let rec go (e : A.t) : int =
     match e with
     | A.Rel r -> add r `Relation
+    | A.Empty e1 ->
+      let n = add "∅" `Operator in
+      let c = go e1 in
+      edges := (c, n) :: !edges;
+      n
     | A.Select (p, e1) ->
       let n = add (Printf.sprintf "σ %s" (Diagres_ra.Pretty.pred_to_string p)) `Operator in
       let c = go e1 in

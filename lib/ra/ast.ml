@@ -20,6 +20,10 @@ type pred =
 
 type t =
   | Rel of string                        (** base relation *)
+  | Empty of t
+      (** the empty relation with the schema of the carried expression,
+          which is never evaluated — the zero the optimizer's dead-branch
+          pruning produces (formerly the twice-evaluated [Diff (e, e)]) *)
   | Select of pred * t                   (** σ_pred *)
   | Project of string list * t           (** π_attrs *)
   | Rename of (string * string) list * t (** ρ old→new, simultaneous *)
@@ -54,7 +58,8 @@ let pred_conj = List.fold_left pred_and Ptrue
     table occurrences" that the QBE/Datalog comparison counts). *)
 let rec base_relations = function
   | Rel r -> [ r ]
-  | Select (_, e) | Project (_, e) | Rename (_, e) -> base_relations e
+  | Empty e | Select (_, e) | Project (_, e) | Rename (_, e) ->
+    base_relations e
   | Product (a, b) | Join (a, b) | Theta_join (_, a, b)
   | Union (a, b) | Inter (a, b) | Diff (a, b) | Division (a, b) ->
     base_relations a @ base_relations b
@@ -62,7 +67,7 @@ let rec base_relations = function
 (** Number of operator nodes — the complexity measure used in benches. *)
 let rec size = function
   | Rel _ -> 1
-  | Select (_, e) | Project (_, e) | Rename (_, e) -> 1 + size e
+  | Empty e | Select (_, e) | Project (_, e) | Rename (_, e) -> 1 + size e
   | Product (a, b) | Join (a, b) | Theta_join (_, a, b)
   | Union (a, b) | Inter (a, b) | Diff (a, b) | Division (a, b) ->
     1 + size a + size b

@@ -24,6 +24,9 @@ let rec eval db (e : Ast.t) : D.Relation.t =
     match D.Database.find_opt r db with
     | Some rel -> rel
     | None -> raise (Eval_error ("unknown relation " ^ r)))
+  | Ast.Empty e ->
+    (* zero-cost: only the schema of [e] is needed, never its tuples *)
+    D.Relation.empty (Typecheck.infer (Typecheck.env_of_database db) e)
   | Ast.Select (p, e) ->
     let rel = eval db e in
     let schema = D.Relation.schema rel in
@@ -44,10 +47,31 @@ let rec eval db (e : Ast.t) : D.Relation.t =
   | Ast.Product (a, b) -> D.Relation.product (eval db a) (eval db b)
   | Ast.Join (a, b) -> D.Relation.natural_join (eval db a) (eval db b)
   | Ast.Theta_join (p, a, b) ->
-    let prod = D.Relation.product (eval db a) (eval db b) in
-    let schema = D.Relation.schema prod in
-    D.Relation.filter (fun t -> pred_holds schema t p) prod
+    (* filter while enumerating the product: only matching pairs are ever
+       materialized, instead of the full |a|·|b| cartesian product *)
+    let ra = eval db a and rb = eval db b in
+    let schema =
+      D.Schema.concat_disjoint (D.Relation.schema ra) (D.Relation.schema rb)
+    in
+    let matches =
+      D.Relation.fold
+        (fun ta acc ->
+          D.Relation.fold
+            (fun tb acc ->
+              let t = D.Tuple.concat ta tb in
+              if pred_holds schema t p then t :: acc else acc)
+            rb acc)
+        ra []
+    in
+    D.Relation.of_tuples schema matches
   | Ast.Union (a, b) -> D.Relation.union (eval db a) (eval db b)
   | Ast.Inter (a, b) -> D.Relation.inter (eval db a) (eval db b)
   | Ast.Diff (a, b) -> D.Relation.diff (eval db a) (eval db b)
   | Ast.Division (a, b) -> D.Relation.division (eval db a) (eval db b)
+
+(** Evaluate through the cost-based physical planner ({!Planner}): logical
+    rewrites, hash equi-joins over the cached indexes, greedy join
+    ordering, compiled predicates, and memoized shared subtrees.  Agrees
+    with the tree-walking {!eval} (property-tested); [eval] remains as the
+    naive reference. *)
+let eval_planned db e = Plan.exec (Planner.plan db e)

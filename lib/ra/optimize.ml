@@ -37,10 +37,13 @@ let conjunct_unsat schema = function
 let pred_unsat schema p =
   List.exists (conjunct_unsat schema) (split_conj p)
 
-(* The canonical empty relation with the same schema as [e]. *)
-let empty_of e = Ast.Diff (e, e)
+(* The canonical empty relation with the same schema as [e].  [Ast.Empty]
+   is a zero-cost literal: evaluators produce an empty relation without
+   touching [e] (the old encoding, [Diff (e, e)], evaluated [e] twice). *)
+let empty_of e = Ast.Empty e
 
 let rec is_empty_expr = function
+  | Ast.Empty _ -> true
   | Ast.Diff (a, b) when Ast.equal a b -> true
   | Ast.Select (_, e) | Ast.Project (_, e) | Ast.Rename (_, e) ->
     is_empty_expr e
@@ -61,6 +64,7 @@ let rec is_empty_expr = function
 let rec pass env (e : Ast.t) : Ast.t =
   match e with
   | Ast.Rel _ -> e
+  | Ast.Empty e1 -> Ast.Empty (pass env e1)
   | Ast.Select (Ast.Ptrue, e1) -> pass env e1
   | Ast.Select (p, e1) when pred_unsat (Typecheck.infer env e1) p ->
     (* a statically dead branch; [Diff (x, x)] is the empty relation of
@@ -134,7 +138,7 @@ let optimize_db db e = optimize (Typecheck.env_of_database db) e
     rename — a purely structural statistic surfaced by the survey bench. *)
 let rec count_equijoins = function
   | Ast.Rel _ -> 0
-  | Ast.Select (_, e) | Ast.Project (_, e) | Ast.Rename (_, e) ->
+  | Ast.Empty e | Ast.Select (_, e) | Ast.Project (_, e) | Ast.Rename (_, e) ->
     count_equijoins e
   | Ast.Theta_join (p, a, b) ->
     let is_eq = function Ast.Cmp (Diagres_logic.Fol.Eq, Ast.Attr _, Ast.Attr _) -> true | _ -> false in

@@ -9,6 +9,7 @@
              | ("select"|"sigma")  "[" pred "]" "(" expr ")"
              | ("project"|"pi")    "[" attrs "]" "(" expr ")"
              | ("rename"|"rho")    "[" renames "]" "(" expr ")"
+             | "empty" "(" expr ")"
              | "(" expr ")"
     pred    := disj ; disj := conj ("or" conj)* ; conj := atom ("and" atom)*
     atom    := "not" atom | "true" | "(" pred ")" | operand cmp operand
@@ -20,7 +21,7 @@ exception Parse_error = S.Parse_error
 
 let keywords =
   [ "select"; "sigma"; "project"; "pi"; "rename"; "rho"; "join"; "union";
-    "intersect"; "minus"; "div"; "and"; "or"; "not"; "true" ]
+    "intersect"; "minus"; "div"; "and"; "or"; "not"; "true"; "empty" ]
 
 let operand s : Ast.operand =
   match S.peek s with
@@ -114,6 +115,12 @@ and factor s =
   else if S.at_kw s "rename" || S.at_kw s "rho" then begin
     S.advance s;
     unary (fun pairs e -> Ast.Rename (pairs, e)) rename_list
+  end
+  else if S.eat_kw s "empty" then begin
+    S.expect_sym s "(";
+    let e = expr s in
+    S.expect_sym s ")";
+    Ast.Empty e
   end
   else if S.at_sym s "(" then begin
     S.expect_sym s "(";

@@ -1,0 +1,257 @@
+(** Physical query plans: the execution half of the logical/physical split.
+
+    A plan is a DAG of physical operators produced by {!Planner} from an
+    optimized {!Ast.t}.  Three things distinguish it from the tree-walking
+    reference evaluator ({!Eval.eval}):
+
+    - {b compiled predicates} — selection and join predicates are compiled
+      once into closures over resolved attribute {e positions}; no
+      per-tuple attribute-name lookup survives into the inner loops;
+    - {b hash equi-joins} — equality conjuncts probe the per-relation
+      cached hash indexes ({!Diagres_data.Relation.matching}) instead of
+      filtering a materialized cartesian product;
+    - {b shared-subtree memoization} — structurally equal subexpressions
+      are hash-consed to a single node whose result is computed once and
+      served from cache afterwards ([evals]/[hits] count both, which the
+      tests pin).
+
+    Every node carries its estimated cardinality; after execution the
+    actual cardinality is available from the cached result, which is what
+    [qviz --explain] prints as [est=… actual=…]. *)
+
+module D = Diagres_data
+
+(** A compiled predicate with its display string (for explain output). *)
+type pred = { display : string; holds : D.Tuple.t -> bool }
+
+type t = {
+  id : int;                             (** stable id, used by explain *)
+  op : op;
+  schema : D.Schema.t;                  (** output schema *)
+  est : float;                          (** estimated output rows *)
+  est_distinct : float array;           (** estimated distinct per column *)
+  mutable cache : D.Relation.t option;  (** memo: result of the first exec *)
+  mutable evals : int;                  (** times the result was computed *)
+  mutable hits : int;                   (** times served from the memo *)
+}
+
+and op =
+  | Scan of string * D.Relation.t       (** base relation *)
+  | Empty                               (** ∅ with a known schema *)
+  | Filter of pred * t                  (** compiled σ *)
+  | Project of int array * t            (** positional π (also reordering) *)
+  | Relabel of t                        (** ρ: schema-only renaming *)
+  | Hash_join of hash_join              (** equi-join via cached indexes *)
+  | Nl_join of pred option * t * t      (** ×, filtered during enumeration *)
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+  | Division of t * t
+
+and hash_join = {
+  left : t;
+  right : t;
+  lkey : int array;       (** key positions in the left input *)
+  rkey : int list;        (** matching key positions in the right input *)
+  right_rest : int array; (** right positions appended to the output *)
+  residual : pred option; (** non-equality leftovers, over the output *)
+}
+
+(* ---------------- predicate compilation ---------------- *)
+
+let compile_operand schema = function
+  | Ast.Const v -> fun _ -> v
+  | Ast.Attr a ->
+    let i = D.Schema.index a schema in
+    fun t -> D.Tuple.get t i
+
+(** Compile a predicate against [schema]: attribute positions are resolved
+    here, once, so the returned closure does only array reads. *)
+let rec compile schema = function
+  | Ast.Cmp (op, a, b) ->
+    let fa = compile_operand schema a and fb = compile_operand schema b in
+    let cmp = Diagres_logic.Fol.cmp_eval op in
+    fun t -> cmp (fa t) (fb t)
+  | Ast.And (p, q) ->
+    let fp = compile schema p and fq = compile schema q in
+    fun t -> fp t && fq t
+  | Ast.Or (p, q) ->
+    let fp = compile schema p and fq = compile schema q in
+    fun t -> fp t || fq t
+  | Ast.Not p ->
+    let fp = compile schema p in
+    fun t -> not (fp t)
+  | Ast.Ptrue -> fun _ -> true
+
+let compile_pred schema p : pred =
+  { display = Pretty.pred_to_string p; holds = compile schema p }
+
+(* ---------------- node construction ---------------- *)
+
+let node_counter = ref 0
+
+let mk op schema est est_distinct : t =
+  incr node_counter;
+  { id = !node_counter; op; schema; est = Float.max 0. est; est_distinct;
+    cache = None; evals = 0; hits = 0 }
+
+(* ---------------- execution ---------------- *)
+
+let rec exec (n : t) : D.Relation.t =
+  match n.cache with
+  | Some r ->
+    n.hits <- n.hits + 1;
+    r
+  | None ->
+    let r = compute n in
+    n.evals <- n.evals + 1;
+    n.cache <- Some r;
+    r
+
+and compute n : D.Relation.t =
+  match n.op with
+  | Scan (_, r) -> r
+  | Empty -> D.Relation.empty n.schema
+  | Filter (p, c) -> D.Relation.filter p.holds (exec c)
+  | Project (idx, c) ->
+    D.Relation.map n.schema (fun t -> Array.map (D.Tuple.get t) idx) (exec c)
+  | Relabel c ->
+    D.Relation.rename_all (D.Schema.names n.schema) (exec c)
+  | Hash_join j ->
+    let lr = exec j.left and rr = exec j.right in
+    let matches =
+      D.Relation.fold
+        (fun ta acc ->
+          let key = Array.map (D.Tuple.get ta) j.lkey in
+          List.fold_left
+            (fun acc tb ->
+              let out =
+                D.Tuple.concat ta (Array.map (D.Tuple.get tb) j.right_rest)
+              in
+              match j.residual with
+              | Some p when not (p.holds out) -> acc
+              | _ -> out :: acc)
+            acc
+            (D.Relation.matching rr j.rkey key))
+        lr []
+    in
+    D.Relation.of_tuples n.schema matches
+  | Nl_join (p, a, b) ->
+    let ra = exec a and rb = exec b in
+    let matches =
+      D.Relation.fold
+        (fun ta acc ->
+          D.Relation.fold
+            (fun tb acc ->
+              let out = D.Tuple.concat ta tb in
+              match p with
+              | Some p when not (p.holds out) -> acc
+              | _ -> out :: acc)
+            rb acc)
+        ra []
+    in
+    D.Relation.of_tuples n.schema matches
+  | Union (a, b) -> D.Relation.union (exec a) (exec b)
+  | Inter (a, b) -> D.Relation.inter (exec a) (exec b)
+  | Diff (a, b) -> D.Relation.diff (exec a) (exec b)
+  | Division (a, b) -> D.Relation.division (exec a) (exec b)
+
+(* ---------------- traversal ---------------- *)
+
+let children n =
+  match n.op with
+  | Scan _ | Empty -> []
+  | Filter (_, c) | Project (_, c) | Relabel c -> [ c ]
+  | Hash_join j -> [ j.left; j.right ]
+  | Nl_join (_, a, b) | Union (a, b) | Inter (a, b) | Diff (a, b)
+  | Division (a, b) ->
+    [ a; b ]
+
+(** Fold over every distinct node of the DAG (shared nodes visited once). *)
+let fold_unique f (root : t) init =
+  let seen = Hashtbl.create 16 in
+  let rec go acc n =
+    if Hashtbl.mem seen n.id then acc
+    else begin
+      Hashtbl.add seen n.id ();
+      List.fold_left go (f n acc) (children n)
+    end
+  in
+  go init root
+
+(* ---------------- explain ---------------- *)
+
+let label n =
+  match n.op with
+  | Scan (name, _) -> "scan " ^ name
+  | Empty -> "empty"
+  | Filter (p, _) -> Printf.sprintf "filter [%s]" p.display
+  | Project (_, c) ->
+    let names = D.Schema.names n.schema in
+    if names = D.Schema.names c.schema then "reorder"
+    else Printf.sprintf "project [%s]" (String.concat ", " names)
+  | Relabel _ ->
+    Printf.sprintf "rename [%s]" (String.concat ", " (D.Schema.names n.schema))
+  | Hash_join j ->
+    let ln = D.Schema.names j.left.schema
+    and rn = D.Schema.names j.right.schema in
+    let eqs =
+      List.map2
+        (fun l r -> Printf.sprintf "%s = %s" (List.nth ln l) (List.nth rn r))
+        (Array.to_list j.lkey) j.rkey
+    in
+    Printf.sprintf "hash-join [%s]%s"
+      (String.concat ", " eqs)
+      (match j.residual with
+      | Some p -> Printf.sprintf " filter [%s]" p.display
+      | None -> "")
+  | Nl_join (None, _, _) -> "product"
+  | Nl_join (Some p, _, _) -> Printf.sprintf "nl-join [%s]" p.display
+  | Union _ -> "union"
+  | Inter _ -> "intersect"
+  | Diff _ -> "minus"
+  | Division _ -> "divide"
+
+(** Render the plan, one operator per line, with estimated and (when the
+    node has been executed) actual row counts.  Shared nodes are printed
+    once and referenced by [#id] afterwards. *)
+let explain (root : t) : string =
+  (* nodes referenced from more than one parent get a #id tag *)
+  let refs = Hashtbl.create 16 in
+  let rec count n =
+    let c = try Hashtbl.find refs n.id with Not_found -> 0 in
+    Hashtbl.replace refs n.id (c + 1);
+    if c = 0 then List.iter count (children n)
+  in
+  count root;
+  let buf = Buffer.create 256 in
+  let printed = Hashtbl.create 16 in
+  let rec go indent n =
+    let shared = Hashtbl.find refs n.id > 1 in
+    let tag = if shared then Printf.sprintf "#%d " n.id else "" in
+    if Hashtbl.mem printed n.id then
+      Buffer.add_string buf
+        (Printf.sprintf "%s#%d %s (shared, computed once)\n" indent n.id
+           (label n))
+    else begin
+      Hashtbl.add printed n.id ();
+      let actual =
+        match n.cache with
+        | Some r -> string_of_int (D.Relation.cardinality r)
+        | None -> "?"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s  (est=%.0f actual=%s)\n" indent tag (label n)
+           n.est actual);
+      List.iter (go (indent ^ "  ")) (children n)
+    end
+  in
+  go "" root;
+  Buffer.contents buf
+
+(** Total number of node computations across the DAG — with hash-consing
+    this stays at the number of {e distinct} subexpressions. *)
+let total_evals root = fold_unique (fun n acc -> acc + n.evals) root 0
+
+(** Total memo hits — how many re-evaluations sharing saved. *)
+let total_hits root = fold_unique (fun n acc -> acc + n.hits) root 0

@@ -28,7 +28,7 @@ and pred_atom p =
 let level = function
   | Ast.Union _ | Ast.Inter _ | Ast.Diff _ -> 1
   | Ast.Product _ | Ast.Join _ | Ast.Theta_join _ | Ast.Division _ -> 2
-  | Ast.Rel _ | Ast.Select _ | Ast.Project _ | Ast.Rename _ -> 3
+  | Ast.Rel _ | Ast.Empty _ | Ast.Select _ | Ast.Project _ | Ast.Rename _ -> 3
 
 let rec ascii e =
   let sub child =
@@ -36,6 +36,7 @@ let rec ascii e =
   in
   match e with
   | Ast.Rel r -> r
+  | Ast.Empty e1 -> Printf.sprintf "empty(%s)" (ascii e1)
   | Ast.Select (p, e1) ->
     Printf.sprintf "select[%s](%s)" (pred_to_string p) (ascii e1)
   | Ast.Project (attrs, e1) ->
@@ -60,6 +61,7 @@ let rec unicode e =
   in
   match e with
   | Ast.Rel r -> r
+  | Ast.Empty e1 -> Printf.sprintf "∅ %s" (sub_u e1)
   | Ast.Select (p, e1) -> Printf.sprintf "σ[%s] %s" (pred_to_string p) (sub_u e1)
   | Ast.Project (attrs, e1) ->
     Printf.sprintf "π[%s] %s" (String.concat "," attrs) (sub_u e1)
@@ -93,6 +95,9 @@ let tree e =
     let deeper = indent ^ "  " in
     match e with
     | Ast.Rel r -> line r
+    | Ast.Empty e1 ->
+      line "∅";
+      go deeper e1
     | Ast.Select (p, e1) ->
       line (Printf.sprintf "σ [%s]" (pred_to_string p));
       go deeper e1

@@ -44,6 +44,7 @@ let rec infer (env : env) (e : Ast.t) : D.Schema.t =
     match List.assoc_opt r env with
     | Some s -> s
     | None -> error "unknown relation %S" r)
+  | Ast.Empty e -> infer env e
   | Ast.Select (p, e) ->
     let s = infer env e in
     check_pred s p;

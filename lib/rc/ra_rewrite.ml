@@ -17,6 +17,7 @@ module T = Diagres_ra.Typecheck
 let rec eliminate_division env (e : A.t) : A.t =
   match e with
   | A.Rel _ -> e
+  | A.Empty e1 -> A.Empty (eliminate_division env e1)
   | A.Select (p, e1) -> A.Select (p, eliminate_division env e1)
   | A.Project (attrs, e1) -> A.Project (attrs, eliminate_division env e1)
   | A.Rename (pairs, e1) -> A.Rename (pairs, eliminate_division env e1)
@@ -82,6 +83,8 @@ let pred_disjuncts (p : A.pred) : A.pred list =
 let rec pull_unions env (e : A.t) : A.t list =
   match e with
   | A.Rel _ -> [ e ]
+  (* ∅ is already union-free; keep it as a single panel *)
+  | A.Empty _ -> [ e ]
   | A.Select (p, e1) ->
     let forms = pull_unions env e1 in
     List.concat_map

@@ -35,6 +35,9 @@ let rec translate env supply (e : A.t) : rep =
     let attrs = schema_names e in
     let cols = List.map (fun a -> (a, N.fresh supply (N.sanitize a ^ "_"))) attrs in
     { formula = F.Pred (r, List.map (fun (_, v) -> F.Var v) cols); cols }
+  | A.Empty e1 ->
+    (* the calculus has no ∅ literal; e − e is the classical encoding *)
+    translate env supply (A.Diff (e1, e1))
   | A.Select (p, e1) ->
     let r1 = translate env supply e1 in
     { r1 with formula = F.And (r1.formula, pred_formula r1.cols p) }

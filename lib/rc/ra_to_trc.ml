@@ -48,6 +48,9 @@ let rec translate env supply (e : A.t) : rep =
     { ranges = [ (v, r) ];
       body = Trc.True;
       cols = List.map (fun a -> (a, Trc.Field (v, a))) attrs }
+  | A.Empty e1 ->
+    (* the calculus has no ∅ literal; e − e is the classical encoding *)
+    translate env supply (A.Diff (e1, e1))
   | A.Select (p, e1) ->
     let r1 = translate env supply e1 in
     { r1 with body = conj r1.body (pred_formula r1.cols p) }

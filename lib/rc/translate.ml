@@ -46,6 +46,6 @@ type any_query =
   | Drc of Drc.query
 
 let eval_any db = function
-  | Ra e -> Diagres_ra.Eval.eval db e
+  | Ra e -> Diagres_ra.Eval.eval_planned db e
   | Trc q -> Trc.eval db q
   | Drc q -> Drc.eval db q

@@ -242,6 +242,39 @@ let prop_join_equals_nested_loop =
       D.Relation.same_rows j
         (D.Relation.of_tuples (D.Relation.schema j) expected))
 
+(* ---------------- statistics ---------------- *)
+
+let test_stats_basics () =
+  let r = D.Sample_db.sailors in
+  let s = D.Relation.stats r in
+  Alcotest.(check int) "rows" (D.Relation.cardinality r) s.D.Stats.rows;
+  let distinct_at i =
+    List.length
+      (List.sort_uniq V.compare
+         (List.map (fun t -> D.Tuple.get t i) (D.Relation.tuples r)))
+  in
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check int) (Printf.sprintf "distinct col %d" i) (distinct_at i) d)
+    s.D.Stats.distinct
+
+let test_stats_cached_and_shared () =
+  let r = D.Sample_db.boats in
+  let s1 = D.Relation.stats r in
+  Alcotest.(check bool) "second call hits the cache" true
+    (s1 == D.Relation.stats r);
+  (* statistics are positional, so renamed views share the slot, exactly
+     like the secondary-index cache *)
+  Alcotest.(check bool) "rename shares stats" true
+    (s1 == D.Relation.stats (D.Relation.rename "color" "paint" r))
+
+let test_stats_distinct_clamped () =
+  let empty = D.Relation.empty D.Sample_db.sailor_schema in
+  let s = D.Relation.stats empty in
+  Alcotest.(check int) "rows 0" 0 s.D.Stats.rows;
+  Alcotest.(check int) "raw distinct 0" 0 s.D.Stats.distinct.(0);
+  Alcotest.(check int) "clamped distinct 1" 1 (D.Stats.distinct_col s 0)
+
 (* ---------------- CSV ---------------- *)
 
 let test_csv_roundtrip () =
@@ -337,6 +370,12 @@ let () =
             test_matching_after_rename;
           Testutil.qtest prop_matching_equals_filter;
           Testutil.qtest prop_join_equals_nested_loop ] );
+      ( "stats",
+        [ Alcotest.test_case "rows and distinct" `Quick test_stats_basics;
+          Alcotest.test_case "cached and rename-shared" `Quick
+            test_stats_cached_and_shared;
+          Alcotest.test_case "empty relation clamped" `Quick
+            test_stats_distinct_clamped ] );
       ( "csv",
         [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "quoting" `Quick test_csv_quoting;

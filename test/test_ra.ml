@@ -150,6 +150,118 @@ let test_optimize_identity_projection () =
   | A.Rel "Sailor" -> ()
   | o -> Alcotest.failf "expected bare relation, got %s" (Diagres_ra.Pretty.ascii o)
 
+(* ---------------- physical planner ---------------- *)
+
+module Plan = Diagres_ra.Plan
+module Planner = Diagres_ra.Planner
+
+let eval_planned src = Diagres_ra.Eval.eval_planned db (parse src)
+
+let prop_planned_matches_naive =
+  QCheck.Test.make ~name:"eval_planned = eval" ~count:250
+    (Testutil.arbitrary_ra ())
+    (fun e ->
+      D.Relation.same_rows (Diagres_ra.Eval.eval db e)
+        (Diagres_ra.Eval.eval_planned db e))
+
+let prop_planned_matches_naive_deep =
+  QCheck.Test.make ~name:"eval_planned = eval (deeper trees)" ~count:100
+    (Testutil.arbitrary_ra ~fuel:4 ())
+    (fun e ->
+      D.Relation.same_rows (Diagres_ra.Eval.eval db e)
+        (Diagres_ra.Eval.eval_planned db e))
+
+let test_planned_catalog () =
+  (* the five tutorial queries, planned vs. reference, on the sample db and
+     a few random instances *)
+  List.iter
+    (fun entry ->
+      let e = Diagres.Catalog.parsed_ra entry in
+      List.iter
+        (fun dbi ->
+          Testutil.check_same_rows
+            ("planned " ^ entry.Diagres.Catalog.id)
+            (Diagres_ra.Eval.eval dbi e)
+            (Diagres_ra.Eval.eval_planned dbi e))
+        (db :: Testutil.random_dbs 4))
+    Diagres.Catalog.all
+
+let plan_ops src =
+  let p = Planner.plan db (parse src) in
+  Plan.fold_unique (fun n acc -> n.Plan.op :: acc) p []
+
+let test_planner_extracts_hash_join () =
+  (* q5's theta self-join must become a hash join on the equality conjunct,
+     with no nested-loop fallback anywhere in the plan *)
+  let ops = plan_ops (Diagres.Catalog.find "q5").Diagres.Catalog.ra in
+  let is_hash = function Plan.Hash_join _ -> true | _ -> false in
+  let is_nl = function Plan.Nl_join _ -> true | _ -> false in
+  Alcotest.(check bool) "has hash join" true (List.exists is_hash ops);
+  Alcotest.(check bool) "no nested loop" false (List.exists is_nl ops)
+
+let test_planner_pure_product_stays_nl () =
+  let ops = plan_ops "project[sid](Sailor) * project[bid](Boat)" in
+  Alcotest.(check bool) "product stays a nested loop" true
+    (List.exists (function Plan.Nl_join _ -> true | _ -> false) ops)
+
+let test_planner_shared_subtree_evaluated_once () =
+  let sub = "project[sid](select[rating > 7](Sailor))" in
+  let p = Planner.plan db (parse (sub ^ " union " ^ sub)) in
+  ignore (Plan.exec p : D.Relation.t);
+  Plan.fold_unique
+    (fun n () ->
+      Alcotest.(check bool) "each node computed at most once" true
+        (n.Plan.evals <= 1))
+    p ();
+  Alcotest.(check bool) "memo hit on the shared branch" true
+    (Plan.total_hits p >= 1)
+
+let test_planner_explain_counts () =
+  let p = Planner.plan db (parse (Diagres.Catalog.find "q1").Diagres.Catalog.ra) in
+  ignore (Plan.exec p : D.Relation.t);
+  let text = Plan.explain p in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "estimates printed" true (contains "est=");
+  (* after exec, no operator line may report an unknown actual count *)
+  Alcotest.(check bool) "actual counts filled" false (contains "actual=?");
+  Alcotest.(check bool) "hash join shown" true (contains "hash-join")
+
+(* ---------------- Empty (dead-branch zero) ---------------- *)
+
+let test_empty_roundtrip_and_eval () =
+  let e = parse "empty(Sailor) union project[sid, sname, rating, age](Sailor)" in
+  (match e with
+  | A.Union (A.Empty (A.Rel "Sailor"), _) -> ()
+  | _ -> Alcotest.fail "empty() should parse to Ast.Empty");
+  Alcotest.(check string) "prints back" "empty(Sailor)"
+    (Diagres_ra.Pretty.ascii (A.Empty (A.Rel "Sailor")));
+  let r = Diagres_ra.Eval.eval db (A.Empty (A.Rel "Sailor")) in
+  Alcotest.(check int) "evaluates to no rows" 0 (D.Relation.cardinality r);
+  Alcotest.(check (list string)) "keeps the carrier schema"
+    [ "sid"; "sname"; "rating"; "age" ]
+    (D.Schema.names (D.Relation.schema r))
+
+let test_optimize_unsat_to_empty () =
+  (* color is a string column; an int literal can never match, so the
+     optimizer must fold the selection to the Empty literal *)
+  let e = parse "select[color = 5](Boat)" in
+  (match Diagres_ra.Optimize.optimize env e with
+  | A.Empty _ -> ()
+  | o -> Alcotest.failf "expected Empty, got %s" (Diagres_ra.Pretty.ascii o));
+  (* and a union against it erases entirely *)
+  match Diagres_ra.Optimize.optimize env (A.Union (e, parse "Boat")) with
+  | A.Rel "Boat" -> ()
+  | o -> Alcotest.failf "expected bare Boat, got %s" (Diagres_ra.Pretty.ascii o)
+
+let test_planned_empty () =
+  Testutil.check_same_rows "planned empty"
+    (Diagres_ra.Eval.eval db (parse "empty(Sailor)"))
+    (eval_planned "empty(Sailor)")
+
 (* ---------------- aggregation (beyond-FOL extension) ---------------- *)
 
 let test_aggregate_count_per_group () =
@@ -270,7 +382,25 @@ let () =
           Alcotest.test_case "pushdown" `Quick test_optimize_pushdown;
           Alcotest.test_case "cascades" `Quick test_optimize_cascades;
           Alcotest.test_case "identity projection" `Quick
-            test_optimize_identity_projection ] );
+            test_optimize_identity_projection;
+          Alcotest.test_case "unsat selection folds to empty" `Quick
+            test_optimize_unsat_to_empty ] );
+      ( "planner",
+        [ Testutil.qtest prop_planned_matches_naive;
+          Testutil.qtest prop_planned_matches_naive_deep;
+          Alcotest.test_case "catalog differential" `Quick test_planned_catalog;
+          Alcotest.test_case "theta join becomes hash join" `Quick
+            test_planner_extracts_hash_join;
+          Alcotest.test_case "pure product stays nested-loop" `Quick
+            test_planner_pure_product_stays_nl;
+          Alcotest.test_case "shared subtree evaluated once" `Quick
+            test_planner_shared_subtree_evaluated_once;
+          Alcotest.test_case "explain shows est and actual" `Quick
+            test_planner_explain_counts ] );
+      ( "empty",
+        [ Alcotest.test_case "parse/print/eval" `Quick
+            test_empty_roundtrip_and_eval;
+          Alcotest.test_case "planned" `Quick test_planned_empty ] );
       ( "aggregate",
         [ Alcotest.test_case "count per group" `Quick
             test_aggregate_count_per_group;

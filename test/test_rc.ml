@@ -256,7 +256,8 @@ let test_ra_rewrite_division () =
   let rec has_div = function
     | Diagres_ra.Ast.Division _ -> true
     | Diagres_ra.Ast.Rel _ -> false
-    | Diagres_ra.Ast.Select (_, x) | Diagres_ra.Ast.Project (_, x)
+    | Diagres_ra.Ast.Empty x | Diagres_ra.Ast.Select (_, x)
+    | Diagres_ra.Ast.Project (_, x)
     | Diagres_ra.Ast.Rename (_, x) -> has_div x
     | Diagres_ra.Ast.Product (a, b) | Diagres_ra.Ast.Join (a, b)
     | Diagres_ra.Ast.Theta_join (_, a, b) | Diagres_ra.Ast.Union (a, b)
