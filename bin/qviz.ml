@@ -139,28 +139,46 @@ let translate_cmd =
 
 (* ---------------- eval ---------------- *)
 
+let domains_arg =
+  let doc =
+    "Number of domains (OCaml worker threads) the parallel physical \
+     operators may use; 1 reproduces the sequential engine exactly.  \
+     Defaults to the DIAGRES_DOMAINS environment variable, else the \
+     machine's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains = Option.iter Diagres_pool.Pool.set_size
+
 let eval_cmd =
   let explain_arg =
     let doc =
       "Print the physical plan chosen by the cost-based planner (operators, \
-       estimated and actual row counts) before the result.  Non-RA queries \
+       estimated and actual row counts), the domain count, and the \
+       plan-cache hit/miss counters before the result.  Non-RA queries \
        are first translated to RA."
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run dbdir lang explain query =
+  let run dbdir lang explain domains query =
     handle_errors @@ fun () ->
+    apply_domains domains;
     let db = load_db dbdir in
     let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
     if explain then begin
       let ra = Diagres.Languages.to_ra (schemas_of db) q in
-      let plan = Diagres_ra.Planner.plan db ra in
-      let result = Diagres_ra.Plan.exec plan in
+      let plan, cached = Diagres_ra.Plan_cache.find_or_plan db ra in
+      let result = Diagres_ra.Plan.run plan in
       (* explain after exec so every operator line shows actual counts *)
       print_string (Diagres_ra.Plan.explain plan);
-      Printf.printf "evaluated %d plan nodes, %d served from the shared-subtree memo\n\n"
+      Printf.printf "evaluated %d plan nodes, %d served from the shared-subtree memo\n"
         (Diagres_ra.Plan.total_evals plan)
         (Diagres_ra.Plan.total_hits plan);
+      let hits, misses = Diagres_ra.Plan_cache.stats () in
+      Printf.printf "domains: %d   plan cache: %s (hits=%d misses=%d)\n\n"
+        (Diagres_pool.Pool.size ())
+        (if cached then "hit" else "miss")
+        hits misses;
       print_string (Diagres_data.Relation.to_string result)
     end
     else
@@ -169,7 +187,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query on the sample sailors database")
-    Term.(const run $ db_arg $ lang_arg $ explain_arg $ query_arg)
+    Term.(const run $ db_arg $ lang_arg $ explain_arg $ domains_arg $ query_arg)
 
 (* ---------------- catalog ---------------- *)
 

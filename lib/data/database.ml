@@ -35,6 +35,22 @@ let active_domain (db : t) =
 let total_tuples (db : t) =
   Smap.fold (fun _ rel n -> n + Relation.cardinality rel) db 0
 
+(** Identity of the database contents: a hash over every relation's name,
+    {!Relation.stamp}, and attribute names.  Two databases share a stamp
+    only when every name is bound to the very same tuple set under the
+    same schema — replacing or renaming any relation changes it, which is
+    what makes it a sound cache key (the plan cache keys on it). *)
+let stamp (db : t) : int =
+  let mix acc n = ((acc * 1_000_003) + n) land max_int in
+  Smap.fold
+    (fun name rel acc ->
+      let acc = mix acc (Hashtbl.hash name) in
+      let acc = mix acc (Relation.stamp rel) in
+      List.fold_left
+        (fun acc (a : Schema.attribute) -> mix acc (Hashtbl.hash a.Schema.name))
+        acc (Relation.schema rel))
+    db 0
+
 let pp ppf (db : t) =
   Smap.iter
     (fun name rel ->

@@ -21,4 +21,9 @@ val schema_of : string -> t -> Schema.t
 val active_domain : t -> Value.t list
 
 val total_tuples : t -> int
+
+(** Identity of the database contents — a hash over (relation name,
+    {!Relation.stamp}, attribute names) triples.  Sound as a cache key:
+    rebinding any name to a rebuilt or renamed relation changes it. *)
+val stamp : t -> int
 val pp : Format.formatter -> t -> unit

@@ -6,7 +6,14 @@
     or a Datalog atom match pays the build cost once and every subsequent
     probe is a hash lookup.  Keys hash with {!Value.hash}, which is
     consistent with {!Value.equal} (notably [Int 2] and [Float 2.] collide,
-    as they must). *)
+    as they must).
+
+    The per-relation cache carries the {e stamp} of the relation it was
+    created for and a mutex: lookups validate the owner (a cache that was
+    copied onto a different tuple set is refused rather than served stale),
+    and the lock makes the lazy build safe to race from several domains —
+    the parallel operators probe indexes concurrently, and whichever domain
+    gets there first builds while the others wait. *)
 
 module Vkey = struct
   type t = Value.t array
@@ -27,13 +34,26 @@ module H = Hashtbl.Make (Vkey)
 
 type t = { positions : int array; table : Tuple.t list H.t }
 
-(** Per-relation cache: one index per distinct key-column set. *)
-type cache = (int list, t) Hashtbl.t
+(** Per-relation cache: one index per distinct key-column set, keyed on the
+    owning relation's stamp and protected by a mutex. *)
+type cache = {
+  owner : int;  (** stamp of the relation this cache was created for *)
+  mutex : Mutex.t;
+  tbl : (int list, t) Hashtbl.t;
+}
 
-let fresh_cache () : cache = Hashtbl.create 4
+let fresh_cache ~owner : cache =
+  { owner; mutex = Mutex.create (); tbl = Hashtbl.create 4 }
+
+let cache_owner (c : cache) = c.owner
 
 (** Key of [tup] at [positions]. *)
 let key positions (tup : Tuple.t) = Array.map (Tuple.get tup) positions
+
+(** Hash of a probe key — exposed so the partitioned parallel hash join can
+    route keys to build partitions with the same function the index buckets
+    hash with. *)
+let hash_key (k : Value.t array) = Vkey.hash k
 
 (** [build positions iter] indexes every tuple produced by [iter] on
     [positions]. *)
@@ -53,5 +73,20 @@ let lookup (ix : t) (k : Value.t array) : Tuple.t list =
 (** Distinct keys in the index (used for statistics and tests). *)
 let cardinal (ix : t) = H.length ix.table
 
-let cache_find (c : cache) positions = Hashtbl.find_opt c positions
-let cache_add (c : cache) positions ix = Hashtbl.replace c positions ix
+(** [cache_get c ~owner positions build]: the cached index for [positions],
+    building (under the cache lock) on first use.  If [owner] does not match
+    the cache's stamp — a cache transplanted onto a rebuilt tuple set — the
+    cache is bypassed and the index built unmemoized, so a stale entry can
+    never be served. *)
+let cache_get (c : cache) ~owner positions (build : unit -> t) : t =
+  if c.owner <> owner then build ()
+  else begin
+    Mutex.lock c.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) @@ fun () ->
+    match Hashtbl.find_opt c.tbl positions with
+    | Some ix -> ix
+    | None ->
+      let ix = build () in
+      Hashtbl.add c.tbl positions ix;
+      ix
+  end

@@ -2,17 +2,28 @@
 
     Built lazily by {!Relation.matching} and cached per relation; a probe
     returns the tuples whose key columns equal the probe key under
-    {!Value.equal}. *)
+    {!Value.equal}.  The cache is stamped with its owning relation's
+    identity and mutex-protected, so concurrent lazy builds from several
+    domains are safe and a transplanted cache is refused instead of served
+    stale. *)
 
 type t
 
 (** Mutable per-relation store of built indexes, keyed by position list. *)
 type cache
 
-val fresh_cache : unit -> cache
+(** A cache for the relation stamped [owner]. *)
+val fresh_cache : owner:int -> cache
+
+(** The stamp the cache was created for. *)
+val cache_owner : cache -> int
 
 (** Key of a tuple at the given positions. *)
 val key : int array -> Tuple.t -> Value.t array
+
+(** Hash of a probe key, consistent with the index's internal bucketing —
+    the routing function of the partitioned parallel hash join. *)
+val hash_key : Value.t array -> int
 
 (** [build positions iter] indexes every tuple produced by [iter]. *)
 val build : int array -> ((Tuple.t -> unit) -> unit) -> t
@@ -25,6 +36,7 @@ val cardinal : t -> int
 
 (**/**)
 
-(* Exposed for Relation's internal cache management. *)
-val cache_find : cache -> int list -> t option
-val cache_add : cache -> int list -> t -> unit
+(* Exposed for Relation's internal cache management: serve the cached index
+   for the positions, building under the cache lock on a miss; bypass the
+   cache entirely (build unmemoized) when [owner] does not match. *)
+val cache_get : cache -> owner:int -> int list -> (unit -> t) -> t

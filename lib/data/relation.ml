@@ -19,21 +19,44 @@ end)
 type t = {
   schema : Schema.t;
   tuples : Tset.t;
+  stamp : int;  (** monotone identity of the tuple set; shared by renames *)
   indexes : Index.cache;
   stats : Stats.cache;
 }
 
-(* The only constructor: every new tuple set gets a fresh (empty) index
-   cache.  Schema-only changes (rename) may share the cache, since indexes
-   and statistics are position-based. *)
+(* Monotone stamp source.  Every distinct tuple set gets a fresh stamp — so
+   a rebuilt relation stored under an old name can never alias its
+   predecessor's caches — while schema-only transformations (rename) keep
+   the stamp: the tuple set is the same and the caches are positional.
+   Atomic, because parallel operators construct relations from worker
+   domains. *)
+let stamp_counter = Atomic.make 0
+
+(* The only constructor: every new tuple set gets a fresh stamp and fresh
+   (empty) index/statistics caches keyed on it. *)
 let make schema tuples =
-  { schema; tuples; indexes = Index.fresh_cache ();
-    stats = Stats.fresh_cache () }
+  let stamp = Atomic.fetch_and_add stamp_counter 1 in
+  { schema; tuples; stamp; indexes = Index.fresh_cache ~owner:stamp;
+    stats = Stats.fresh_cache ~owner:stamp }
 
 let schema r = r.schema
+let stamp r = r.stamp
 let cardinality r = Tset.cardinal r.tuples
 let is_empty r = Tset.is_empty r.tuples
 let tuples r = Tset.elements r.tuples
+
+(** Tuples in sorted order, as an array — the input the morsel-parallel
+    operators chunk over. *)
+let tuples_array r =
+  let n = Tset.cardinal r.tuples in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n (Tset.min_elt r.tuples) in
+    let i = ref 0 in
+    Tset.iter (fun t -> arr.(!i) <- t; incr i) r.tuples;
+    arr
+  end
+
 let mem tup r = Tset.mem tup r.tuples
 
 let empty schema = make schema Tset.empty
@@ -74,16 +97,16 @@ let same_rows a b = Tset.equal a.tuples b.tuples
 
 (* ---------------- secondary indexes ---------------- *)
 
-(** The cached hash index of [r] on [positions]; built on first use. *)
+(** The cached hash index of [r] on [positions]; built on first use, under
+    the cache lock (concurrent probes from several domains are safe). *)
 let index r (positions : int list) : Index.t =
-  match Index.cache_find r.indexes positions with
-  | Some ix -> ix
-  | None ->
-    let ix =
-      Index.build (Array.of_list positions) (fun f -> Tset.iter f r.tuples)
-    in
-    Index.cache_add r.indexes positions ix;
-    ix
+  Index.cache_get r.indexes ~owner:r.stamp positions (fun () ->
+      Index.build (Array.of_list positions) (fun f -> Tset.iter f r.tuples))
+
+(** Force the index on [positions] to exist — called once before a parallel
+    probe phase so the workers race on a read-only structure, never on the
+    lazy build. *)
+let prepare_index r positions = ignore (index r positions : Index.t)
 
 (** [matching r positions key]: tuples whose values at [positions] equal
     [key] (under {!Value.equal}), via the lazily built cached index.  An
@@ -96,17 +119,11 @@ let matching r (positions : int list) (key : Value.t array) : Tuple.t list =
     single-column hash indexes, so a later equi-join on the same column
     reuses the build work. *)
 let stats r : Stats.t =
-  match Stats.cached r.stats with
-  | Some s -> s
-  | None ->
-    let s =
+  Stats.cache_get r.stats ~owner:r.stamp (fun () ->
       { Stats.rows = cardinality r;
         distinct =
           Array.init (Schema.arity r.schema) (fun i ->
-              Index.cardinal (index r [ i ])) }
-    in
-    Stats.fill r.stats s;
-    s
+              Index.cardinal (index r [ i ])) })
 
 let require_compatible op a b =
   if not (Schema.compatible a.schema b.schema) then

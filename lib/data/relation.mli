@@ -8,11 +8,24 @@
 type t
 
 val schema : t -> Schema.t
+
+(** Monotone identity of the tuple set: every constructed relation gets a
+    fresh stamp; schema-only transformations (rename) keep it, since the
+    tuple set — and therefore the positional index/statistics caches — is
+    unchanged.  {!Database.stamp} combines these into the database identity
+    the plan cache keys on, so a rebuilt relation stored under an old name
+    can never serve a stale plan, index, or statistics record. *)
+val stamp : t -> int
+
 val cardinality : t -> int
 val is_empty : t -> bool
 
 (** Tuples in sorted order. *)
 val tuples : t -> Tuple.t list
+
+(** Tuples in sorted order, as a fresh array — what the morsel-parallel
+    physical operators chunk over. *)
+val tuples_array : t -> Tuple.t array
 
 val mem : Tuple.t -> t -> bool
 val empty : Schema.t -> t
@@ -77,6 +90,10 @@ val division : t -> t -> t
     [natural_join], division, Datalog atom matching, and range-restricted
     calculus evaluation. *)
 val matching : t -> int list -> Value.t array -> Tuple.t list
+
+(** Build (and cache) the index on [positions] now, so that a following
+    parallel probe phase races only on a read-only structure. *)
+val prepare_index : t -> int list -> unit
 
 (** Cardinality and per-column distinct counts ({!Stats}), computed lazily
     on first use and cached on the relation like its secondary indexes.

@@ -17,12 +17,30 @@ type t = {
 
 (** Mutable per-relation slot, owned by {!Relation}; filled on first use.
     Schema-only transformations (rename) may share it, since statistics are
-    positional. *)
-type cache = t option ref
+    positional.  Like the index cache it is keyed on the owning relation's
+    stamp — a slot copied onto a different tuple set is refused rather than
+    served stale — and mutex-protected so concurrent first uses from
+    several domains are safe. *)
+type cache = { owner : int; mutex : Mutex.t; mutable slot : t option }
 
-let fresh_cache () : cache = ref None
-let cached (c : cache) = !c
-let fill (c : cache) (s : t) = c := Some s
+let fresh_cache ~owner : cache = { owner; mutex = Mutex.create (); slot = None }
+let cache_owner (c : cache) = c.owner
+
+(** [cache_get c ~owner compute]: the cached statistics, computing (under
+    the cache lock) on first use; computed unmemoized if [owner] does not
+    match the cache's stamp. *)
+let cache_get (c : cache) ~owner (compute : unit -> t) : t =
+  if c.owner <> owner then compute ()
+  else begin
+    Mutex.lock c.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) @@ fun () ->
+    match c.slot with
+    | Some s -> s
+    | None ->
+      let s = compute () in
+      c.slot <- Some s;
+      s
+  end
 
 (** Distinct count of column [i], never below 1 (guards the selectivity
     divisions; an empty relation reports 1, not 0). *)

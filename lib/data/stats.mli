@@ -8,12 +8,16 @@ type t = {
       (** [distinct.(i)] = number of distinct values in column [i] *)
 }
 
-(** Mutable per-relation slot, owned by {!Relation}. *)
+(** Mutable per-relation slot, owned by {!Relation}; stamped with the
+    owning relation's identity and mutex-protected (see {!Index.cache}). *)
 type cache
 
-val fresh_cache : unit -> cache
-val cached : cache -> t option
-val fill : cache -> t -> unit
+val fresh_cache : owner:int -> cache
+val cache_owner : cache -> int
+
+(** Serve the cached record, computing under the lock on first use;
+    computes unmemoized when [owner] does not match the cache's stamp. *)
+val cache_get : cache -> owner:int -> (unit -> t) -> t
 
 (** Distinct count of column [i], clamped to ≥ 1 so selectivity divisions
     are always safe. *)

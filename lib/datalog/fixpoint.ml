@@ -16,6 +16,7 @@
     differential tests and the benchmark baseline. *)
 
 module D = Diagres_data
+module Pool = Diagres_pool.Pool
 
 exception Fixpoint_error of string
 
@@ -184,6 +185,35 @@ let eval_program_naive ?(max_rounds = default_max_rounds) (db : D.Database.t)
       iterate store 0)
     db components
 
+(* ---------------- parallel rule evaluation ---------------- *)
+
+(* One delta round evaluates many independent rule bodies against a frozen
+   store — the natural unit of parallelism for recursive programs.  Each
+   (pred, rule) pair becomes one pool task; results are regrouped per
+   predicate in the original order, so the merged tuple sets are identical
+   to the sequential engine's at any domain count.  The store is an
+   immutable map and the per-relation index caches are mutex-guarded, so
+   concurrent body evaluations are safe. *)
+let eval_rules_parallel (store : D.Database.t)
+    (tasks : (string * Ast.rule) list) : (string * D.Tuple.t list) list =
+  let rows =
+    Pool.parallel_list_map
+      (fun (_, r) -> Eval.eval_rule_tuples store r)
+      tasks
+  in
+  List.map2 (fun (pred, _) rows -> (pred, rows)) tasks rows
+
+(* Regroup flat (pred, rows) results per predicate, in [preds] order. *)
+let group_rows preds (results : (string * D.Tuple.t list) list) :
+    (string * D.Tuple.t list) list =
+  List.map
+    (fun pred ->
+      ( pred,
+        List.concat_map
+          (fun (p, rows) -> if p = pred then rows else [])
+          results ))
+    preds
+
 (* ---------------- semi-naive fixpoint ---------------- *)
 
 (* Reserved name under which the delta of a recursive predicate is exposed
@@ -230,13 +260,18 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
             D.Database.add pred (D.Relation.empty (schema_for arities pred)) st)
           store comp
       in
-      (* round 0: full evaluation of every rule gives the initial deltas *)
+      (* round 0: full evaluation of every rule gives the initial deltas;
+         rule bodies across the whole component run on the domain pool *)
+      let round0 =
+        group_rows comp
+          (eval_rules_parallel store
+             (List.concat_map
+                (fun pred -> List.map (fun r -> (pred, r)) (rules pred))
+                comp))
+      in
       let store, deltas =
         List.fold_left
-          (fun (st, ds) pred ->
-            let rows =
-              List.concat_map (Eval.eval_rule_tuples store) (rules pred)
-            in
+          (fun (st, ds) (pred, rows) ->
             let rel =
               List.fold_left
                 (fun r t -> D.Relation.add t r)
@@ -244,7 +279,7 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
                 rows
             in
             (D.Database.add pred rel st, (pred, rel) :: ds))
-          (store, []) comp
+          (store, []) round0
       in
       let rec iterate store deltas round =
         if List.for_all (fun (_, d) -> D.Relation.is_empty d) deltas then store
@@ -256,10 +291,19 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
               (fun st (pred, d) -> D.Database.add (delta_name pred) d st)
               store deltas
           in
-          (* evaluate only the delta variants; keep the genuinely new tuples *)
+          (* evaluate only the delta variants — every variant of every
+             predicate of the component as one parallel batch against the
+             frozen probe store — then keep the genuinely new tuples *)
+          let round_rows =
+            group_rows (List.map fst variants)
+              (eval_rules_parallel probe_store
+                 (List.concat_map
+                    (fun (pred, vs) -> List.map (fun v -> (pred, v)) vs)
+                    variants))
+          in
           let store', deltas' =
             List.fold_left
-              (fun (st, ds) (pred, vs) ->
+              (fun (st, ds) (pred, rows) ->
                 let full = D.Database.find pred st in
                 let fresh =
                   List.fold_left
@@ -267,13 +311,13 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
                       if D.Relation.mem t full || D.Relation.mem t acc then acc
                       else D.Relation.add t acc)
                     (D.Relation.empty (schema_for arities pred))
-                    (List.concat_map (Eval.eval_rule_tuples probe_store) vs)
+                    rows
                 in
                 let full' =
                   D.Relation.fold (fun t r -> D.Relation.add t r) fresh full
                 in
                 (D.Database.add pred full' st, (pred, fresh) :: ds))
-              (store, []) variants
+              (store, []) round_rows
           in
           iterate store' deltas' (round + 1)
         end

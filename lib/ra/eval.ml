@@ -71,7 +71,14 @@ let rec eval db (e : Ast.t) : D.Relation.t =
 
 (** Evaluate through the cost-based physical planner ({!Planner}): logical
     rewrites, hash equi-joins over the cached indexes, greedy join
-    ordering, compiled predicates, and memoized shared subtrees.  Agrees
-    with the tree-walking {!eval} (property-tested); [eval] remains as the
-    naive reference. *)
-let eval_planned db e = Plan.exec (Planner.plan db e)
+    ordering, compiled predicates, memoized shared subtrees, and — above
+    the morsel threshold — parallel physical operators over the domain
+    pool.  The plan itself is served from the LRU {!Plan_cache} (keyed on
+    the canonicalized AST and the database stamp), so a repeated query
+    skips optimize + plan entirely; {!Plan.run} resets the per-node memos
+    first, making reuse observationally identical to planning afresh.
+    Agrees with the tree-walking {!eval} (property-tested); [eval] remains
+    as the naive reference. *)
+let eval_planned db e =
+  let plan, _cached = Plan_cache.find_or_plan db e in
+  Plan.run plan

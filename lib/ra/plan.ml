@@ -17,9 +17,23 @@
 
     Every node carries its estimated cardinality; after execution the
     actual cardinality is available from the cached result, which is what
-    [qviz --explain] prints as [est=… actual=…]. *)
+    [qviz --explain] prints as [est=… actual=…].
+
+    The hot operators additionally have {b morsel-parallel} execution
+    paths over the shared domain pool ({!Diagres_pool.Pool}): inputs above
+    {!par_threshold} tuples are split into fixed-size chunks evaluated
+    across the pool — filters and projections chunk their input, the hash
+    join runs a partitioned parallel build and a parallel probe, and the
+    set operations chunk the membership side.  Every parallel path merges
+    its per-chunk results through {!D.Relation.of_tuples}, whose sorted-set
+    construction restores the [Relation.tuples] ordering contract, so the
+    result is {e identical} to the sequential path at any domain count
+    (property-tested).  Below the threshold — or with a pool of size 1 —
+    the sequential code runs unchanged and small catalog queries pay no
+    overhead. *)
 
 module D = Diagres_data
+module Pool = Diagres_pool.Pool
 
 (** A compiled predicate with its display string (for explain output). *)
 type pred = { display : string; holds : D.Tuple.t -> bool }
@@ -95,6 +109,40 @@ let mk op schema est est_distinct : t =
   { id = !node_counter; op; schema; est = Float.max 0. est; est_distinct;
     cache = None; evals = 0; hits = 0 }
 
+(* ---------------- parallel execution helpers ---------------- *)
+
+(** Minimum input cardinality before an operator takes its parallel path.
+    Mutable so the differential tests can force the parallel operators on
+    tiny relations; the default keeps small catalog queries sequential. *)
+let par_threshold = ref 2048
+
+(** Morsel size: tuples per chunk handed to a pool worker. *)
+let morsel_size = ref 1024
+
+let parallel_for n = Pool.size () > 1 && n >= !par_threshold
+
+(* Chunk size that keeps every worker busy even on inputs smaller than a
+   full morsel — at least 4 chunks per domain, capped at the morsel size. *)
+let chunk_for len =
+  max 1 (min !morsel_size ((len + (4 * Pool.size ()) - 1) / (4 * Pool.size ())))
+
+(* Per-chunk filter keeping input (= sorted) order. *)
+let chunk_filter holds sub =
+  Array.fold_right (fun t acc -> if holds t then t :: acc else acc) sub []
+
+(* Merge per-chunk tuple lists into a relation; the sorted-set constructor
+   re-establishes the ordering contract whatever order chunks produced. *)
+let merge_chunks schema (chunks : D.Tuple.t list array) : D.Relation.t =
+  D.Relation.of_tuples schema (List.concat (Array.to_list chunks))
+
+(* Number of build partitions for the parallel hash join: a power of two
+   (cheap masking) with enough slack that partition skew leaves no domain
+   idle. *)
+let partition_count () =
+  let target = 2 * Pool.size () in
+  let rec pow2 n = if n >= target then n else pow2 (2 * n) in
+  pow2 1
+
 (* ---------------- execution ---------------- *)
 
 let rec exec (n : t) : D.Relation.t =
@@ -112,14 +160,30 @@ and compute n : D.Relation.t =
   match n.op with
   | Scan (_, r) -> r
   | Empty -> D.Relation.empty n.schema
-  | Filter (p, c) -> D.Relation.filter p.holds (exec c)
+  | Filter (p, c) ->
+    let r = exec c in
+    if not (parallel_for (D.Relation.cardinality r)) then
+      D.Relation.filter p.holds r
+    else
+      let arr = D.Relation.tuples_array r in
+      merge_chunks (D.Relation.schema r)
+        (Pool.parallel_map_chunks ~chunk:!morsel_size (chunk_filter p.holds)
+           arr)
   | Project (idx, c) ->
-    D.Relation.map n.schema (fun t -> Array.map (D.Tuple.get t) idx) (exec c)
+    let r = exec c in
+    let proj t = Array.map (D.Tuple.get t) idx in
+    if not (parallel_for (D.Relation.cardinality r)) then
+      D.Relation.map n.schema proj r
+    else
+      merge_chunks n.schema
+        (Pool.parallel_map_chunks ~chunk:!morsel_size
+           (fun sub -> Array.fold_right (fun t acc -> proj t :: acc) sub [])
+           (D.Relation.tuples_array r))
   | Relabel c ->
     D.Relation.rename_all (D.Schema.names n.schema) (exec c)
   | Hash_join j ->
     let lr = exec j.left and rr = exec j.right in
-    let matches =
+    let probe_all lookup =
       D.Relation.fold
         (fun ta acc ->
           let key = Array.map (D.Tuple.get ta) j.lkey in
@@ -131,15 +195,73 @@ and compute n : D.Relation.t =
               match j.residual with
               | Some p when not (p.holds out) -> acc
               | _ -> out :: acc)
-            acc
-            (D.Relation.matching rr j.rkey key))
+            acc (lookup key))
         lr []
     in
-    D.Relation.of_tuples n.schema matches
+    if not (parallel_for (D.Relation.cardinality lr)) then begin
+      (* sequential probe over the per-relation cached index *)
+      D.Relation.of_tuples n.schema
+        (probe_all (fun key -> D.Relation.matching rr j.rkey key))
+    end
+    else begin
+      let rkey_arr = Array.of_list j.rkey in
+      let lookup =
+        if parallel_for (D.Relation.cardinality rr) then begin
+          (* parallel partitioned build: every partition scans the build
+             side and keeps the tuples whose key hash routes to it, so the
+             partitions build concurrently with no shared table and no
+             merge step *)
+          let nparts = partition_count () in
+          let mask = nparts - 1 in
+          let rarr = D.Relation.tuples_array rr in
+          let parts =
+            Pool.run_all
+              (Array.init nparts (fun pid () ->
+                   D.Index.build rkey_arr (fun f ->
+                       Array.iter
+                         (fun t ->
+                           if
+                             D.Index.hash_key (D.Index.key rkey_arr t)
+                             land mask
+                             = pid
+                           then f t)
+                         rarr)))
+          in
+          fun key ->
+            D.Index.lookup parts.(D.Index.hash_key key land mask) key
+        end
+        else begin
+          (* small build side: build the relation's cached index once, up
+             front, so the probe workers race only on read-only state *)
+          D.Relation.prepare_index rr j.rkey;
+          fun key -> D.Relation.matching rr j.rkey key
+        end
+      in
+      (* parallel probe: each morsel of the left input probes independently *)
+      let probe_chunk sub =
+        Array.fold_right
+          (fun ta acc ->
+            let key = Array.map (D.Tuple.get ta) j.lkey in
+            List.fold_left
+              (fun acc tb ->
+                let out =
+                  D.Tuple.concat ta (Array.map (D.Tuple.get tb) j.right_rest)
+                in
+                match j.residual with
+                | Some p when not (p.holds out) -> acc
+                | _ -> out :: acc)
+              acc (lookup key))
+          sub []
+      in
+      merge_chunks n.schema
+        (Pool.parallel_map_chunks ~chunk:!morsel_size probe_chunk
+           (D.Relation.tuples_array lr))
+    end
   | Nl_join (p, a, b) ->
     let ra = exec a and rb = exec b in
-    let matches =
-      D.Relation.fold
+    let ca = D.Relation.cardinality ra and cb = D.Relation.cardinality rb in
+    let pair_chunk sub =
+      Array.fold_right
         (fun ta acc ->
           D.Relation.fold
             (fun tb acc ->
@@ -148,12 +270,47 @@ and compute n : D.Relation.t =
               | Some p when not (p.holds out) -> acc
               | _ -> out :: acc)
             rb acc)
-        ra []
+        sub []
     in
-    D.Relation.of_tuples n.schema matches
-  | Union (a, b) -> D.Relation.union (exec a) (exec b)
-  | Inter (a, b) -> D.Relation.inter (exec a) (exec b)
-  | Diff (a, b) -> D.Relation.diff (exec a) (exec b)
+    if not (parallel_for (ca * cb)) then
+      D.Relation.of_tuples n.schema (pair_chunk (D.Relation.tuples_array ra))
+    else
+      (* the work is |a|·|b|: chunk the outer side finely enough that even
+         a small outer relation spreads across the pool *)
+      merge_chunks n.schema
+        (Pool.parallel_map_chunks ~chunk:(chunk_for ca) pair_chunk
+           (D.Relation.tuples_array ra))
+  | Union (a, b) ->
+    let ra = exec a and rb = exec b in
+    if not (parallel_for (D.Relation.cardinality rb)) then
+      D.Relation.union ra rb
+    else
+      (* keep a intact; in parallel, find b's genuinely new tuples *)
+      let fresh =
+        Pool.parallel_map_chunks ~chunk:!morsel_size
+          (chunk_filter (fun t -> not (D.Relation.mem t ra)))
+          (D.Relation.tuples_array rb)
+      in
+      D.Relation.of_tuples n.schema
+        (List.concat (D.Relation.tuples ra :: Array.to_list fresh))
+  | Inter (a, b) ->
+    let ra = exec a and rb = exec b in
+    if not (parallel_for (D.Relation.cardinality ra)) then
+      D.Relation.inter ra rb
+    else
+      merge_chunks n.schema
+        (Pool.parallel_map_chunks ~chunk:!morsel_size
+           (chunk_filter (fun t -> D.Relation.mem t rb))
+           (D.Relation.tuples_array ra))
+  | Diff (a, b) ->
+    let ra = exec a and rb = exec b in
+    if not (parallel_for (D.Relation.cardinality ra)) then
+      D.Relation.diff ra rb
+    else
+      merge_chunks n.schema
+        (Pool.parallel_map_chunks ~chunk:!morsel_size
+           (chunk_filter (fun t -> not (D.Relation.mem t rb)))
+           (D.Relation.tuples_array ra))
   | Division (a, b) -> D.Relation.division (exec a) (exec b)
 
 (* ---------------- traversal ---------------- *)
@@ -178,6 +335,26 @@ let fold_unique f (root : t) init =
     end
   in
   go init root
+
+(** Reset every node's result memo and counters.  {!run} calls this before
+    executing, making the per-node caches {e single-evaluation-scoped}: a
+    plan served again from the plan cache re-executes against the current
+    relations instead of leaking the previous call's results.  (After a
+    {!run} the memos are still filled, which is what lets [explain] report
+    actual row counts.) *)
+let reset_caches root =
+  fold_unique
+    (fun n () ->
+      n.cache <- None;
+      n.evals <- 0;
+      n.hits <- 0)
+    root ()
+
+(** Execute a (possibly cached, possibly previously executed) plan from a
+    clean slate — the entry point {!Eval.eval_planned} uses. *)
+let run root =
+  reset_caches root;
+  exec root
 
 (* ---------------- explain ---------------- *)
 

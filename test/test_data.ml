@@ -275,6 +275,43 @@ let test_stats_distinct_clamped () =
   Alcotest.(check int) "raw distinct 0" 0 s.D.Stats.distinct.(0);
   Alcotest.(check int) "clamped distinct 1" 1 (D.Stats.distinct_col s 0)
 
+(* ---------------- stamps ---------------- *)
+
+let test_relation_stamps () =
+  let r = D.Sample_db.boats in
+  Alcotest.(check int) "stamp is stable" (D.Relation.stamp r)
+    (D.Relation.stamp r);
+  (* a rebuilt relation is a distinct tuple set, even from the same rows *)
+  let rebuilt = D.Relation.of_tuples (D.Relation.schema r) (D.Relation.tuples r) in
+  Alcotest.(check bool) "rebuild gets a fresh stamp" true
+    (D.Relation.stamp rebuilt <> D.Relation.stamp r);
+  (* rename shares the physical tuple set (and its positional caches), so
+     it keeps the stamp *)
+  Alcotest.(check int) "rename keeps the stamp" (D.Relation.stamp r)
+    (D.Relation.stamp (D.Relation.rename "color" "paint" r))
+
+let test_database_stamp () =
+  let s = D.Database.stamp D.Sample_db.db in
+  Alcotest.(check int) "deterministic" s (D.Database.stamp D.Sample_db.db);
+  (* rebinding a name to a rebuilt relation changes the stamp *)
+  let swap name f =
+    D.Database.of_list
+      (List.map
+         (fun (n, r) -> if n = name then (n, f r) else (n, r))
+         (D.Database.relations D.Sample_db.db))
+  in
+  let rebuilt =
+    swap "Boat" (fun r ->
+        D.Relation.of_tuples (D.Relation.schema r) (D.Relation.tuples r))
+  in
+  Alcotest.(check bool) "rebuilt relation changes it" true
+    (D.Database.stamp rebuilt <> s);
+  (* a renamed attribute shares the tuple set but not the visible schema:
+     the stamp must still change (plan reuse would be unsound) *)
+  let renamed = swap "Boat" (D.Relation.rename "color" "paint") in
+  Alcotest.(check bool) "renamed attribute changes it" true
+    (D.Database.stamp renamed <> s)
+
 (* ---------------- CSV ---------------- *)
 
 let test_csv_roundtrip () =
@@ -376,6 +413,9 @@ let () =
             test_stats_cached_and_shared;
           Alcotest.test_case "empty relation clamped" `Quick
             test_stats_distinct_clamped ] );
+      ( "stamps",
+        [ Alcotest.test_case "relation" `Quick test_relation_stamps;
+          Alcotest.test_case "database" `Quick test_database_stamp ] );
       ( "csv",
         [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "quoting" `Quick test_csv_quoting;

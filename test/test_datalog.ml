@@ -279,6 +279,56 @@ let prop_semi_naive_equals_naive =
             (Diagres_datalog.Fixpoint.query_naive gdb p ~goal))
         [ "path"; "unreach" ])
 
+(* the parallel delta step: the pooled semi-naive engine at 1, 2, and 4
+   domains agrees with itself at 1 domain and with the naive reference, on
+   recursion + stratified negation over random graphs.  [set_size] swaps
+   the worker pool in and out between counts. *)
+let prop_parallel_fixpoint_deterministic =
+  QCheck.Test.make
+    ~name:"parallel semi-naive = naive at 1/2/4 domains (TC + negation)"
+    ~count:25 QCheck.small_int
+    (fun seed ->
+      let rand = Random.State.make [| seed |] in
+      let n = 4 + Random.State.int rand 5 in
+      let edges =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if i <> j && Random.State.int rand 3 = 0 then Some (i, j)
+                else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      in
+      let edges = if edges = [] then [ (0, 1) ] else edges in
+      let schema = D.Schema.make [ ("src", D.Value.Tint); ("dst", D.Value.Tint) ] in
+      let gdb =
+        D.Database.of_list
+          [ ( "Edge",
+              D.Relation.of_lists schema
+                (List.map (fun (a, b) -> [ D.Value.Int a; D.Value.Int b ]) edges)
+            ) ]
+      in
+      let src =
+        tc_src
+        ^ "\nnode(X) :- Edge(X, Y).\nnode(Y) :- Edge(X, Y).\n\
+           unreach(X, Y) :- node(X), node(Y), not path(X, Y)."
+      in
+      let p = parse src in
+      let module Pool = Diagres_pool.Pool in
+      let old = Pool.size () in
+      Fun.protect ~finally:(fun () -> Pool.set_size old) @@ fun () ->
+      List.for_all
+        (fun goal ->
+          let naive = Diagres_datalog.Fixpoint.query_naive gdb p ~goal in
+          List.for_all
+            (fun domains ->
+              Pool.set_size domains;
+              D.Relation.same_rows naive
+                (Diagres_datalog.Fixpoint.query gdb p ~goal))
+            [ 1; 2; 4 ])
+        [ "path"; "unreach" ])
+
 (* every catalog Datalog program: semi-naive = naive = one-pass engine, on
    the sample db and on random instances *)
 let test_fixpoint_catalog_differential () =
@@ -385,5 +435,6 @@ let () =
           Alcotest.test_case "catalog differential" `Quick
             test_fixpoint_catalog_differential;
           Testutil.qtest prop_semi_naive_equals_naive;
+          Testutil.qtest prop_parallel_fixpoint_deterministic;
           Testutil.qtest prop_fixpoint_closure_correct ] );
     ]

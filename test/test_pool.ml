@@ -1,0 +1,143 @@
+(* The domain pool: sizing, batch semantics, exception propagation, and
+   the two array primitives the parallel operators are built from.  Every
+   test runs the interesting cases at pool size 1 (inline) and > 1
+   (worker domains + helping submitter). *)
+
+module Pool = Diagres_pool.Pool
+
+let with_size n f =
+  let old = Pool.size () in
+  Pool.set_size n;
+  Fun.protect ~finally:(fun () -> Pool.set_size old) f
+
+let test_set_size () =
+  with_size 3 (fun () -> Alcotest.(check int) "resized" 3 (Pool.size ()));
+  (match Pool.set_size 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "set_size 0 must be rejected");
+  Alcotest.(check bool) "size stays >= 1" true (Pool.size () >= 1)
+
+let test_run_all_order () =
+  List.iter
+    (fun size ->
+      with_size size (fun () ->
+          let results =
+            Pool.run_all (Array.init 37 (fun i () -> i * i))
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "results in task order (size %d)" size)
+            (Array.init 37 (fun i -> i * i))
+            results))
+    [ 1; 2; 4 ]
+
+let test_run_all_empty () =
+  with_size 2 (fun () ->
+      Alcotest.(check (array int)) "empty batch" [||] (Pool.run_all [||]))
+
+exception Boom of int
+
+let test_exceptions_propagate () =
+  List.iter
+    (fun size ->
+      with_size size (fun () ->
+          let completed = Atomic.make 0 in
+          let tasks =
+            Array.init 16 (fun i () ->
+                if i = 5 || i = 11 then raise (Boom i)
+                else begin
+                  Atomic.incr completed;
+                  i
+                end)
+          in
+          (match Pool.run_all tasks with
+          | _ -> Alcotest.fail "expected the task's exception"
+          | exception Boom i ->
+            (* the first failure by task index is the one re-raised *)
+            Alcotest.(check int)
+              (Printf.sprintf "first failure wins (size %d)" size)
+              5 i);
+          (* one task failing never prevents the others from completing *)
+          Alcotest.(check int)
+            (Printf.sprintf "other tasks completed (size %d)" size)
+            14 (Atomic.get completed)))
+    [ 1; 4 ]
+
+let test_usable_after_failure () =
+  with_size 4 (fun () ->
+      (try ignore (Pool.run_all [| (fun () -> raise Exit); (fun () -> 1) |])
+       with Exit -> ());
+      Alcotest.(check (array int)) "pool still works" [| 0; 1; 2 |]
+        (Pool.run_all (Array.init 3 (fun i () -> i))))
+
+let test_map_chunks_matches_sequential () =
+  let arr = Array.init 1000 (fun i -> (i * 37) mod 101) in
+  let expected = Array.map succ arr in
+  List.iter
+    (fun size ->
+      with_size size (fun () ->
+          List.iter
+            (fun chunk ->
+              let chunks =
+                Pool.parallel_map_chunks ~chunk (Array.map succ) arr
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "size %d chunk %d" size chunk)
+                expected
+                (Array.concat (Array.to_list chunks)))
+            [ 1; 7; 128; 5000 ]))
+    [ 1; 2; 4 ]
+
+let test_fold_deterministic () =
+  let arr = Array.init 5000 (fun i -> i) in
+  let expected = 5000 * 4999 / 2 in
+  List.iter
+    (fun size ->
+      with_size size (fun () ->
+          Alcotest.(check int)
+            (Printf.sprintf "sum at size %d" size)
+            expected
+            (Pool.parallel_fold ~chunk:64
+               ~map:(Array.fold_left ( + ) 0)
+               ~merge:( + ) ~init:0 arr)))
+    [ 1; 3 ]
+
+let test_nested_parallel_no_deadlock () =
+  (* a parallel call inside a pool task: the helping scheduler must drain
+     the inner batch instead of deadlocking every worker on the outer one *)
+  with_size 2 (fun () ->
+      let inner i =
+        Pool.parallel_fold ~chunk:16 ~map:(Array.fold_left ( + ) 0)
+          ~merge:( + ) ~init:0
+          (Array.init 100 (fun j -> i + j))
+      in
+      let outer = Pool.run_all (Array.init 8 (fun i () -> inner i)) in
+      Alcotest.(check (array int)) "nested results"
+        (Array.init 8 (fun i -> (100 * i) + (100 * 99 / 2)))
+        outer)
+
+let test_list_map () =
+  with_size 4 (fun () ->
+      Alcotest.(check (list int)) "list map order" [ 2; 4; 6; 8; 10 ]
+        (Pool.parallel_list_map (fun x -> 2 * x) [ 1; 2; 3; 4; 5 ]))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "sizing",
+        [ Alcotest.test_case "set_size" `Quick test_set_size ] );
+      ( "run_all",
+        [ Alcotest.test_case "order" `Quick test_run_all_order;
+          Alcotest.test_case "empty" `Quick test_run_all_empty;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exceptions_propagate;
+          Alcotest.test_case "usable after failure" `Quick
+            test_usable_after_failure;
+          Alcotest.test_case "nested calls don't deadlock" `Quick
+            test_nested_parallel_no_deadlock ] );
+      ( "primitives",
+        [ Alcotest.test_case "map_chunks = sequential" `Quick
+            test_map_chunks_matches_sequential;
+          Alcotest.test_case "fold deterministic" `Quick
+            test_fold_deterministic;
+          Alcotest.test_case "list map" `Quick test_list_map ] );
+    ]

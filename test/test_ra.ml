@@ -339,6 +339,165 @@ let test_aggregate_errors () =
   | exception Agg.Aggregate_error _ -> ()
   | _ -> Alcotest.fail "empty spec must fail"
 
+(* ---------------- parallel execution ---------------- *)
+
+module Pool = Diagres_pool.Pool
+
+(* Run [f] with the pool at [domains] and every parallel operator forced on
+   ([par_threshold = 0] routes even the sample db's relations through the
+   morsel-parallel paths, with small morsels so several chunks exist). *)
+let forcing_parallel domains f =
+  let old_size = Pool.size () in
+  let old_thr = !Plan.par_threshold and old_morsel = !Plan.morsel_size in
+  Pool.set_size domains;
+  Plan.par_threshold := 0;
+  Plan.morsel_size := 3;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_size old_size;
+      Plan.par_threshold := old_thr;
+      Plan.morsel_size := old_morsel)
+    f
+
+(* The tentpole differential: parallel ≡ sequential ≡ naive over random
+   well-typed RA, at 1, 2, and 4 domains.  250 queries × 3 domain counts =
+   750 differential runs, each against both reference engines. *)
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel eval = sequential = naive (1/2/4 domains)"
+    ~count:250
+    (Testutil.arbitrary_ra ())
+    (fun e ->
+      let naive = Diagres_ra.Eval.eval db e in
+      let sequential = Diagres_ra.Eval.eval_planned db e in
+      D.Relation.same_rows naive sequential
+      && List.for_all
+           (fun domains ->
+             forcing_parallel domains (fun () ->
+                 let r = Plan.run (Planner.plan db e) in
+                 D.Relation.same_rows naive r))
+           [ 1; 2; 4 ])
+
+let prop_parallel_matches_sequential_deep =
+  QCheck.Test.make ~name:"parallel eval = naive (deeper trees, 3 domains)"
+    ~count:80
+    (Testutil.arbitrary_ra ~fuel:4 ())
+    (fun e ->
+      let naive = Diagres_ra.Eval.eval db e in
+      forcing_parallel 3 (fun () ->
+          D.Relation.same_rows naive (Plan.run (Planner.plan db e))))
+
+let test_parallel_catalog_larger_dbs () =
+  (* the five tutorial queries on generated instances big enough for real
+     multi-morsel partitioned joins *)
+  let dbi =
+    D.Generator.sailors_db ~n_sailors:400 ~n_boats:40 ~n_reserves:800 99
+  in
+  List.iter
+    (fun entry ->
+      let e = Diagres.Catalog.parsed_ra entry in
+      let reference = Diagres_ra.Eval.eval dbi e in
+      List.iter
+        (fun domains ->
+          forcing_parallel domains (fun () ->
+              Plan.morsel_size := 64;
+              Testutil.check_same_rows
+                (Printf.sprintf "parallel %s at %d domains"
+                   entry.Diagres.Catalog.id domains)
+                reference
+                (Plan.run (Planner.plan dbi e))))
+        [ 2; 4 ])
+    Diagres.Catalog.all
+
+(* ---------------- plan cache ---------------- *)
+
+module Plan_cache = Diagres_ra.Plan_cache
+
+let with_fresh_cache f =
+  Plan_cache.clear ();
+  Plan_cache.reset_stats ();
+  Fun.protect
+    ~finally:(fun () ->
+      Plan_cache.clear ();
+      Plan_cache.reset_stats ();
+      Plan_cache.set_capacity 256)
+    f
+
+let test_plan_cache_hit_miss () =
+  with_fresh_cache (fun () ->
+      let e = parse "project[sid](select[rating = 10](Sailor))" in
+      let _, c1 = Plan_cache.find_or_plan db e in
+      let _, c2 = Plan_cache.find_or_plan db e in
+      Alcotest.(check bool) "first is a miss" false c1;
+      Alcotest.(check bool) "second is a hit" true c2;
+      Alcotest.(check (pair int int)) "counters" (1, 1) (Plan_cache.stats ());
+      (* the cached plan still evaluates from a clean slate *)
+      let p, _ = Plan_cache.find_or_plan db e in
+      let r1 = Plan.run p in
+      let r2 = Plan.run p in
+      Testutil.check_same_rows "re-run is stable" r1 r2)
+
+let test_plan_cache_canonicalization () =
+  with_fresh_cache (fun () ->
+      (* σ[10 = rating] and σ[rating = 10]: one entry via cmp_flip *)
+      let flipped =
+        A.Select
+          ( A.Cmp (Diagres_logic.Fol.Eq, A.Const (D.Value.Int 10), A.Attr "rating"),
+            A.Rel "Sailor" )
+      in
+      let straight =
+        A.Select
+          ( A.Cmp (Diagres_logic.Fol.Eq, A.Attr "rating", A.Const (D.Value.Int 10)),
+            A.Rel "Sailor" )
+      in
+      let _, c1 = Plan_cache.find_or_plan db flipped in
+      let _, c2 = Plan_cache.find_or_plan db straight in
+      Alcotest.(check bool) "flipped comparison shares the entry" true
+        (not c1 && c2);
+      (* and the commuted conjunction too *)
+      let conj a b = A.Select (A.And (a, b), A.Rel "Sailor") in
+      let p1 = A.Cmp (Diagres_logic.Fol.Gt, A.Attr "rating", A.Const (D.Value.Int 5)) in
+      let p2 = A.Cmp (Diagres_logic.Fol.Lt, A.Attr "sid", A.Const (D.Value.Int 40)) in
+      let _, c3 = Plan_cache.find_or_plan db (conj p1 p2) in
+      let _, c4 = Plan_cache.find_or_plan db (conj p2 p1) in
+      Alcotest.(check bool) "commuted conjunction shares the entry" true
+        (not c3 && c4))
+
+let test_plan_cache_stamp_invalidation () =
+  with_fresh_cache (fun () ->
+      let e = parse "select[rating > 7](Sailor)" in
+      let _, c1 = Plan_cache.find_or_plan db e in
+      (* the same schema under the same names, but a rebuilt relation:
+         the database stamp changes, so reuse would be unsound *)
+      let db2 =
+        D.Database.of_list
+          (List.map
+             (fun (n, r) ->
+               (n, D.Relation.of_tuples (D.Relation.schema r) (D.Relation.tuples r)))
+             (D.Database.relations db))
+      in
+      let _, c2 = Plan_cache.find_or_plan db2 e in
+      let _, c3 = Plan_cache.find_or_plan db e in
+      Alcotest.(check bool) "rebuilt database misses" false (c1 || c2);
+      Alcotest.(check bool) "original still cached" true c3)
+
+let test_plan_cache_lru_eviction () =
+  with_fresh_cache (fun () ->
+      Plan_cache.set_capacity 2;
+      let q n = parse (Printf.sprintf "select[rating = %d](Sailor)" n) in
+      ignore (Plan_cache.find_or_plan db (q 1));
+      ignore (Plan_cache.find_or_plan db (q 2));
+      ignore (Plan_cache.find_or_plan db (q 1));  (* touch 1: now 2 is LRU *)
+      ignore (Plan_cache.find_or_plan db (q 3));  (* evicts 2 *)
+      Alcotest.(check int) "capacity respected" 2 (Plan_cache.length ());
+      let _, hit1 = Plan_cache.find_or_plan db (q 1) in
+      Alcotest.(check bool) "recently-used entry survives" true hit1;
+      (* q2 was evicted; looking it up is a miss that now evicts q3 *)
+      let _, hit2 = Plan_cache.find_or_plan db (q 2) in
+      Alcotest.(check bool) "least-recently-used entry evicted" false hit2;
+      (* shrinking the capacity evicts immediately *)
+      Plan_cache.set_capacity 1;
+      Alcotest.(check int) "shrink evicts" 1 (Plan_cache.length ()))
+
 (* ---------------- pretty / tree ---------------- *)
 
 let test_unicode_pretty () =
@@ -397,6 +556,20 @@ let () =
             test_planner_shared_subtree_evaluated_once;
           Alcotest.test_case "explain shows est and actual" `Quick
             test_planner_explain_counts ] );
+      ( "parallel",
+        [ Testutil.qtest prop_parallel_matches_sequential;
+          Testutil.qtest prop_parallel_matches_sequential_deep;
+          Alcotest.test_case "catalog on larger instances" `Quick
+            test_parallel_catalog_larger_dbs ] );
+      ( "plan cache",
+        [ Alcotest.test_case "hit/miss counters" `Quick
+            test_plan_cache_hit_miss;
+          Alcotest.test_case "canonicalization" `Quick
+            test_plan_cache_canonicalization;
+          Alcotest.test_case "stamp invalidation" `Quick
+            test_plan_cache_stamp_invalidation;
+          Alcotest.test_case "LRU eviction" `Quick
+            test_plan_cache_lru_eviction ] );
       ( "empty",
         [ Alcotest.test_case "parse/print/eval" `Quick
             test_empty_roundtrip_and_eval;
