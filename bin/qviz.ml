@@ -34,21 +34,21 @@ let query_arg =
   let doc = "The query text (in the chosen language's concrete syntax)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
 
-let handle_errors f =
-  try f () with
-  | Diagres.Languages.Parse_failed (lang, msg) ->
-    Printf.eprintf "parse error (%s): %s\n" (Diagres.Languages.name lang) msg;
-    exit 1
-  | Diagres.Pipeline.Pipeline_error msg
-  | Diagres_rc.Trc.Type_error msg
-  | Diagres_rc.Drc.Type_error msg
-  | Diagres_diagrams.Trc_scene.Disjunction msg
-  | Failure msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
-  | Invalid_argument msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+(* Outermost error net: every failure — user-triggerable or internal — is
+   rendered as a structured diagnostic (code, caret excerpt over the query
+   text when located, did-you-mean hints) and mapped to a per-phase exit
+   code: resolve 1, parse 2, type/safety 3, data 4, eval 5, internal 70. *)
+let handle_errors ?src f =
+  match Diagres.Errors.capture_all f with
+  | Ok x -> x
+  | Error d ->
+    let d =
+      match src with
+      | Some text -> Diagres_diag.Diag.with_source ~text d
+      | None -> d
+    in
+    prerr_string (Diagres_diag.Diag.render d);
+    exit (Diagres_diag.Diag.exit_code d)
 
 (* ---------------- show ---------------- *)
 
@@ -65,7 +65,7 @@ let show_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "svg" ] ~docv:"PATH" ~doc)
   in
   let run dbdir lang formalism svg query =
-    handle_errors @@ fun () ->
+    handle_errors ~src:query @@ fun () ->
     let db = load_db dbdir in
     let q, r, verified = Diagres.Pipeline.run db lang query formalism in
     List.iteri
@@ -103,35 +103,11 @@ let translate_cmd =
     Arg.(value & opt string "trc" & info [ "t"; "to" ] ~docv:"LANG" ~doc)
   in
   let run dbdir lang target query =
-    handle_errors @@ fun () ->
+    handle_errors ~src:query @@ fun () ->
     let db = load_db dbdir in
-    let schemas = schemas_of db in
     let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
-    match Diagres.Languages.of_name target with
-    | Diagres.Languages.Ra ->
-      print_endline (Diagres_ra.Pretty.ascii (Diagres.Languages.to_ra schemas q));
-      print_endline "-- optimized --";
-      print_endline
-        (Diagres_ra.Pretty.unicode
-           (Diagres_ra.Optimize.optimize_db db (Diagres.Languages.to_ra schemas q)))
-    | Diagres.Languages.Trc ->
-      List.iteri
-        (fun i t ->
-          if i > 0 then print_endline "UNION";
-          print_endline (Diagres_rc.Trc.to_string t))
-        (Diagres.Languages.to_trc_panels schemas q)
-    | Diagres.Languages.Drc ->
-      List.iteri
-        (fun i t ->
-          if i > 0 then print_endline "UNION";
-          print_endline
-            (Diagres_rc.Drc.to_string (Diagres_rc.Translate.trc_to_drc schemas t)))
-        (Diagres.Languages.to_trc_panels schemas q)
-    | Diagres.Languages.Sql ->
-      print_endline
-        (Diagres_sql.Pretty.to_string (Diagres.Languages.to_sql schemas q))
-    | Diagres.Languages.Datalog ->
-      failwith "can only translate to sql, ra, trc, or drc"
+    print_endline
+      (Diagres.Pipeline.translate_text db q (Diagres.Languages.of_name target))
   in
   Cmd.v
     (Cmd.info "translate" ~doc:"Translate a query between languages")
@@ -161,7 +137,7 @@ let eval_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
   let run dbdir lang explain domains query =
-    handle_errors @@ fun () ->
+    handle_errors ~src:query @@ fun () ->
     apply_domains domains;
     let db = load_db dbdir in
     let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
@@ -220,11 +196,13 @@ let survey_cmd =
 
 let principles_cmd =
   let run dbdir lang query =
-    handle_errors @@ fun () ->
+    handle_errors ~src:query @@ fun () ->
     let schemas = schemas_of (load_db dbdir) in
     let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
     match Diagres.Languages.to_trc_panels schemas q with
-    | [] -> failwith "no panels"
+    | [] ->
+      Diagres_diag.Diag.error ~code:"E-VIZ-004" ~phase:Diagres_diag.Diag.Type
+        "query produced no TRC panels"
     | panel :: _ as panels ->
       if List.length panels > 1 then
         Printf.printf "(%d panels; checking the first)\n" (List.length panels);

@@ -1,0 +1,249 @@
+(** Structured, source-located diagnostics — the error currency of the
+    whole system.
+
+    Every user-triggerable failure (parse error, unresolved name, type
+    mismatch, malformed CSV, unsafe query, evaluation error) is reported as
+    a {!t}: a stable error code such as [E-SQL-RESOLVE-001], a pipeline
+    {!phase} that determines the process exit code, a severity, a message,
+    optional fix-it hints ("did you mean ...?"), and — when the failing
+    source text is known — a byte span rendered as a caret excerpt.
+
+    The module is deliberately dependency-free so that every layer of the
+    system (data, parsers, frontends, CLI) can raise and inspect the same
+    type.  Deep layers that do not hold the source text record a [needle]
+    (the offending lexeme); the top of the pipeline attaches the source with
+    {!with_source}, which locates the needle to produce the caret. *)
+
+type severity = Error | Warning | Note
+
+(** Pipeline stage at which the diagnostic arose.  The CLI maps phases to
+    distinct exit codes, so scripts can tell a parse error from a type
+    error without scraping messages. *)
+type phase =
+  | Parse      (** lexing / parsing of any of the five languages *)
+  | Resolve    (** unknown or ambiguous names (tables, columns, predicates) *)
+  | Type       (** arity, schema, and operand-type errors *)
+  | Safety     (** range-restriction / safety violations *)
+  | Data       (** CSV / schema loading errors *)
+  | Eval       (** runtime evaluation errors *)
+  | Internal   (** a bug in this library — never a user error *)
+
+(** Half-open byte range [start, stop) into the source text. *)
+type span = { start : int; stop : int }
+
+type t = {
+  code : string;            (** stable, grep-able: [E-SQL-RESOLVE-001] *)
+  phase : phase;
+  severity : severity;
+  message : string;
+  hints : string list;      (** rendered as [help:] lines *)
+  src_name : string;        (** what the source is: ["<query>"], a filename *)
+  source : string option;   (** the full source text, when known *)
+  span : span option;       (** location inside [source] *)
+  needle : string option;   (** offending lexeme, for late span recovery *)
+}
+
+exception Error of t
+
+let make ?(severity : severity = Error) ?(hints = []) ?(src_name = "<query>")
+    ?source ?span ?needle ~code ~phase message =
+  { code; phase; severity; message; hints; src_name; source; span; needle }
+
+(** [error ~code ~phase fmt] builds the diagnostic and raises {!Error}. *)
+let error ?severity ?hints ?src_name ?source ?span ?needle ~code ~phase fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Error
+           (make ?severity ?hints ?src_name ?source ?span ?needle ~code
+              ~phase message)))
+    fmt
+
+let severity_name (s : severity) =
+  match s with
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let phase_name = function
+  | Parse -> "parse"
+  | Resolve -> "resolve"
+  | Type -> "type"
+  | Safety -> "safety"
+  | Data -> "data"
+  | Eval -> "eval"
+  | Internal -> "internal"
+
+(** Distinct process exit codes per phase (documented in DESIGN.md):
+    resolve errors exit 1, parse errors 2, type/safety errors 3, data
+    loading errors 4, evaluation errors 5.  Internal errors use 70
+    (EX_SOFTWARE) — reaching it from user input is a bug. *)
+let exit_code d =
+  match d.phase with
+  | Resolve -> 1
+  | Parse -> 2
+  | Type | Safety -> 3
+  | Data -> 4
+  | Eval -> 5
+  | Internal -> 70
+
+(* ------------------------------------------------------------------ *)
+(* Did-you-mean suggestions.                                            *)
+
+(** Levenshtein edit distance, case-insensitive (names in the five
+    languages differ in case conventions). *)
+let edit_distance a b =
+  let a = String.lowercase_ascii a and b = String.lowercase_ascii b in
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <-
+          min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+(** Closest candidate within an edit-distance budget scaled to the name's
+    length (1 for short names, up to 3 for long ones). *)
+let suggest ~candidates name =
+  let budget = max 1 (min 3 (String.length name / 3)) in
+  let best =
+    List.fold_left
+      (fun best c ->
+        let d = edit_distance name c in
+        match best with
+        | Some (_, d') when d' <= d -> best
+        | _ when d <= budget && c <> name -> Some (c, d)
+        | _ -> best)
+      None candidates
+  in
+  Option.map fst best
+
+(** A ready-made [help:] hint, or no hint when nothing is close. *)
+let did_you_mean ~candidates name =
+  match suggest ~candidates name with
+  | Some c -> [ Printf.sprintf "did you mean %S?" c ]
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Span recovery and rendering.                                         *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* Find [needle] in [text] at a token boundary (so locating "id" does not
+   hit "sid"); fall back to a plain substring search. *)
+let locate_needle text needle =
+  let n = String.length text and k = String.length needle in
+  if k = 0 || k > n then None
+  else begin
+    let matches_at i =
+      String.sub text i k = needle
+      && ((not (is_word_char needle.[0]))
+         || i = 0
+         || not (is_word_char text.[i - 1]))
+      && ((not (is_word_char needle.[k - 1]))
+         || i + k = n
+         || not (is_word_char text.[i + k]))
+    in
+    let rec go i = if i + k > n then None else if matches_at i then Some i else go (i + 1) in
+    let rec weak i =
+      if i + k > n then None
+      else if String.sub text i k = needle then Some i
+      else weak (i + 1)
+    in
+    match go 0 with
+    | Some i -> Some { start = i; stop = i + k }
+    | None -> Option.map (fun i -> { start = i; stop = i + k }) (weak 0)
+  end
+
+(** Attach source text (and a name for it) to a diagnostic that was raised
+    deep in the pipeline: fills in the caret span from the recorded needle
+    when no explicit span exists.  Existing source/span are kept. *)
+let with_source ?(src_name = "<query>") ~text d =
+  match d.source with
+  | Some _ -> d
+  | None ->
+    let span =
+      match d.span with
+      | Some _ as s -> s
+      | None -> Option.bind d.needle (locate_needle text)
+    in
+    { d with source = Some text; span; src_name }
+
+(* line number (1-based), column (1-based), and the line's text around a
+   byte offset *)
+let line_of text off =
+  let n = String.length text in
+  let off = max 0 (min off n) in
+  let rec line_start i = if i <= 0 || text.[i - 1] = '\n' then i else line_start (i - 1) in
+  let rec line_end i = if i >= n || text.[i] = '\n' then i else line_end (i + 1) in
+  let s = line_start off and e = line_end off in
+  let lineno = ref 1 in
+  String.iteri (fun i c -> if i < s && c = '\n' then incr lineno) text;
+  (!lineno, off - s + 1, String.sub text s (e - s), s)
+
+(** Render a diagnostic as a terminal-friendly excerpt:
+
+    {v
+    error[E-SQL-RESOLVE-001]: unknown table "Sailors"
+      --> <query>:1:22
+       |
+     1 | SELECT * FROM Sailors S
+       |               ^^^^^^^
+      help: did you mean "Sailor"?
+    v} *)
+let render d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s[%s]: %s\n" (severity_name d.severity) d.code d.message);
+  (match (d.source, d.span) with
+  | Some text, Some span ->
+    let lineno, col, line, line_start = line_of text span.start in
+    let gutter = String.length (string_of_int lineno) in
+    let pad = String.make gutter ' ' in
+    Buffer.add_string buf
+      (Printf.sprintf "%s--> %s:%d:%d\n" pad d.src_name lineno col);
+    Buffer.add_string buf (Printf.sprintf "%s |\n" pad);
+    Buffer.add_string buf (Printf.sprintf "%d | %s\n" lineno line);
+    let within = max 1 (min (span.stop - span.start) (String.length line - (span.start - line_start))) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s | %s%s\n" pad
+         (String.make (span.start - line_start) ' ')
+         (String.make within '^'))
+  | Some _, None | None, _ ->
+    if d.src_name <> "<query>" then
+      Buffer.add_string buf (Printf.sprintf " --> %s\n" d.src_name));
+  List.iter
+    (fun h -> Buffer.add_string buf (Printf.sprintf " help: %s\n" h))
+    d.hints;
+  Buffer.contents buf
+
+let to_string d = Printf.sprintf "%s[%s]: %s" (severity_name d.severity) d.code d.message
+
+let pp ppf d = Format.pp_print_string ppf (render d)
+
+(* ------------------------------------------------------------------ *)
+(* Result-based API.                                                    *)
+
+(** Run [f], turning a raised diagnostic into [Error d].  Non-diagnostic
+    exceptions pass through; {!Diagres.Errors.capture} (which can see every
+    library's legacy exception types) converts those too. *)
+let capture f : ('a, t) result =
+  match f () with
+  | x -> Stdlib.Ok x
+  | exception Error d -> Stdlib.Error d
+
+let get_ok = function
+  | Stdlib.Ok x -> x
+  | Stdlib.Error d -> raise (Error d)

@@ -11,6 +11,8 @@ let name = function
   | Drc -> "DRC"
   | Datalog -> "Datalog"
 
+module Diag = Diagres_diag.Diag
+
 let of_name s =
   match String.lowercase_ascii s with
   | "sql" -> Sql
@@ -18,7 +20,13 @@ let of_name s =
   | "trc" -> Trc
   | "drc" -> Drc
   | "datalog" -> Datalog
-  | _ -> invalid_arg ("unknown language: " ^ s)
+  | _ ->
+    Diag.error ~code:"E-CLI-LANG-001" ~phase:Diag.Resolve ~needle:s
+      ~hints:
+        (Diag.did_you_mean
+           ~candidates:[ "sql"; "ra"; "trc"; "drc"; "datalog" ]
+           s)
+      "unknown language %S (expected sql, ra, trc, drc, or datalog)" s
 
 (** A parsed query in any of the five languages. *)
 type query =
@@ -28,14 +36,33 @@ type query =
   | Q_drc of Diagres_rc.Drc.query
   | Q_datalog of Diagres_datalog.Ast.program * string  (** program, goal *)
 
-exception Parse_failed of lang * string
+(** Parse errors raise {!Diagres_diag.Diag.Error} ([E-<LANG>-PARSE-001])
+    carrying the source text and the failing offset, so the CLI can render
+    a caret excerpt. *)
+let parse_error_code lang =
+  Printf.sprintf "E-%s-PARSE-001" (String.uppercase_ascii (name lang))
 
 let parse lang src : query =
+  let fail msg off =
+    let stop =
+      (* extend the caret over the offending word, if any *)
+      let n = String.length src in
+      let is_word c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '_'
+      in
+      let rec go i = if i < n && is_word src.[i] then go (i + 1) else i in
+      max (min (off + 1) n) (go (max 0 (min off n)))
+    in
+    Diag.error ~code:(parse_error_code lang) ~phase:Diag.Parse ~source:src
+      ~span:{ Diag.start = max 0 (min off (String.length src)); stop }
+      "%s syntax error: %s" (name lang) msg
+  in
   let wrap f =
     try f () with
-    | Diagres_parsekit.Stream.Parse_error (msg, _)
-    | Diagres_parsekit.Lexer.Lex_error (msg, _) ->
-      raise (Parse_failed (lang, msg))
+    | Diagres_parsekit.Stream.Parse_error (msg, off)
+    | Diagres_parsekit.Lexer.Lex_error (msg, off) ->
+      fail msg off
   in
   match lang with
   | Sql -> wrap (fun () -> Q_sql (Diagres_sql.Parser.parse src))
@@ -49,7 +76,7 @@ let parse lang src : query =
           (* convention: the goal is the head of the last rule *)
           match List.rev p with
           | r :: _ -> r.Diagres_datalog.Ast.head.Diagres_datalog.Ast.pred
-          | [] -> raise (Parse_failed (Datalog, "empty program"))
+          | [] -> fail "empty program (expected at least one rule)" 0
         in
         Q_datalog (p, goal))
 

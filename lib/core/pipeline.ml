@@ -8,6 +8,7 @@
     understood; the correctness of that loop is checkable, not assumed. *)
 
 module D = Diagres_data
+module Diag = Diagres_diag.Diag
 
 type formalism =
   | Relational_diagram
@@ -36,7 +37,15 @@ let formalism_of_name s =
   | "beta" | "eg" -> Beta_graph
   | "string" -> String_diagram
   | "conceptual" | "cg" -> Conceptual_graph
-  | _ -> invalid_arg ("unknown formalism: " ^ s)
+  | _ ->
+    Diag.error ~code:"E-CLI-FORMALISM-001" ~phase:Diag.Resolve ~needle:s
+      ~hints:
+        (Diag.did_you_mean
+           ~candidates:
+             [ "rd"; "relational-diagram"; "qv"; "queryvis"; "dfql"; "qbe";
+               "beta"; "eg"; "string"; "cg"; "conceptual" ]
+           s)
+      "unknown formalism %S" s
 
 let all_formalisms =
   [ Relational_diagram; Query_vis; Dfql; Qbe; Beta_graph; String_diagram;
@@ -49,7 +58,9 @@ type rendering = {
   panel_count : int;
 }
 
-exception Pipeline_error of string
+exception Pipeline_error = Diag.Error
+
+let viz_error code fmt = Diag.error ~code ~phase:Diag.Type fmt
 
 (** Visualize a parsed query with a formalism.  Panels materialize the
     union decomposition where the formalism needs it. *)
@@ -79,10 +90,9 @@ let visualize schemas (q : Languages.query) (f : formalism) : rendering =
       let qbe = G.Qbe.of_datalog schemas p ~goal in
       wrap [ G.Qbe.to_svg qbe ] [ G.Qbe.to_ascii qbe ]
     | _ ->
-      raise
-        (Pipeline_error
-           "QBE generation follows the Datalog dataflow pattern: supply the \
-            query as a Datalog program (the tutorial's point exactly)"))
+      viz_error "E-VIZ-001"
+        "QBE generation follows the Datalog dataflow pattern: supply the \
+         query as a Datalog program (the tutorial's point exactly)")
   | Beta_graph -> (
     let drc =
       match q with
@@ -90,7 +100,7 @@ let visualize schemas (q : Languages.query) (f : formalism) : rendering =
       | _ -> (
         match trc_panels () with
         | [ t ] -> Diagres_rc.Translate.trc_to_drc schemas t
-        | _ -> raise (Pipeline_error "beta graphs draw one panel"))
+        | _ -> viz_error "E-VIZ-002" "beta graphs draw one panel")
     in
     match drc.Diagres_rc.Drc.head with
     | [] ->
@@ -107,7 +117,7 @@ let visualize schemas (q : Languages.query) (f : formalism) : rendering =
       | _ -> (
         match trc_panels () with
         | [ t ] -> Diagres_rc.Translate.trc_to_drc schemas t
-        | _ -> raise (Pipeline_error "string diagrams draw one panel"))
+        | _ -> viz_error "E-VIZ-003" "string diagrams draw one panel")
     in
     let sd = G.String_diagram.of_drc_query drc in
     wrap [ G.String_diagram.to_svg sd ] [ G.String_diagram.to_ascii sd ]
@@ -128,7 +138,7 @@ let verify_roundtrip db (q : Languages.query) : bool =
   let panels = Languages.to_trc_panels schemas q in
   let via_diagram =
     match panels with
-    | [] -> raise (Pipeline_error "no panels")
+    | [] -> viz_error "E-VIZ-004" "query produced no TRC panels"
     | p :: ps ->
       List.fold_left
         (fun acc q' -> D.Relation.union acc (Diagres_rc.Trc.eval db q'))
@@ -145,3 +155,84 @@ let run db lang_name src formalism_name_ =
   let r = visualize schemas q (formalism_of_name formalism_name_) in
   let verified = verify_roundtrip db q in
   (q, r, verified)
+
+(* -------------------------------------------------------------------- *)
+(* Textual translation.                                                  *)
+
+(* Union panels that share a head collapse back into one query with a
+   disjunctive body — the inverse of {!Diagres_rc.Trc.panel_split} — so the
+   printed TRC/DRC translation is a single term the corresponding parser
+   accepts.  Ranges the head does not mention may differ between panels
+   (the active-domain expansion produces such unions); they are pushed into
+   per-disjunct existentials. *)
+let merge_trc_panels (panels : Diagres_rc.Trc.query list) :
+    Diagres_rc.Trc.query list =
+  let module T = Diagres_rc.Trc in
+  match panels with
+  | [] | [ _ ] -> panels
+  | p :: rest ->
+    let head_vars (q : T.query) =
+      List.concat_map
+        (function T.Field (v, _) -> [ v ] | T.Const _ -> [])
+        q.T.head
+    in
+    let split (q : T.query) =
+      let hv = head_vars q in
+      List.partition (fun (v, _) -> List.mem v hv) q.T.ranges
+    in
+    let keep, _ = split p in
+    if
+      List.for_all
+        (fun (q : T.query) -> q.T.head = p.T.head && fst (split q) = keep)
+        rest
+    then
+      let disjunct q =
+        let _, extra = split q in
+        if extra = [] then q.T.body else T.Exists (extra, q.T.body)
+      in
+      [ { p with
+          T.ranges = keep;
+          T.body =
+            List.fold_left
+              (fun acc q -> T.Or (acc, disjunct q))
+              (disjunct p) rest } ]
+    else panels
+
+let comment_out text =
+  String.split_on_char '\n' text
+  |> List.map (fun l -> "-- " ^ l)
+  |> String.concat "\n"
+
+(** [translate_text db q target] renders [q] in [target]'s concrete syntax.
+    The output re-parses under the target language's parser (the lexers
+    skip [--] comments, so the optimized-RA annotation is safe) and
+    evaluates to the same relation as [q] — the invertibility contract the
+    roundtrip fuzz suite enforces. *)
+let translate_text db (q : Languages.query) (target : Languages.lang) : string
+    =
+  let schemas =
+    List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
+  in
+  match target with
+  | Languages.Ra ->
+    let ra = Languages.to_ra schemas q in
+    Diagres_ra.Pretty.ascii ra
+    ^ "\n"
+    ^ comment_out
+        ("optimized: "
+        ^ Diagres_ra.Pretty.unicode (Diagres_ra.Optimize.optimize_db db ra))
+  | Languages.Trc ->
+    merge_trc_panels (Languages.to_trc_panels schemas q)
+    |> List.map Diagres_rc.Trc.to_string
+    |> String.concat "\nUNION\n"
+  | Languages.Drc ->
+    merge_trc_panels (Languages.to_trc_panels schemas q)
+    |> List.map (fun t ->
+           Diagres_rc.Drc.to_string
+             (Diagres_rc.Translate.trc_to_drc schemas t))
+    |> String.concat "\nUNION\n"
+  | Languages.Sql ->
+    Diagres_sql.Pretty.to_string (Languages.to_sql schemas q)
+  | Languages.Datalog ->
+    Diag.error ~code:"E-CLI-TARGET-001" ~phase:Diag.Resolve
+      "can only translate to sql, ra, trc, or drc"

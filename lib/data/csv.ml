@@ -39,23 +39,61 @@ let parse_line line =
   plain 0;
   List.rev !fields
 
+(* non-blank lines with their 1-based line number and byte offset in [s] *)
+let numbered_lines s =
+  let lines = String.split_on_char '\n' s in
+  let off = ref 0 in
+  List.mapi
+    (fun i raw ->
+      let start = !off in
+      off := !off + String.length raw + 1;
+      let line =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      (i + 1, start, line))
+    lines
+  |> List.filter (fun (_, _, line) -> String.trim line <> "")
+
 let parse_string s =
-  String.split_on_char '\n' s
-  |> List.filter_map (fun line ->
-         let line =
-           if String.length line > 0 && line.[String.length line - 1] = '\r'
-           then String.sub line 0 (String.length line - 1)
-           else line
-         in
-         if String.trim line = "" then None else Some (parse_line line))
+  List.map (fun (_, _, line) -> parse_line line) (numbered_lines s)
 
 (** Read a relation whose first line is a header of attribute names; value
-    types are inferred per column from the first data row. *)
-let relation_of_string s =
-  match parse_string s with
-  | [] -> raise (Csv_error "empty csv")
-  | header :: rows ->
-    let parsed = List.map (List.map Value.of_string) rows in
+    types are inferred per column from the first data row.  Malformed input
+    (no header, ragged rows, unterminated quotes) raises a located
+    {!Diagres_diag.Diag.Error} naming the file and line. *)
+let relation_of_string ?(name = "<csv>") s =
+  let module Diag = Diagres_diag.Diag in
+  let lines = numbered_lines s in
+  let parse_at (lineno, start, line) =
+    try (lineno, start, line, parse_line line)
+    with Csv_error msg ->
+      Diag.error ~code:"E-CSV-003" ~phase:Diag.Data ~src_name:name ~source:s
+        ~span:{ Diag.start; stop = start + String.length line }
+        "%s:%d: %s" name lineno msg
+  in
+  match lines with
+  | [] ->
+    Diag.error ~code:"E-CSV-001" ~phase:Diag.Data ~src_name:name
+      "%s: empty CSV file (expected a header row of attribute names)" name
+  | header_line :: rows ->
+    let _, _, _, header = parse_at header_line in
+    let arity = List.length header in
+    let parsed =
+      List.map
+        (fun row_line ->
+          let lineno, start, line, fields = parse_at row_line in
+          if List.length fields <> arity then
+            Diag.error ~code:"E-CSV-002" ~phase:Diag.Data ~src_name:name
+              ~source:s
+              ~span:{ Diag.start; stop = start + String.length line }
+              "%s:%d: row has %d fields but the header declares %d \
+               (offending row: %s)"
+              name lineno (List.length fields) arity line;
+          List.map Value.of_string fields)
+        rows
+    in
     let col_ty i =
       match parsed with
       | [] -> Value.Tstring
@@ -72,7 +110,7 @@ let load_relation path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  relation_of_string s
+  relation_of_string ~name:(Filename.basename path) s
 
 let escape_field s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then

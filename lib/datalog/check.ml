@@ -5,9 +5,12 @@
     still compute strata (the maximum number of negations on any dependency
     path) because the tutorial's QBE comparison counts "logical steps". *)
 
-exception Check_error of string
+module Diag = Diagres_diag.Diag
 
-let error fmt = Format.kasprintf (fun s -> raise (Check_error s)) fmt
+exception Check_error = Diag.Error
+
+let err ?hints ?needle code fmt =
+  Diag.error ?hints ?needle ~code ~phase:Diag.Resolve fmt
 
 (** Predicate dependency edges: head → body predicate, tagged with whether
     the dependency is through a negation. *)
@@ -33,7 +36,8 @@ let check_nonrecursive (p : Ast.program) =
   in
   let rec visit path n =
     if List.mem n path then
-      error "recursion through predicate %S (cycle: %s)" n
+      err "E-DLG-CHECK-004" ~needle:n
+        "recursion through predicate %S (cycle: %s)" n
         (String.concat " -> " (List.rev (n :: path)))
     else List.iter (visit (n :: path)) (succs n)
   in
@@ -51,8 +55,9 @@ let check_safety (p : Ast.program) =
       in
       let need v where =
         if not (List.mem v positive) then
-          error "unsafe rule %S: variable %s in %s is not bound by a \
-                 positive literal"
+          Diag.error ~code:"E-DLG-CHECK-003" ~phase:Diag.Safety ~needle:v
+            "unsafe rule %S: variable %s in %s is not bound by a \
+             positive literal"
             (Ast.rule_to_string r) v where
       in
       List.iter (fun v -> need v "the head") (Ast.atom_vars r.Ast.head);
@@ -78,7 +83,9 @@ let check_arities schemas (p : Ast.program) =
     match Hashtbl.find_opt table a.Ast.pred with
     | Some n ->
       if n <> List.length a.Ast.args then
-        error "predicate %S used with arity %d, expected %d" a.Ast.pred
+        Diag.error ~code:"E-DLG-CHECK-002" ~phase:Diag.Type
+          ~needle:a.Ast.pred
+          "predicate %S used with arity %d, expected %d" a.Ast.pred
           (List.length a.Ast.args) n
     | None -> Hashtbl.replace table a.Ast.pred (List.length a.Ast.args)
   in
@@ -98,7 +105,13 @@ let check_arities schemas (p : Ast.program) =
         (function
           | Ast.Pos a | Ast.Neg a ->
             if (not (List.mem_assoc a.Ast.pred schemas)) && not (List.mem a.Ast.pred idb)
-            then error "undefined predicate %S" a.Ast.pred
+            then
+              err "E-DLG-CHECK-001" ~needle:a.Ast.pred
+                ~hints:
+                  (Diag.did_you_mean
+                     ~candidates:(List.map fst schemas @ idb)
+                     a.Ast.pred)
+                "undefined predicate %S" a.Ast.pred
           | Ast.Cond _ -> ())
         r.Ast.body)
     p;
@@ -155,7 +168,7 @@ let eval_order (p : Ast.program) : string list =
 
 (** Run all checks; returns the arity table. *)
 let check_program schemas (p : Ast.program) =
-  if p = [] then error "empty program";
+  if p = [] then err "E-DLG-CHECK-005" "empty program";
   let arities = check_arities schemas p in
   check_safety p;
   check_nonrecursive p;

@@ -227,9 +227,16 @@ let prec = function
   | Exists _ | Forall _ -> 0
 
 let rec pp ppf f =
-  let paren child =
-    if prec child < prec f then Fmt.pf ppf "(%a)" pp child else pp ppf child
+  (* Parenthesization must make the reparse associate exactly as the AST
+     does: [&]/[|] parse left-associative, so a right child of equal
+     precedence needs parentheses ([a & (b & c)]); [->] parses
+     right-associative, so the left child does.  Quantifier bodies in the
+     dot form extend maximally to the right. *)
+  let paren_if cond child =
+    if cond then Fmt.pf ppf "(%a)" pp child else pp ppf child
   in
+  let loose child = paren_if (prec child < prec f) child in
+  let tight child = paren_if (prec child <= prec f) child in
   match f with
   | True -> Fmt.string ppf "true"
   | False -> Fmt.string ppf "false"
@@ -238,19 +245,19 @@ let rec pp ppf f =
   | Cmp (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_term a (cmp_name op) pp_term b
   | Not g ->
     Fmt.string ppf "!";
-    paren g
+    paren_if (prec g < prec f) g
   | And (a, b) ->
-    paren a;
+    loose a;
     Fmt.string ppf " & ";
-    paren b
+    tight b
   | Or (a, b) ->
-    paren a;
+    loose a;
     Fmt.string ppf " | ";
-    paren b
+    tight b
   | Implies (a, b) ->
-    paren a;
+    tight a;
     Fmt.string ppf " -> ";
-    paren b
+    loose b
   | Exists (x, g) -> Fmt.pf ppf "exists %s. %a" x pp g
   | Forall (x, g) -> Fmt.pf ppf "forall %s. %a" x pp g
 

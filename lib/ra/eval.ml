@@ -80,5 +80,9 @@ let rec eval db (e : Ast.t) : D.Relation.t =
     Agrees with the tree-walking {!eval} (property-tested); [eval] remains
     as the naive reference. *)
 let eval_planned db e =
+  (* reject ill-typed queries with a proper diagnostic before the planner
+     sees them — plan construction assumes a well-typed tree and crashes
+     with unlocated Invalid_argument/Schema_error otherwise *)
+  ignore (Typecheck.infer (Typecheck.env_of_database db) e);
   let plan, _cached = Plan_cache.find_or_plan db e in
   Plan.run plan

@@ -37,6 +37,21 @@ let conjunct_unsat schema = function
 let pred_unsat schema p =
   List.exists (conjunct_unsat schema) (split_conj p)
 
+(* Distributing a selection into a set-operation branch is only legal when
+   the predicate stays well-typed against that branch's (narrower) schema:
+   a union of heterogeneous columns types as the join of its branch types,
+   so a predicate fine above the union (e.g. [x <> 56] over an
+   active-domain column) can be ill-typed inside a single branch. *)
+let pred_typed env p e =
+  let schema = Typecheck.infer env e in
+  (* an unsatisfiable predicate (incompatible [=]) is fine to push: the
+     branch select is erased as statically dead by the rule above *)
+  pred_unsat schema p
+  ||
+  match Typecheck.check_pred schema p with
+  | () -> true
+  | exception Typecheck.Type_error _ -> false
+
 (* The canonical empty relation with the same schema as [e].  [Ast.Empty]
    is a zero-cost literal: evaluators produce an empty relation without
    touching [e] (the old encoding, [Diff (e, e)], evaluated [e] twice). *)
@@ -80,11 +95,14 @@ let rec pass env (e : Ast.t) : Ast.t =
     if is_empty_expr b' then a' else Ast.Diff (a', b')
   | Ast.Select (p, Ast.Select (q, e1)) ->
     pass env (Ast.Select (Ast.pred_and p q, e1))
-  | Ast.Select (p, Ast.Union (a, b)) ->
+  | Ast.Select (p, Ast.Union (a, b))
+    when pred_typed env p a && pred_typed env p b ->
     Ast.Union (pass env (Ast.Select (p, a)), pass env (Ast.Select (p, b)))
-  | Ast.Select (p, Ast.Diff (a, b)) ->
+  | Ast.Select (p, Ast.Diff (a, b))
+    when pred_typed env p a && pred_typed env p b ->
     Ast.Diff (pass env (Ast.Select (p, a)), pass env (Ast.Select (p, b)))
-  | Ast.Select (p, Ast.Inter (a, b)) ->
+  | Ast.Select (p, Ast.Inter (a, b))
+    when pred_typed env p a && pred_typed env p b ->
     Ast.Inter (pass env (Ast.Select (p, a)), pass env (Ast.Select (p, b)))
   | Ast.Select (p, (Ast.Product (a, b) | Ast.Theta_join (_, a, b) as inner)) ->
     let base_pred =

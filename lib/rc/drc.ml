@@ -8,29 +8,47 @@
 
 type query = { head : string list; body : Diagres_logic.Fol.t }
 
-exception Type_error of string
+module Diag = Diagres_diag.Diag
 
-let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+exception Type_error = Diag.Error
+
+(** Generic DRC type error (used by the translators); {!typecheck} raises
+    more specific codes. *)
+let type_error fmt =
+  Diag.error ~code:"E-DRC-TYPE-000" ~phase:Diag.Type fmt
 
 let query head body = { head; body }
 
 (** Check head/free-variable agreement and predicate arities against the
     database schemas. *)
 let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
+  let err ?hints ?needle code fmt =
+    Diag.error ?hints ?needle ~code ~phase:Diag.Type fmt
+  in
   let free = Diagres_logic.Fol.free_var_list q.body in
   let head_sorted = List.sort_uniq String.compare q.head in
-  if List.length head_sorted <> List.length q.head then
-    type_error "duplicate head variable";
+  (if List.length head_sorted <> List.length q.head then
+     let dup =
+       List.find
+         (fun v -> List.length (List.filter (String.equal v) q.head) > 1)
+         q.head
+     in
+     err "E-DRC-TYPE-001" ~needle:dup "duplicate head variable %S" dup);
   if head_sorted <> free then
-    type_error "head variables {%s} must equal free variables {%s}"
+    err "E-DRC-TYPE-002"
+      "head variables {%s} must equal free variables {%s}"
       (String.concat "," q.head) (String.concat "," free);
   List.iter
     (fun (p, arity) ->
       match List.assoc_opt p schemas with
-      | None -> type_error "unknown relation %S" p
+      | None ->
+        err "E-DRC-TYPE-003" ~needle:p
+          ~hints:(Diag.did_you_mean ~candidates:(List.map fst schemas) p)
+          "unknown relation %S" p
       | Some s ->
         if Diagres_data.Schema.arity s <> arity then
-          type_error "relation %S used with arity %d, declared %d" p arity
+          err "E-DRC-TYPE-004" ~needle:p
+            "relation %S used with arity %d, declared %d" p arity
             (Diagres_data.Schema.arity s))
     (Diagres_logic.Fol.predicate_list q.body)
 
@@ -43,6 +61,10 @@ let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
     discusses around Peirce's beta graphs. *)
 let eval (db : Diagres_data.Database.t) (q : query) : Diagres_data.Relation.t =
   let module D = Diagres_data in
+  let schemas =
+    List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
+  in
+  typecheck schemas q;
   (* miniscoping eliminates ∀/⇒ and keeps the enumeration from exploring
      quantifier blocks irrelevant to each conjunct *)
   let body = Diagres_logic.Fol.miniscope q.body in

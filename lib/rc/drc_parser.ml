@@ -55,9 +55,18 @@ and unary s =
     let is_exists = S.at_kw s "exists" in
     S.advance s;
     let vs = var_list s in
-    S.expect_sym s "(";
-    let f = formula s in
-    S.expect_sym s ")";
+    (* two body forms: parenthesized [exists x, y (φ)], and the dot form
+       [exists x. φ] printed by {!Diagres_logic.Fol.pp}, whose scope
+       extends maximally to the right *)
+    let f =
+      if S.eat_sym s "." then formula s
+      else begin
+        S.expect_sym s "(";
+        let f = formula s in
+        S.expect_sym s ")";
+        f
+      end
+    in
     if is_exists then F.exists_many vs f else F.forall_many vs f
   end
   else if S.at_sym s "(" then begin

@@ -175,7 +175,8 @@ let rec trans schemas (f : F.t) : A.t * string list =
       match g with
       | F.Cmp (op, x, y) ->
         let needed = List.concat_map (function F.Var v -> [ v ] | F.Const _ -> []) [ x; y ] in
-        let missing = List.filter (fun v -> not (List.mem v cols)) needed in
+        (* dedupe: [x <> x] must not product the adom column in twice *)
+        let missing = sort_vars (List.filter (fun v -> not (List.mem v cols)) needed) in
         let cols' = sort_vars (cols @ missing) in
         let widened =
           List.fold_left (fun acc v -> A.Product (acc, adom schemas v)) e missing
@@ -206,8 +207,14 @@ let rec trans schemas (f : F.t) : A.t * string list =
     (A.Union (pad schemas (ea, va) vars, pad schemas (eb, vb) vars), vars)
   | F.Not g ->
     let eg, vg = trans schemas g in
-    if vg = [] then raise (Unsupported "negation of a closed subformula");
-    (A.Diff (A.Project (vg, adom_product schemas vg), eg), vg)
+    if vg = [] then
+      (* closed subformula (e.g. [not exists y. S(y)]): E(φ) is the 0-ary
+         Boolean relation, so ¬φ is the 0-ary unit minus it.  The unit is
+         the nullary projection of the active domain — nonempty exactly
+         when the database is, matching the adom reading of ¬ elsewhere. *)
+      let unit_rel = A.Project ([], adom schemas "x") in
+      (A.Diff (unit_rel, eg), [])
+    else (A.Diff (A.Project (vg, adom_product schemas vg), eg), vg)
   | F.Exists (x, g) ->
     let eg, vg = trans schemas g in
     if not (List.mem x vg) then (eg, vg)

@@ -24,13 +24,25 @@ let drc_to_trc schemas q = ra_to_trc schemas (drc_to_ra schemas q)
     through RA, where {!Ra_rewrite} pulls the union to the top.  Queries
     already drawable pass through untouched (keeping their readable
     variable names). *)
-let drawable_panels _schemas (qs : Trc.query list) : Trc.query list =
-  List.concat_map
-    (fun (q : Trc.query) ->
-      if Trc.single_panel q.Trc.body then [ q ]
-      else
-        List.map (fun body -> { q with Trc.body }) (Trc.panel_split q.Trc.body))
-    qs
+let drawable_panels schemas (qs : Trc.query list) : Trc.query list =
+  let panels =
+    List.concat_map
+      (fun (q : Trc.query) ->
+        let q = Trc.simplify_types schemas q in
+        if Trc.single_panel q.Trc.body then [ q ]
+        else
+          List.map
+            (fun body -> Trc.simplify_types schemas { q with Trc.body })
+            (Trc.panel_split q.Trc.body))
+      qs
+  in
+  (* a panel whose body folded to [false] contributes nothing to the union;
+     if everything folded away, keep one explicitly empty panel so callers
+     still have a well-formed query to print or draw *)
+  match List.filter (fun (q : Trc.query) -> q.Trc.body <> Trc.False) panels with
+  | [] -> (
+    match panels with [] -> [] | p :: _ -> [ { p with Trc.body = Trc.False } ])
+  | live -> live
 
 (** Union-free TRC for a DRC query when a single panel suffices. *)
 let drc_to_trc_single schemas q =

@@ -198,23 +198,36 @@ let pp ppf q = Fmt.string ppf (to_string q)
 (* -------------------------------------------------------------------- *)
 (* Typechecking against database schemas.                                *)
 
-exception Type_error of string
+module Diag = Diagres_diag.Diag
 
-let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+exception Type_error = Diag.Error
+
+(** Generic TRC type error (used by the translators for conditions they
+    detect themselves); {!typecheck} raises more specific codes. *)
+let type_error fmt =
+  Diag.error ~code:"E-TRC-TYPE-000" ~phase:Diag.Type fmt
 
 (** Check that every variable is declared exactly once with a known relation
-    and that every referenced field exists in that relation's schema.
+    and that every referenced field exists in that relation's schema, and
+    that comparison operands have compatible static types.
     Returns the scope of the query head: the free ranges. *)
 let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
+  let err ?hints ?needle code fmt =
+    Diag.error ?hints ?needle ~code ~phase:Diag.Type fmt
+  in
   let lookup_rel r =
     match List.assoc_opt r schemas with
     | Some s -> s
-    | None -> type_error "unknown relation %S" r
+    | None ->
+      err "E-TRC-TYPE-001" ~needle:r
+        ~hints:(Diag.did_you_mean ~candidates:(List.map fst schemas) r)
+        "unknown relation %S" r
   in
   let check_ranges scope rs =
     List.fold_left
       (fun scope (v, r) ->
-        if List.mem_assoc v scope then type_error "variable %S redeclared" v;
+        if List.mem_assoc v scope then
+          err "E-TRC-TYPE-002" ~needle:v "variable %S redeclared" v;
         ignore (lookup_rel r);
         (v, r) :: scope)
       scope rs
@@ -223,16 +236,41 @@ let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
     | Const _ -> ()
     | Field (v, a) -> (
       match List.assoc_opt v scope with
-      | None -> type_error "variable %S not in scope" v
+      | None ->
+        err "E-TRC-TYPE-003" ~needle:(v ^ "." ^ a)
+          ~hints:(Diag.did_you_mean ~candidates:(List.map fst scope) v)
+          "variable %S not in scope" v
       | Some r ->
         if not (Diagres_data.Schema.mem a (lookup_rel r)) then
-          type_error "relation %S has no attribute %S (via %s.%s)" r a v a)
+          err "E-TRC-TYPE-004" ~needle:(v ^ "." ^ a)
+            ~hints:
+              (Diag.did_you_mean
+                 ~candidates:(Diagres_data.Schema.names (lookup_rel r))
+                 a)
+            "relation %S has no attribute %S (via %s.%s)" r a v a)
+  in
+  let term_ty scope = function
+    | Const c -> Diagres_data.Value.type_of c
+    | Field (v, a) ->
+      let r = List.assoc v scope in
+      (match Diagres_data.Schema.find_opt a (lookup_rel r) with
+      | Some at -> at.Diagres_data.Schema.ty
+      | None -> Diagres_data.Value.Tany)
   in
   let rec check scope = function
     | True | False -> ()
-    | Cmp (_, a, b) ->
+    | Cmp (op, a, b) ->
       check_term scope a;
-      check_term scope b
+      check_term scope b;
+      let ta = term_ty scope a and tb = term_ty scope b in
+      if not (Diagres_data.Value.ty_compatible ta tb) then
+        err "E-TRC-TYPE-005" ~needle:(term_to_string b)
+          "cannot compare %s (of type %s) %s %s (of type %s): operand types \
+           are incompatible"
+          (term_to_string a)
+          (Diagres_data.Value.ty_name ta)
+          (Diagres_logic.Fol.cmp_name op) (term_to_string b)
+          (Diagres_data.Value.ty_name tb)
     | Not f -> check scope f
     | And (a, b) | Or (a, b) | Implies (a, b) ->
       check scope a;
@@ -243,6 +281,67 @@ let typecheck (schemas : (string * Diagres_data.Schema.t) list) (q : query) =
   List.iter (check_term scope) q.head;
   check scope q.body;
   scope
+
+(** Fold statically ill-typed equalities to [False], then boolean-simplify.
+
+    The active-domain DRC→TRC expansion ranges a variable over every
+    attribute of every relation, so its union branches routinely equate,
+    say, a [string] column with an [int] column.  Values of incompatible
+    static types are never equal, so each such branch is empty; folding it
+    away keeps machine-generated panels inside the well-typed fragment the
+    strict checkers accept.  Only [=] is folded — on other comparison
+    operators incompatible operands are a type error, not a constant.
+    Quantifiers are simplified conservatively: [∃v∈R: false] is [false],
+    [∀v∈R: true] is [true], but [∃v∈R: true] and [∀v∈R: false] depend on
+    whether [R] is empty and are kept as written. *)
+let simplify_types (schemas : (string * Diagres_data.Schema.t) list)
+    (q : query) : query =
+  let module V = Diagres_data.Value in
+  let ty scope = function
+    | Const c -> Some (V.type_of c)
+    | Field (v, a) -> (
+      match List.assoc_opt v scope with
+      | None -> None
+      | Some r -> (
+        match List.assoc_opt r schemas with
+        | None -> None
+        | Some s -> (
+          match Diagres_data.Schema.find_opt a s with
+          | Some at -> Some at.Diagres_data.Schema.ty
+          | None -> None)))
+  in
+  let rec go scope f =
+    match f with
+    | True | False -> f
+    | Cmp (Diagres_logic.Fol.Eq, a, b) -> (
+      match (ty scope a, ty scope b) with
+      | Some ta, Some tb when not (V.ty_compatible ta tb) -> False
+      | _ -> f)
+    | Cmp _ -> f
+    | Not g -> (
+      match go scope g with True -> False | False -> True | g' -> Not g')
+    | And (a, b) -> (
+      match (go scope a, go scope b) with
+      | False, _ | _, False -> False
+      | True, g | g, True -> g
+      | a', b' -> And (a', b'))
+    | Or (a, b) -> (
+      match (go scope a, go scope b) with
+      | True, _ | _, True -> True
+      | False, g | g, False -> g
+      | a', b' -> Or (a', b'))
+    | Implies (a, b) -> (
+      match (go scope a, go scope b) with
+      | False, _ -> True
+      | True, g -> g
+      | _, True -> True
+      | a', b' -> Implies (a', b'))
+    | Exists (rs, g) -> (
+      match go (rs @ scope) g with False -> False | g' -> Exists (rs, g'))
+    | Forall (rs, g) -> (
+      match go (rs @ scope) g with True -> True | g' -> Forall (rs, g'))
+  in
+  { q with body = go q.ranges q.body }
 
 (* -------------------------------------------------------------------- *)
 (* Direct evaluation: free ranges enumerate their relations, quantifiers

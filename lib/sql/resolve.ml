@@ -8,10 +8,12 @@
     translators consume. *)
 
 module D = Diagres_data
+module Diag = Diagres_diag.Diag
 
-exception Resolve_error of string
+exception Resolve_error = Diag.Error
 
-let error fmt = Format.kasprintf (fun s -> raise (Resolve_error s)) fmt
+let err ?hints ?needle code fmt =
+  Diag.error ?hints ?needle ~code ~phase:Diag.Resolve fmt
 
 type env = {
   schemas : (string * D.Schema.t) list;
@@ -21,14 +23,19 @@ type env = {
 let table_schema env name =
   match List.assoc_opt name env.schemas with
   | Some s -> s
-  | None -> error "unknown table %S" name
+  | None ->
+    err "E-SQL-RESOLVE-001" ~needle:name
+      ~hints:(Diag.did_you_mean ~candidates:(List.map fst env.schemas) name)
+      "unknown table %S" name
 
 let check_from env (from : Ast.table_ref list) =
   let aliases = List.map (fun t -> t.Ast.alias) from in
   let rec dup = function
     | [] -> ()
     | a :: rest ->
-      if List.mem a rest then error "duplicate table alias %S" a else dup rest
+      if List.mem a rest then
+        err "E-SQL-RESOLVE-002" ~needle:a "duplicate table alias %S" a
+      else dup rest
   in
   dup aliases;
   List.iter (fun t -> ignore (table_schema env t.Ast.name)) from
@@ -42,7 +49,14 @@ let resolve_col env (c : Ast.col) : Ast.col =
         (fun scope -> List.exists (fun t -> t.Ast.alias = alias) scope)
         env.scopes
     in
-    if not found then error "unknown table alias %S" alias;
+    if not found then
+      err "E-SQL-RESOLVE-003" ~needle:alias
+        ~hints:
+          (Diag.did_you_mean
+             ~candidates:
+               (List.concat_map (List.map (fun t -> t.Ast.alias)) env.scopes)
+             alias)
+        "unknown table alias %S" alias;
     let tref =
       List.find_map
         (fun scope -> List.find_opt (fun t -> t.Ast.alias = alias) scope)
@@ -50,14 +64,28 @@ let resolve_col env (c : Ast.col) : Ast.col =
       |> Option.get
     in
     if not (D.Schema.mem c.Ast.column (table_schema env tref.Ast.name)) then
-      error "table %S (alias %S) has no column %S" tref.Ast.name alias
+      err "E-SQL-RESOLVE-004" ~needle:c.Ast.column
+        ~hints:
+          (Diag.did_you_mean
+             ~candidates:(D.Schema.names (table_schema env tref.Ast.name))
+             c.Ast.column)
+        "table %S (alias %S) has no column %S" tref.Ast.name alias
         c.Ast.column;
     c
   | None ->
     (* find candidate tables, innermost scope first; stop at the first scope
        with a match, error on ambiguity within that scope *)
     let rec go = function
-      | [] -> error "unknown column %S" c.Ast.column
+      | [] ->
+        let all_cols =
+          List.concat_map
+            (List.concat_map (fun t ->
+                 D.Schema.names (table_schema env t.Ast.name)))
+            env.scopes
+        in
+        err "E-SQL-RESOLVE-005" ~needle:c.Ast.column
+          ~hints:(Diag.did_you_mean ~candidates:all_cols c.Ast.column)
+          "unknown column %S" c.Ast.column
       | scope :: outer -> (
         let hits =
           List.filter
@@ -67,7 +95,10 @@ let resolve_col env (c : Ast.col) : Ast.col =
         match hits with
         | [] -> go outer
         | [ t ] -> { c with Ast.table = Some t.Ast.alias }
-        | _ -> error "ambiguous column %S" c.Ast.column)
+        | _ ->
+          err "E-SQL-RESOLVE-006" ~needle:c.Ast.column
+            "ambiguous column %S (qualify it with a table alias)"
+            c.Ast.column)
     in
     go env.scopes
 
@@ -75,9 +106,43 @@ let resolve_expr env = function
   | Ast.Col c -> Ast.Col (resolve_col env c)
   | Ast.Lit v -> Ast.Lit v
 
+(* static type of a resolved expression, for the comparison check *)
+let expr_ty env = function
+  | Ast.Lit v -> D.Value.type_of v
+  | Ast.Col { Ast.table = Some alias; column } -> (
+    let tref =
+      List.find_map
+        (fun scope -> List.find_opt (fun t -> t.Ast.alias = alias) scope)
+        env.scopes
+    in
+    match tref with
+    | None -> D.Value.Tany
+    | Some t -> (
+      match D.Schema.find_opt column (table_schema env t.Ast.name) with
+      | Some at -> at.D.Schema.ty
+      | None -> D.Value.Tany))
+  | Ast.Col { Ast.table = None; _ } -> D.Value.Tany
+
+let expr_name = function
+  | Ast.Lit v -> D.Value.to_literal v
+  | Ast.Col { Ast.table = Some alias; column } -> alias ^ "." ^ column
+  | Ast.Col { Ast.table = None; column } -> column
+
 let rec resolve_cond env = function
   | Ast.True -> Ast.True
-  | Ast.Cmp (op, a, b) -> Ast.Cmp (op, resolve_expr env a, resolve_expr env b)
+  | Ast.Cmp (op, a, b) ->
+    let a = resolve_expr env a and b = resolve_expr env b in
+    let ta = expr_ty env a and tb = expr_ty env b in
+    (* reject comparisons that can never hold (int column vs string
+       literal, …) instead of silently evaluating to false *)
+    if not (D.Value.ty_compatible ta tb) then
+      Diag.error ~code:"E-SQL-TYPE-001" ~phase:Diag.Type
+        ~needle:(expr_name b)
+        "cannot compare %s (of type %s) %s %s (of type %s): operand types \
+         are incompatible"
+        (expr_name a) (D.Value.ty_name ta)
+        (Diagres_logic.Fol.cmp_name op) (expr_name b) (D.Value.ty_name tb);
+    Ast.Cmp (op, a, b)
   | Ast.And (a, b) -> Ast.And (resolve_cond env a, resolve_cond env b)
   | Ast.Or (a, b) -> Ast.Or (resolve_cond env a, resolve_cond env b)
   | Ast.Not c -> Ast.Not (resolve_cond env c)
@@ -86,7 +151,8 @@ let rec resolve_cond env = function
     let q' = resolve_query env q in
     (match q'.Ast.select with
     | [ Ast.Item (_, _) ] -> ()
-    | _ -> error "IN subquery must select exactly one column");
+    | _ ->
+      err "E-SQL-RESOLVE-007" "IN subquery must select exactly one column");
     Ast.In (resolve_expr env e, q')
 
 and resolve_query env (q : Ast.query) : Ast.query =
@@ -108,7 +174,7 @@ and resolve_query env (q : Ast.query) : Ast.query =
         | Ast.Item (e, alias) -> [ Ast.Item (resolve_expr env' e, alias) ])
       q.Ast.select
   in
-  if select = [] then error "empty select list";
+  if select = [] then err "E-SQL-RESOLVE-008" "empty select list";
   { q with Ast.select; where = resolve_cond env' q.Ast.where }
 
 let rec resolve_statement env = function

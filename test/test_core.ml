@@ -98,11 +98,13 @@ let test_language_parse_dispatch () =
 
 let test_language_parse_errors () =
   (match L.parse L.Sql "SELECT FROM" with
-  | exception L.Parse_failed (L.Sql, _) -> ()
-  | _ -> Alcotest.fail "bad sql must raise Parse_failed");
+  | exception Diagres_diag.Diag.Error d ->
+    Alcotest.(check string) "sql parse code" "E-SQL-PARSE-001" d.Diagres_diag.Diag.code
+  | _ -> Alcotest.fail "bad sql must raise a parse diagnostic");
   match L.parse L.Ra "project[" with
-  | exception L.Parse_failed (L.Ra, _) -> ()
-  | _ -> Alcotest.fail "bad ra must raise Parse_failed"
+  | exception Diagres_diag.Diag.Error d ->
+    Alcotest.(check string) "ra parse code" "E-RA-PARSE-001" d.Diagres_diag.Diag.code
+  | _ -> Alcotest.fail "bad ra must raise a parse diagnostic"
 
 let test_to_ra_semantics () =
   List.iter

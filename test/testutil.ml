@@ -44,6 +44,26 @@ let random_dbs n =
 (* ------------------------------------------------------------------ *)
 (* Random RA expressions (QCheck).                                      *)
 
+(* A random constant matching a column's static type — the strict
+   typechecker rejects cross-type comparisons, so generated predicates must
+   be type-correct. *)
+let typed_const (rand : Random.State.t) (ty : D.Value.ty) : D.Value.t =
+  match ty with
+  | D.Value.Tint -> D.Value.Int (Random.State.int rand 120)
+  | D.Value.Tfloat -> D.Value.Float (float_of_int (Random.State.int rand 60))
+  | D.Value.Tstring ->
+    let pool = [ "red"; "green"; "blue"; "a"; "b"; "d1" ] in
+    D.Value.String (List.nth pool (Random.State.int rand (List.length pool)))
+  | D.Value.Tbool -> D.Value.Bool (Random.State.bool rand)
+  | D.Value.Tany ->
+    if Random.State.bool rand then D.Value.Int (Random.State.int rand 120)
+    else D.Value.String "red"
+
+let attr_ty schema a =
+  match D.Schema.find_opt a schema with
+  | Some at -> at.D.Schema.ty
+  | None -> D.Value.Tany
+
 (* Build well-typed expressions bottom-up; at each size, pick an operator
    whose schema requirements we can satisfy. *)
 let rec gen_ra (rand : Random.State.t) fuel : A.t =
@@ -64,16 +84,11 @@ let rec gen_ra (rand : Random.State.t) fuel : A.t =
     in
     match Random.State.int rand 8 with
     | 0 ->
-      (* selection with a random comparison *)
+      (* selection with a random comparison against a type-correct constant *)
       let a = pick_attr () in
       let ops = Diagres_logic.Fol.[ Eq; Neq; Lt; Le; Gt; Ge ] in
       let op = List.nth ops (Random.State.int rand 6) in
-      let const =
-        match Random.State.int rand 3 with
-        | 0 -> A.Const (D.Value.Int (Random.State.int rand 120))
-        | 1 -> A.Const (D.Value.String "red")
-        | _ -> A.Const (D.Value.Float (float_of_int (Random.State.int rand 60)))
-      in
+      let const = A.Const (typed_const rand (attr_ty schema a)) in
       A.Select (A.Cmp (op, A.Attr a, const), e)
     | 1 ->
       (* projection on a random non-empty subset, stable order *)
@@ -93,8 +108,13 @@ let rec gen_ra (rand : Random.State.t) fuel : A.t =
       A.Join (e, base ())
     | 4 ->
       (* set operation with itself (guaranteed compatible) *)
-      let e2 = A.Select (A.Cmp (Diagres_logic.Fol.Neq, A.Attr (pick_attr ()),
-                                A.Const (D.Value.Int (Random.State.int rand 50))), e)
+      let a = pick_attr () in
+      let e2 =
+        A.Select
+          ( A.Cmp
+              ( Diagres_logic.Fol.Neq, A.Attr a,
+                A.Const (typed_const rand (attr_ty schema a)) ),
+            e )
       in
       (match Random.State.int rand 3 with
       | 0 -> A.Union (e, e2)
@@ -121,10 +141,11 @@ let rec gen_ra (rand : Random.State.t) fuel : A.t =
     | 6 ->
       (* disjunctive selection — exercises panel splitting *)
       let a = pick_attr () in
+      let ty = attr_ty schema a in
       A.Select
         ( A.Or
-            ( A.Cmp (Diagres_logic.Fol.Eq, A.Attr a, A.Const (D.Value.String "red")),
-              A.Cmp (Diagres_logic.Fol.Eq, A.Attr a, A.Const (D.Value.Int 22)) ),
+            ( A.Cmp (Diagres_logic.Fol.Eq, A.Attr a, A.Const (typed_const rand ty)),
+              A.Cmp (Diagres_logic.Fol.Eq, A.Attr a, A.Const (typed_const rand ty)) ),
           e )
     | _ -> e
 
