@@ -9,6 +9,7 @@
 
 open Bechamel
 open Toolkit
+module T = Diagres_telemetry.Telemetry
 
 let db = Diagres_data.Sample_db.db
 
@@ -194,60 +195,43 @@ let e10_table () =
   print_string (Diagres.Survey.to_table ())
 
 (* ------------------------------------------------------------------ *)
-(* JSON result sink (--json FILE): every measurement below also lands
-   here as {name, ns_per_run, tuples, rows}.  Hand-rolled emission — no
-   JSON dependency in the tree.                                          *)
+(* JSON result sink (--json FILE): every measurement below lands here as
+   {name, ns_per_run, tuples, rows}, followed by a snapshot of the
+   telemetry metrics registry (cache hit/miss counters, pool utilization)
+   accumulated over the whole run.  Hand-rolled emission — no JSON
+   dependency in the tree.                                               *)
 
 let results : (string * float * int * int) list ref = ref []
 
 let record ~name ~ns ~tuples ~rows =
   results := (name, ns, tuples, rows) :: !results
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_json path =
   let rows = List.rev !results in
   let oc = open_out path in
-  output_string oc "[\n";
+  output_string oc "{\n\"measurements\": [\n";
   let last = List.length rows - 1 in
   List.iteri
     (fun i (name, ns, tuples, nrows) ->
       Printf.fprintf oc
         "  {\"name\": \"%s\", \"ns_per_run\": %.1f, \"tuples\": %d, \
          \"rows\": %d}%s\n"
-        (json_escape name) ns tuples nrows
+        (T.json_escape name) ns tuples nrows
         (if i = last then "" else ","))
     rows;
-  output_string oc "]\n";
+  output_string oc "],\n\"metrics\": ";
+  output_string oc (T.metrics_json ());
+  output_string oc "\n}\n";
   close_out oc;
   Printf.printf "\nwrote %d measurements to %s\n" (List.length rows) path
 
-(* wall-clock one-shot timing for the macro experiments; Bechamel stays in
-   charge of the micro-benchmarks *)
-let timed f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (Sys.time () -. t0, r)
-
-(* true wall-clock (monotonic), in seconds — [Sys.time] is CPU time summed
-   over every domain, which would hide exactly the parallel speedup E12
-   measures *)
-let walltimed f =
-  let t0 = Monotonic_clock.get () in
-  let r = f () in
-  let t1 = Monotonic_clock.get () in
-  ((t1 -. t0) /. 1e9, r)
+(* wall-clock one-shot timing for the macro experiments, on telemetry's
+   monotonic clock (the same clock the span sinks use); Bechamel stays in
+   charge of the micro-benchmarks.  Monotonic wall-clock rather than
+   [Sys.time]: CPU time summed over every domain would hide exactly the
+   parallel speedup E12 measures. *)
+let timed = T.timed
+let walltimed = T.timed
 
 (* best-of-three wall clock: one-shot numbers at the tens-of-ms scale are
    noisy on a shared machine *)

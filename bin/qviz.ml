@@ -4,6 +4,7 @@
      qviz show      -l sql -f rd "SELECT ..."        draw a query (ascii/svg)
      qviz translate -l sql -t trc "SELECT ..."       translate between languages
      qviz eval      -l trc "{ ... }"                 evaluate on the sample db
+     qviz stats     "SELECT ..."                     engine metrics registry
      qviz catalog                                    the 5 tutorial queries
      qviz survey                                     the Part-5 capability matrix
      qviz syllogisms                                 valid moods via Venn algebra *)
@@ -49,6 +50,41 @@ let handle_errors ?src f =
     in
     prerr_string (Diagres_diag.Diag.render d);
     exit (Diagres_diag.Diag.exit_code d)
+
+(* ---------------- telemetry plumbing ---------------- *)
+
+module T = Diagres_telemetry.Telemetry
+
+let trace_arg =
+  let doc =
+    "Enable telemetry and write the recorded spans as Chrome trace-event \
+     JSON to $(docv) on success (loadable in Perfetto or chrome://tracing)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+(* Enable tracing when any sink asked for it, run, then write the trace. *)
+let with_telemetry ?trace ?(analyze = false) f =
+  if trace <> None || analyze then T.set_enabled true;
+  let r = f () in
+  (match trace with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (T.trace_json ());
+    close_out oc;
+    Printf.printf "wrote trace to %s\n" path
+  | None -> ());
+  r
+
+(* One line per completed pipeline-phase span, in execution order. *)
+let print_phases () =
+  let phases = List.filter (fun s -> s.T.cat = "phase") (T.spans ()) in
+  if phases <> [] then
+    Printf.printf "phases: %s\n"
+      (String.concat "  "
+         (List.map
+            (fun s -> Printf.sprintf "%s=%.3fms" s.T.name (T.ns_to_ms s.T.dur_ns))
+            phases))
 
 (* ---------------- show ---------------- *)
 
@@ -136,25 +172,40 @@ let eval_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run dbdir lang explain domains query =
+  let analyze_arg =
+    let doc =
+      "EXPLAIN ANALYZE: enable telemetry, run the query, and print the \
+       physical plan annotated with actual per-operator wall-clock times, \
+       row counts next to the planner's estimates (nodes whose estimate \
+       is off by more than 10x are flagged), hash-join build/probe split, \
+       morsel counts, and a per-phase timing summary."
+    in
+    Arg.(value & flag & info [ "analyze" ] ~doc)
+  in
+  let run dbdir lang explain analyze domains trace query =
     handle_errors ~src:query @@ fun () ->
     apply_domains domains;
+    with_telemetry ?trace ~analyze @@ fun () ->
     let db = load_db dbdir in
     let q = Diagres.Languages.parse (Diagres.Languages.of_name lang) query in
-    if explain then begin
+    if explain || analyze then begin
       let ra = Diagres.Languages.to_ra (schemas_of db) q in
       let plan, cached = Diagres_ra.Plan_cache.find_or_plan db ra in
       let result = Diagres_ra.Plan.run plan in
       (* explain after exec so every operator line shows actual counts *)
-      print_string (Diagres_ra.Plan.explain plan);
+      print_string
+        (if analyze then Diagres_ra.Plan.analyze plan
+         else Diagres_ra.Plan.explain plan);
       Printf.printf "evaluated %d plan nodes, %d served from the shared-subtree memo\n"
         (Diagres_ra.Plan.total_evals plan)
         (Diagres_ra.Plan.total_hits plan);
       let hits, misses = Diagres_ra.Plan_cache.stats () in
-      Printf.printf "domains: %d   plan cache: %s (hits=%d misses=%d)\n\n"
+      Printf.printf "domains: %d   plan cache: %s (hits=%d misses=%d)\n"
         (Diagres_pool.Pool.size ())
         (if cached then "hit" else "miss")
         hits misses;
+      if analyze then print_phases ();
+      print_newline ();
       print_string (Diagres_data.Relation.to_string result)
     end
     else
@@ -163,7 +214,57 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query on the sample sailors database")
-    Term.(const run $ db_arg $ lang_arg $ explain_arg $ domains_arg $ query_arg)
+    Term.(
+      const run $ db_arg $ lang_arg $ explain_arg $ analyze_arg $ domains_arg
+      $ trace_arg $ query_arg)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let queries_arg =
+    let doc =
+      "Queries to evaluate (in the language chosen with $(b,-l)) before \
+       dumping the metrics registry.  With no queries the five catalog \
+       queries are evaluated in their SQL form."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let json_arg =
+    let doc = "Dump the metrics registry as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run dbdir lang domains json trace queries =
+    handle_errors @@ fun () ->
+    apply_domains domains;
+    with_telemetry ?trace @@ fun () ->
+    let db = load_db dbdir in
+    let lang, queries =
+      match queries with
+      | [] -> ("sql", List.map (fun e -> e.Diagres.Catalog.sql) Diagres.Catalog.all)
+      | qs -> (lang, qs)
+    in
+    let l = Diagres.Languages.of_name lang in
+    List.iter
+      (fun qtext ->
+        let r = Diagres.Languages.eval db (Diagres.Languages.parse l qtext) in
+        if not json then
+          Printf.printf "-- %s  (%d rows)\n" qtext
+            (Diagres_data.Relation.cardinality r))
+      queries;
+    if json then print_endline (T.metrics_json ())
+    else begin
+      if queries <> [] then print_newline ();
+      print_string (T.metrics_to_string ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Evaluate queries and dump the engine metrics registry (cache \
+          hit/miss counters, pool utilization, histograms)")
+    Term.(
+      const run $ db_arg $ lang_arg $ domains_arg $ json_arg $ trace_arg
+      $ queries_arg)
 
 (* ---------------- catalog ---------------- *)
 
@@ -262,7 +363,7 @@ let main =
   Cmd.group
     (Cmd.info "qviz" ~version:"1.0.0"
        ~doc:"Diagrammatic representations of relational queries")
-    [ show_cmd; translate_cmd; eval_cmd; catalog_cmd; survey_cmd;
+    [ show_cmd; translate_cmd; eval_cmd; stats_cmd; catalog_cmd; survey_cmd;
       principles_cmd; syllogisms_cmd ]
 
 let () = exit (Cmd.eval main)

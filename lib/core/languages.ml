@@ -12,6 +12,7 @@ let name = function
   | Datalog -> "Datalog"
 
 module Diag = Diagres_diag.Diag
+module T = Diagres_telemetry.Telemetry
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -59,6 +60,10 @@ let parse lang src : query =
       "%s syntax error: %s" (name lang) msg
   in
   let wrap f =
+    T.with_span ~cat:"phase"
+      ~attrs:(fun () -> [ ("lang", T.Str (name lang)) ])
+      "parse"
+    @@ fun () ->
     try f () with
     | Diagres_parsekit.Stream.Parse_error (msg, off)
     | Diagres_parsekit.Lexer.Lex_error (msg, off) ->
@@ -87,7 +92,12 @@ let lang_of = function
   | Q_drc _ -> Drc
   | Q_datalog _ -> Datalog
 
-let eval db : query -> Diagres_data.Relation.t = function
+let eval db (q : query) : Diagres_data.Relation.t =
+  T.with_span ~cat:"phase"
+    ~attrs:(fun () -> [ ("lang", T.Str (name (lang_of q))) ])
+    "eval"
+  @@ fun () ->
+  match q with
   | Q_sql st -> Diagres_sql.To_ra.eval db st
   | Q_ra e -> Diagres_ra.Eval.eval_planned db e
   | Q_trc q -> Diagres_rc.Trc.eval db q
@@ -98,6 +108,7 @@ let eval db : query -> Diagres_data.Relation.t = function
     generators' input.  Disjunctions hiding inside a panel body are split
     out (via {!Diagres_rc.Translate.drawable_panels}). *)
 let to_trc_panels schemas (q : query) : Diagres_rc.Trc.query list =
+  T.with_span ~cat:"phase" "translate" @@ fun () ->
   let raw =
     match q with
     | Q_sql st -> Diagres_sql.To_trc.statement schemas st
@@ -111,7 +122,9 @@ let to_trc_panels schemas (q : query) : Diagres_rc.Trc.query list =
   Diagres_rc.Translate.drawable_panels schemas raw
 
 (** Normalize to a single RA expression. *)
-let to_ra schemas : query -> Diagres_ra.Ast.t = function
+let to_ra schemas (q : query) : Diagres_ra.Ast.t =
+  T.with_span ~cat:"phase" "translate" @@ fun () ->
+  match q with
   | Q_sql st -> Diagres_sql.To_ra.statement schemas st
   | Q_ra e -> e
   | Q_trc q -> Diagres_rc.Translate.trc_to_ra schemas q

@@ -9,6 +9,7 @@
 
 module D = Diagres_data
 module Diag = Diagres_diag.Diag
+module T = Diagres_telemetry.Telemetry
 
 type formalism =
   | Relational_diagram
@@ -65,6 +66,10 @@ let viz_error code fmt = Diag.error ~code ~phase:Diag.Type fmt
 (** Visualize a parsed query with a formalism.  Panels materialize the
     union decomposition where the formalism needs it. *)
 let visualize schemas (q : Languages.query) (f : formalism) : rendering =
+  T.with_span ~cat:"phase"
+    ~attrs:(fun () -> [ ("formalism", T.Str (formalism_name f)) ])
+    "visualize"
+  @@ fun () ->
   let module G = Diagres_diagrams in
   let trc_panels () = Languages.to_trc_panels schemas q in
   let wrap svgs asciis =
@@ -148,12 +153,13 @@ let verify_roundtrip db (q : Languages.query) : bool =
 
 (** One-call convenience: parse, visualize, verify. *)
 let run db lang_name src formalism_name_ =
+  T.with_span ~cat:"phase" "pipeline" @@ fun () ->
   let schemas =
     List.map (fun (n, r) -> (n, D.Relation.schema r)) (D.Database.relations db)
   in
   let q = Languages.parse (Languages.of_name lang_name) src in
   let r = visualize schemas q (formalism_of_name formalism_name_) in
-  let verified = verify_roundtrip db q in
+  let verified = T.with_span ~cat:"phase" "verify" (fun () -> verify_roundtrip db q) in
   (q, r, verified)
 
 (* -------------------------------------------------------------------- *)

@@ -30,6 +30,43 @@
     independent of the domain count (property-tested against the
     sequential engines at 1, 2, and N domains). *)
 
+module T = Diagres_telemetry.Telemetry
+
+(* ---------------- pool telemetry ----------------
+
+   Utilization counters, always on (one atomic add per *task*, i.e. per
+   morsel, which is noise next to the morsel's work):
+
+   - [pool.tasks.queued]   tasks pushed on the shared queue
+   - [pool.tasks.executed] tasks run by a worker domain
+   - [pool.tasks.helped]   tasks stolen by the submitting domain's help
+                           loop (nonzero = the submitter was not idle)
+   - [pool.batches]        run_all batches that actually used the pool
+   - [pool.tasks.inline]   tasks run inline (pool of size 1 / singleton)
+
+   Busy time needs two clock reads per task, so it is gated on the
+   telemetry flag: per-domain counters [pool.worker<i>.busy_ns] /
+   [pool.helper.busy_ns] plus the [pool.task_ns] histogram. *)
+
+let c_queued = T.counter "pool.tasks.queued"
+let c_executed = T.counter "pool.tasks.executed"
+let c_helped = T.counter "pool.tasks.helped"
+let c_batches = T.counter "pool.batches"
+let c_inline = T.counter "pool.tasks.inline"
+let c_helper_busy = T.counter "pool.helper.busy_ns"
+let h_task_ns = T.histogram "pool.task_ns"
+
+(* run one queue task, attributing its busy time to [busy] when tracing *)
+let run_task ~busy (t : unit -> unit) =
+  if not (T.enabled ()) then t ()
+  else begin
+    let t0 = T.now_ns () in
+    t ();
+    let dt = Int64.sub (T.now_ns ()) t0 in
+    T.add busy (Int64.to_int dt);
+    T.observe h_task_ns (Int64.to_float dt)
+  end
+
 (* ---------------- sizing ---------------- *)
 
 let env_size () =
@@ -60,7 +97,8 @@ type pool = {
 let pool : pool option ref = ref None
 let pool_mutex = Mutex.create ()  (* guards [pool] itself *)
 
-let worker_loop (p : pool) () =
+let worker_loop (p : pool) (wid : int) () =
+  let busy = T.counter (Printf.sprintf "pool.worker%d.busy_ns" wid) in
   let rec loop () =
     Mutex.lock p.mutex;
     let rec next () =
@@ -78,7 +116,8 @@ let worker_loop (p : pool) () =
     | None -> ()
     | Some t ->
       (* tasks are wrapped by [run_all] and never raise *)
-      t ();
+      T.incr c_executed;
+      run_task ~busy t;
       loop ()
   in
   loop ()
@@ -103,7 +142,7 @@ let ensure_pool n : pool =
         { mutex = Mutex.create (); nonempty = Condition.create ();
           queue = Queue.create (); workers = []; stopping = false }
       in
-      p.workers <- List.init (n - 1) (fun _ -> Domain.spawn (worker_loop p));
+      p.workers <- List.init (n - 1) (fun i -> Domain.spawn (worker_loop p i));
       pool := Some p;
       p
   in
@@ -154,15 +193,19 @@ let collect_slots slots =
 let run_all (thunks : (unit -> 'a) array) : 'a array =
   let n = Array.length thunks in
   if n = 0 then [||]
-  else if size () = 1 || n = 1 then
+  else if size () = 1 || n = 1 then begin
     (* inline, but with the same batch semantics as the pooled path: every
        task runs even if an earlier one failed *)
+    T.add c_inline n;
     collect_slots
       (Array.map
          (fun f -> match f () with v -> Done v | exception e -> Failed e)
          thunks)
+  end
   else begin
     let p = ensure_pool (size ()) in
+    T.incr c_batches;
+    T.add c_queued n;
     let slots = Array.make n Pending in
     let remaining = Atomic.make n in
     let task i () =
@@ -186,7 +229,10 @@ let run_all (thunks : (unit -> 'a) array) : 'a array =
       let task = Queue.take_opt p.queue in
       Mutex.unlock p.mutex;
       match task with
-      | Some t -> t ()
+      | Some t ->
+        T.incr c_executed;
+        T.incr c_helped;
+        run_task ~busy:c_helper_busy t
       | None -> Domain.cpu_relax ()
     done;
     collect_slots slots

@@ -15,6 +15,16 @@
     the parallel operators probe indexes concurrently, and whichever domain
     gets there first builds while the others wait. *)
 
+module T = Diagres_telemetry.Telemetry
+
+(* Cache utilization, per cache_get (i.e. per join-side preparation, not
+   per probe): hit = index served from the per-relation cache, miss =
+   built and cached, bypass = built unmemoized because the cache belongs
+   to a different tuple set. *)
+let c_hit = T.counter "index.cache.hit"
+let c_miss = T.counter "index.cache.miss"
+let c_bypass = T.counter "index.cache.bypass"
+
 module Vkey = struct
   type t = Value.t array
 
@@ -79,13 +89,19 @@ let cardinal (ix : t) = H.length ix.table
     cache is bypassed and the index built unmemoized, so a stale entry can
     never be served. *)
 let cache_get (c : cache) ~owner positions (build : unit -> t) : t =
-  if c.owner <> owner then build ()
+  if c.owner <> owner then begin
+    T.incr c_bypass;
+    build ()
+  end
   else begin
     Mutex.lock c.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) @@ fun () ->
     match Hashtbl.find_opt c.tbl positions with
-    | Some ix -> ix
+    | Some ix ->
+      T.incr c_hit;
+      ix
     | None ->
+      T.incr c_miss;
       let ix = build () in
       Hashtbl.add c.tbl positions ix;
       ix

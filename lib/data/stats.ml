@@ -9,6 +9,12 @@
     {!Index.cardinal} of the cached single-column indexes, so a join that
     later probes the same column reuses the very same hash table. *)
 
+module T = Diagres_telemetry.Telemetry
+
+let c_hit = T.counter "stats.cache.hit"
+let c_miss = T.counter "stats.cache.miss"
+let c_bypass = T.counter "stats.cache.bypass"
+
 type t = {
   rows : int;  (** tuple count *)
   distinct : int array;
@@ -30,13 +36,19 @@ let cache_owner (c : cache) = c.owner
     the cache lock) on first use; computed unmemoized if [owner] does not
     match the cache's stamp. *)
 let cache_get (c : cache) ~owner (compute : unit -> t) : t =
-  if c.owner <> owner then compute ()
+  if c.owner <> owner then begin
+    T.incr c_bypass;
+    compute ()
+  end
   else begin
     Mutex.lock c.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) @@ fun () ->
     match c.slot with
-    | Some s -> s
+    | Some s ->
+      T.incr c_hit;
+      s
     | None ->
+      T.incr c_miss;
       let s = compute () in
       c.slot <- Some s;
       s

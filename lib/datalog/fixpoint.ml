@@ -17,6 +17,13 @@
 
 module D = Diagres_data
 module Pool = Diagres_pool.Pool
+module T = Diagres_telemetry.Telemetry
+
+(* Fixpoint telemetry: [datalog.rounds] counts every delta round across
+   all strata (the semi-naive engine only); spans are per stratum
+   ([stratum], attrs: predicates, rounds) and per round ([round], attrs:
+   round index and the total delta size it produced). *)
+let c_rounds = T.counter "datalog.rounds"
 
 exception Fixpoint_error of string
 
@@ -240,11 +247,18 @@ let delta_variants in_comp (r : Ast.rule) : Ast.rule list =
   in
   go [] r.Ast.body []
 
+let delta_total ds =
+  List.fold_left (fun a (_, d) -> a + D.Relation.cardinality d) 0 ds
+
 let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
     (p : Ast.program) : D.Database.t =
   let arities, components = prepare db p in
   List.fold_left
     (fun store comp ->
+      T.with_span ~cat:"fixpoint"
+        ~attrs:(fun () -> [ ("predicates", T.Str (String.concat "," comp)) ])
+        "stratum"
+      @@ fun () ->
       let comp_set = Hashtbl.create 4 in
       List.iter (fun n -> Hashtbl.replace comp_set n ()) comp;
       let in_comp n = Hashtbl.mem comp_set n in
@@ -262,6 +276,7 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
       in
       (* round 0: full evaluation of every rule gives the initial deltas;
          rule bodies across the whole component run on the domain pool *)
+      let sp0 = T.start ~cat:"fixpoint" "round" in
       let round0 =
         group_rows comp
           (eval_rules_parallel store
@@ -281,10 +296,15 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
             (D.Database.add pred rel st, (pred, rel) :: ds))
           (store, []) round0
       in
+      T.incr c_rounds;
+      T.finish
+        ~attrs:[ ("round", T.Int 0); ("delta", T.Int (delta_total deltas)) ]
+        sp0;
       let rec iterate store deltas round =
         if List.for_all (fun (_, d) -> D.Relation.is_empty d) deltas then store
         else if round > max_rounds then diverged (List.hd comp) max_rounds
         else begin
+          let sp = T.start ~cat:"fixpoint" "round" in
           (* expose the deltas under their reserved names *)
           let probe_store =
             List.fold_left
@@ -319,6 +339,12 @@ let eval_program ?(max_rounds = default_max_rounds) (db : D.Database.t)
                 (D.Database.add pred full' st, (pred, fresh) :: ds))
               (store, []) round_rows
           in
+          T.incr c_rounds;
+          T.finish
+            ~attrs:
+              [ ("round", T.Int round);
+                ("delta", T.Int (delta_total deltas')) ]
+            sp;
           iterate store' deltas' (round + 1)
         end
       in

@@ -80,9 +80,11 @@ let rec eval db (e : Ast.t) : D.Relation.t =
     Agrees with the tree-walking {!eval} (property-tested); [eval] remains
     as the naive reference. *)
 let eval_planned db e =
+  let module T = Diagres_telemetry.Telemetry in
   (* reject ill-typed queries with a proper diagnostic before the planner
      sees them — plan construction assumes a well-typed tree and crashes
      with unlocated Invalid_argument/Schema_error otherwise *)
-  ignore (Typecheck.infer (Typecheck.env_of_database db) e);
+  T.with_span ~cat:"phase" "typecheck" (fun () ->
+      ignore (Typecheck.infer (Typecheck.env_of_database db) e));
   let plan, _cached = Plan_cache.find_or_plan db e in
   Plan.run plan

@@ -34,6 +34,7 @@
 
 module D = Diagres_data
 module Pool = Diagres_pool.Pool
+module T = Diagres_telemetry.Telemetry
 
 (** A compiled predicate with its display string (for explain output). *)
 type pred = { display : string; holds : D.Tuple.t -> bool }
@@ -47,6 +48,12 @@ type t = {
   mutable cache : D.Relation.t option;  (** memo: result of the first exec *)
   mutable evals : int;                  (** times the result was computed *)
   mutable hits : int;                   (** times served from the memo *)
+  mutable actual_ns : int64;
+      (** wall time of the last compute, children included; -1 = untimed *)
+  mutable detail : (string * int) list;
+      (** operator-specific measurements from the last traced compute:
+          [build_ns]/[probe_ns] for hash joins, [morsels] for the
+          parallel paths *)
 }
 
 and op =
@@ -107,7 +114,7 @@ let node_counter = ref 0
 let mk op schema est est_distinct : t =
   incr node_counter;
   { id = !node_counter; op; schema; est = Float.max 0. est; est_distinct;
-    cache = None; evals = 0; hits = 0 }
+    cache = None; evals = 0; hits = 0; actual_ns = -1L; detail = [] }
 
 (* ---------------- parallel execution helpers ---------------- *)
 
@@ -145,13 +152,79 @@ let partition_count () =
 
 (* ---------------- execution ---------------- *)
 
+let children n =
+  match n.op with
+  | Scan _ | Empty -> []
+  | Filter (_, c) | Project (_, c) | Relabel c -> [ c ]
+  | Hash_join j -> [ j.left; j.right ]
+  | Nl_join (_, a, b) | Union (a, b) | Inter (a, b) | Diff (a, b)
+  | Division (a, b) ->
+    [ a; b ]
+
+(* Short operator kind, the span name for traced node computations. *)
+let op_kind n =
+  match n.op with
+  | Scan _ -> "op.scan"
+  | Empty -> "op.empty"
+  | Filter _ -> "op.filter"
+  | Project _ -> "op.project"
+  | Relabel _ -> "op.rename"
+  | Hash_join _ -> "op.hash-join"
+  | Nl_join _ -> "op.nl-join"
+  | Union _ -> "op.union"
+  | Inter _ -> "op.intersect"
+  | Diff _ -> "op.minus"
+  | Division _ -> "op.divide"
+
+(* [timed_if f]: (elapsed ns, result of [f]) when tracing is enabled,
+   (0, result) — no clock reads — otherwise. *)
+let timed_if f =
+  if not (T.enabled ()) then (0, f ())
+  else begin
+    let t0 = T.now_ns () in
+    let r = f () in
+    (Int64.to_int (Int64.sub (T.now_ns ()) t0), r)
+  end
+
+(* record the morsel count of a parallel path on the node *)
+let note_morsels n len chunk =
+  if T.enabled () then
+    n.detail <- ("morsels", (len + chunk - 1) / max 1 chunk) :: n.detail
+
 let rec exec (n : t) : D.Relation.t =
   match n.cache with
   | Some r ->
     n.hits <- n.hits + 1;
     r
   | None ->
-    let r = compute n in
+    let r =
+      if not (T.enabled ()) then compute n
+      else begin
+        (* one span per node computation; the duration is inclusive of the
+           children computed beneath it, mirroring the tree shape the
+           trace viewer shows *)
+        let sp = T.start ~cat:"operator" (op_kind n) in
+        let t0 = T.now_ns () in
+        let r = compute n in
+        n.actual_ns <- Int64.sub (T.now_ns ()) t0;
+        let rows_in =
+          List.fold_left
+            (fun acc c ->
+              match c.cache with
+              | Some cr -> acc + D.Relation.cardinality cr
+              | None -> acc)
+            0 (children n)
+        in
+        T.finish
+          ~attrs:
+            (("node", T.Int n.id)
+            :: ("rows_in", T.Int rows_in)
+            :: ("rows_out", T.Int (D.Relation.cardinality r))
+            :: List.map (fun (k, v) -> (k, T.Int v)) n.detail)
+          sp;
+        r
+      end
+    in
     n.evals <- n.evals + 1;
     n.cache <- Some r;
     r
@@ -164,21 +237,25 @@ and compute n : D.Relation.t =
     let r = exec c in
     if not (parallel_for (D.Relation.cardinality r)) then
       D.Relation.filter p.holds r
-    else
+    else begin
+      note_morsels n (D.Relation.cardinality r) !morsel_size;
       let arr = D.Relation.tuples_array r in
       merge_chunks (D.Relation.schema r)
         (Pool.parallel_map_chunks ~chunk:!morsel_size (chunk_filter p.holds)
            arr)
+    end
   | Project (idx, c) ->
     let r = exec c in
     let proj t = Array.map (D.Tuple.get t) idx in
     if not (parallel_for (D.Relation.cardinality r)) then
       D.Relation.map n.schema proj r
-    else
+    else begin
+      note_morsels n (D.Relation.cardinality r) !morsel_size;
       merge_chunks n.schema
         (Pool.parallel_map_chunks ~chunk:!morsel_size
            (fun sub -> Array.fold_right (fun t acc -> proj t :: acc) sub [])
            (D.Relation.tuples_array r))
+    end
   | Relabel c ->
     D.Relation.rename_all (D.Schema.names n.schema) (exec c)
   | Hash_join j ->
@@ -199,13 +276,25 @@ and compute n : D.Relation.t =
         lr []
     in
     if not (parallel_for (D.Relation.cardinality lr)) then begin
-      (* sequential probe over the per-relation cached index *)
-      D.Relation.of_tuples n.schema
-        (probe_all (fun key -> D.Relation.matching rr j.rkey key))
+      (* sequential probe over the per-relation cached index; under
+         tracing the index build is forced first so build and probe time
+         are attributable separately *)
+      let build_ns, () =
+        timed_if (fun () -> D.Relation.prepare_index rr j.rkey)
+      in
+      let probe_ns, r =
+        timed_if (fun () ->
+            D.Relation.of_tuples n.schema
+              (probe_all (fun key -> D.Relation.matching rr j.rkey key)))
+      in
+      if T.enabled () then
+        n.detail <- [ ("build_ns", build_ns); ("probe_ns", probe_ns) ];
+      r
     end
     else begin
       let rkey_arr = Array.of_list j.rkey in
-      let lookup =
+      let build_ns, lookup =
+        timed_if @@ fun () ->
         if parallel_for (D.Relation.cardinality rr) then begin
           (* parallel partitioned build: every partition scans the build
              side and keeps the tuples whose key hash routes to it, so the
@@ -253,9 +342,19 @@ and compute n : D.Relation.t =
               acc (lookup key))
           sub []
       in
-      merge_chunks n.schema
-        (Pool.parallel_map_chunks ~chunk:!morsel_size probe_chunk
-           (D.Relation.tuples_array lr))
+      let probe_ns, r =
+        timed_if (fun () ->
+            merge_chunks n.schema
+              (Pool.parallel_map_chunks ~chunk:!morsel_size probe_chunk
+                 (D.Relation.tuples_array lr)))
+      in
+      if T.enabled () then
+        n.detail <-
+          [ ("build_ns", build_ns); ("probe_ns", probe_ns);
+            ( "morsels",
+              (D.Relation.cardinality lr + !morsel_size - 1) / !morsel_size )
+          ];
+      r
     end
   | Nl_join (p, a, b) ->
     let ra = exec a and rb = exec b in
@@ -274,18 +373,21 @@ and compute n : D.Relation.t =
     in
     if not (parallel_for (ca * cb)) then
       D.Relation.of_tuples n.schema (pair_chunk (D.Relation.tuples_array ra))
-    else
+    else begin
       (* the work is |a|·|b|: chunk the outer side finely enough that even
          a small outer relation spreads across the pool *)
+      note_morsels n ca (chunk_for ca);
       merge_chunks n.schema
         (Pool.parallel_map_chunks ~chunk:(chunk_for ca) pair_chunk
            (D.Relation.tuples_array ra))
+    end
   | Union (a, b) ->
     let ra = exec a and rb = exec b in
     if not (parallel_for (D.Relation.cardinality rb)) then
       D.Relation.union ra rb
-    else
+    else begin
       (* keep a intact; in parallel, find b's genuinely new tuples *)
+      note_morsels n (D.Relation.cardinality rb) !morsel_size;
       let fresh =
         Pool.parallel_map_chunks ~chunk:!morsel_size
           (chunk_filter (fun t -> not (D.Relation.mem t ra)))
@@ -293,36 +395,32 @@ and compute n : D.Relation.t =
       in
       D.Relation.of_tuples n.schema
         (List.concat (D.Relation.tuples ra :: Array.to_list fresh))
+    end
   | Inter (a, b) ->
     let ra = exec a and rb = exec b in
     if not (parallel_for (D.Relation.cardinality ra)) then
       D.Relation.inter ra rb
-    else
+    else begin
+      note_morsels n (D.Relation.cardinality ra) !morsel_size;
       merge_chunks n.schema
         (Pool.parallel_map_chunks ~chunk:!morsel_size
            (chunk_filter (fun t -> D.Relation.mem t rb))
            (D.Relation.tuples_array ra))
+    end
   | Diff (a, b) ->
     let ra = exec a and rb = exec b in
     if not (parallel_for (D.Relation.cardinality ra)) then
       D.Relation.diff ra rb
-    else
+    else begin
+      note_morsels n (D.Relation.cardinality ra) !morsel_size;
       merge_chunks n.schema
         (Pool.parallel_map_chunks ~chunk:!morsel_size
            (chunk_filter (fun t -> not (D.Relation.mem t rb)))
            (D.Relation.tuples_array ra))
+    end
   | Division (a, b) -> D.Relation.division (exec a) (exec b)
 
 (* ---------------- traversal ---------------- *)
-
-let children n =
-  match n.op with
-  | Scan _ | Empty -> []
-  | Filter (_, c) | Project (_, c) | Relabel c -> [ c ]
-  | Hash_join j -> [ j.left; j.right ]
-  | Nl_join (_, a, b) | Union (a, b) | Inter (a, b) | Diff (a, b)
-  | Division (a, b) ->
-    [ a; b ]
 
 (** Fold over every distinct node of the DAG (shared nodes visited once). *)
 let fold_unique f (root : t) init =
@@ -347,14 +445,22 @@ let reset_caches root =
     (fun n () ->
       n.cache <- None;
       n.evals <- 0;
-      n.hits <- 0)
+      n.hits <- 0;
+      n.actual_ns <- -1L;
+      n.detail <- [])
     root ()
 
 (** Execute a (possibly cached, possibly previously executed) plan from a
     clean slate — the entry point {!Eval.eval_planned} uses. *)
 let run root =
   reset_caches root;
-  exec root
+  T.with_span ~cat:"phase"
+    ~attrs:(fun () ->
+      match root.cache with
+      | Some r -> [ ("rows", T.Int (D.Relation.cardinality r)) ]
+      | None -> [])
+    "execute"
+    (fun () -> exec root)
 
 (* ---------------- explain ---------------- *)
 
@@ -389,10 +495,10 @@ let label n =
   | Diff _ -> "minus"
   | Division _ -> "divide"
 
-(** Render the plan, one operator per line, with estimated and (when the
-    node has been executed) actual row counts.  Shared nodes are printed
-    once and referenced by [#id] afterwards. *)
-let explain (root : t) : string =
+(* Shared tree renderer: one operator per line, shared nodes printed once
+   and referenced by [#id] afterwards; [annot n] is the per-node
+   parenthetical. *)
+let render ~annot (root : t) : string =
   (* nodes referenced from more than one parent get a #id tag *)
   let refs = Hashtbl.create 16 in
   let rec count n =
@@ -412,19 +518,72 @@ let explain (root : t) : string =
            (label n))
     else begin
       Hashtbl.add printed n.id ();
-      let actual =
-        match n.cache with
-        | Some r -> string_of_int (D.Relation.cardinality r)
-        | None -> "?"
-      in
       Buffer.add_string buf
-        (Printf.sprintf "%s%s%s  (est=%.0f actual=%s)\n" indent tag (label n)
-           n.est actual);
+        (Printf.sprintf "%s%s%s  (%s)\n" indent tag (label n) (annot n));
       List.iter (go (indent ^ "  ")) (children n)
     end
   in
   go "" root;
   Buffer.contents buf
+
+let actual_rows n =
+  match n.cache with
+  | Some r -> string_of_int (D.Relation.cardinality r)
+  | None -> "?"
+
+(** Render the plan with estimated and (when the node has been executed)
+    actual row counts. *)
+let explain (root : t) : string =
+  render root ~annot:(fun n ->
+      Printf.sprintf "est=%.0f actual=%s" n.est (actual_rows n))
+
+(* A node whose cardinality estimate missed by more than this factor gets
+   flagged in the analyze output. *)
+let est_off_factor = 10.
+
+(* est-vs-actual error ratio, symmetric, with both sides clamped to >= 1
+   so empty results don't divide by zero. *)
+let est_ratio est actual =
+  let e = Float.max 1. est and a = Float.max 1. (float_of_int actual) in
+  Float.max (e /. a) (a /. e)
+
+(** Would this estimate/actual pair be flagged in the analyze output? *)
+let est_off ~est ~actual = est_ratio est actual > est_off_factor
+
+(** Render the plan annotated with the measured execution profile — the
+    [qviz eval --analyze] sink.  Each executed node shows actual rows and
+    wall time (children included) next to the planner's estimate, hash
+    joins additionally split build vs. probe time and parallel operators
+    report their morsel count; nodes whose row estimate was off by more
+    than {!est_off_factor}× are flagged with [!est-off].  Requires the
+    plan to have been run with telemetry enabled; untimed nodes render
+    [time=?]. *)
+let analyze (root : t) : string =
+  render root ~annot:(fun n ->
+      let time =
+        if n.actual_ns < 0L then "time=?"
+        else Printf.sprintf "time=%.3fms" (T.ns_to_ms n.actual_ns)
+      in
+      let detail =
+        String.concat ""
+          (List.map
+             (fun (k, v) ->
+               match k with
+               | "build_ns" -> Printf.sprintf " build=%.3fms" (float_of_int v /. 1e6)
+               | "probe_ns" -> Printf.sprintf " probe=%.3fms" (float_of_int v /. 1e6)
+               | _ -> Printf.sprintf " %s=%d" k v)
+             (List.rev n.detail))
+      in
+      let flag =
+        match n.cache with
+        | Some r
+          when est_ratio n.est (D.Relation.cardinality r) > est_off_factor ->
+          Printf.sprintf "  !est-off(%.0fx)"
+            (est_ratio n.est (D.Relation.cardinality r))
+        | _ -> ""
+      in
+      Printf.sprintf "est=%.0f actual=%s %s%s%s" n.est (actual_rows n) time
+        detail flag)
 
 (** Total number of node computations across the DAG — with hash-consing
     this stays at the number of {e distinct} subexpressions. *)

@@ -26,11 +26,15 @@
     - {b Eviction} is least-recently-used over a fixed capacity
       ({!set_capacity}, default 256 entries).
 
-    Hit/miss counters are surfaced through [qviz eval --explain] and the
-    repeated-query benchmark. *)
+    Hit/miss accounting lives on the telemetry counter registry
+    ([plan_cache.hit] / [plan_cache.miss] / [plan_cache.evictions]), so
+    the numbers are queryable from [qviz stats] and accumulate across a
+    whole batch of queries instead of being private to one [--explain]
+    invocation; {!stats} reads the same counters. *)
 
 module D = Diagres_data
 module F = Diagres_logic.Fol
+module T = Diagres_telemetry.Telemetry
 
 (* ---------------- canonicalization ---------------- *)
 
@@ -75,8 +79,9 @@ type entry = { plan : Plan.t; mutable last_used : int }
 let capacity = ref 256
 let table : (key, entry) Hashtbl.t = Hashtbl.create 64
 let clock = ref 0
-let hits = ref 0
-let misses = ref 0
+let hits = T.counter "plan_cache.hit"
+let misses = T.counter "plan_cache.miss"
+let evictions = T.counter "plan_cache.evictions"
 let mutex = Mutex.create ()
 
 let locked f =
@@ -88,11 +93,13 @@ let clear () = locked (fun () -> Hashtbl.reset table)
 
 let reset_stats () =
   locked (fun () ->
-      hits := 0;
-      misses := 0)
+      T.set_counter hits 0;
+      T.set_counter misses 0)
 
-(** [(hits, misses)] since the last {!reset_stats}. *)
-let stats () = locked (fun () -> (!hits, !misses))
+(** [(hits, misses)] since the last {!reset_stats} — a view of the
+    [plan_cache.*] telemetry counters. *)
+let stats () =
+  locked (fun () -> (T.counter_value hits, T.counter_value misses))
 
 let length () = locked (fun () -> Hashtbl.length table)
 
@@ -126,7 +133,9 @@ let evict_if_full () =
         table None
     in
     match victim with
-    | Some (k, _) -> Hashtbl.remove table k
+    | Some (k, _) ->
+      Hashtbl.remove table k;
+      T.incr evictions
     | None -> ()
   end
 
@@ -141,10 +150,10 @@ let find_or_plan (db : D.Database.t) (e : Ast.t) : Plan.t * bool =
         match Hashtbl.find_opt table key with
         | Some entry ->
           entry.last_used <- !clock;
-          incr hits;
+          T.incr hits;
           Some entry.plan
         | None ->
-          incr misses;
+          T.incr misses;
           None)
   in
   match cached with

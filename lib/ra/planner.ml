@@ -350,7 +350,13 @@ and plan_chain st (e : Ast.t) : Plan.t =
     [~optimize:false]; the memo table makes structurally equal subtrees
     share one physical node. *)
 let plan ?(optimize = true) db (e : Ast.t) : Plan.t =
+  let module T = Diagres_telemetry.Telemetry in
+  T.with_span ~cat:"phase" "plan" @@ fun () ->
   let env = Typecheck.env_of_database db in
-  let e = if optimize then Optimize.optimize env e else e in
+  let e =
+    if optimize then
+      T.with_span ~cat:"phase" "optimize" (fun () -> Optimize.optimize env e)
+    else e
+  in
   let st = { db; env; memo = Hashtbl.create 32 } in
   go st e
