@@ -219,7 +219,17 @@ let write_json path =
         (T.json_escape name) ns tuples nrows
         (if i = last then "" else ","))
     rows;
-  output_string oc "],\n\"metrics\": ";
+  output_string oc "],\n\"columnar\": ";
+  Printf.fprintf oc
+    "{\"enabled\": %b, \"batches\": %d, \"rows\": %d, \
+     \"fallback_row_mode\": %d, \"dict_hit\": %d, \"dict_miss\": %d},\n"
+    !Diagres_ra.Plan.columnar_enabled
+    (T.counter_named "columnar.batches")
+    (T.counter_named "columnar.rows")
+    (T.counter_named "columnar.fallback_row_mode")
+    (T.counter_named "columnar.dict.hit")
+    (T.counter_named "columnar.dict.miss");
+  output_string oc "\"metrics\": ";
   output_string oc (T.metrics_json ());
   output_string oc "\n}\n";
   close_out oc;
@@ -240,6 +250,30 @@ let walltimed3 f =
   let t2, _ = walltimed f in
   let t3, _ = walltimed f in
   (Float.min t1 (Float.min t2 t3), r)
+
+(* Best-of-three at the allocator steady state: several warm-up runs with a
+   compaction after each, then a compaction before every timed run (outside
+   the timed window).  The warm-ups matter on fresh multi-megabyte data:
+   until the dead results of earlier runs have actually been freed back to
+   the allocator, every output buffer is freshly mapped memory and the
+   kernel's page-fault cost — tens of microseconds per page on a
+   virtualized host — dwarfs the compute being measured.  After a few
+   alloc/free cycles the allocator retains and reuses the pages and the
+   per-run cost is the kernels themselves, which is the repeated-query
+   regime the benchmark is about. *)
+let walltimed3s f =
+  for _ = 1 to 5 do
+    ignore (f ());
+    Gc.compact ()
+  done;
+  let best = ref infinity and res = ref None in
+  for _ = 1 to 3 do
+    Gc.compact ();
+    let t, r = walltimed f in
+    if t < !best then best := t;
+    res := Some r
+  done;
+  (!best, Option.get !res)
 
 let scaling_table ~quick () =
   hr "Evaluator scaling (Q1; RA / TRC / DRC / Datalog), wall-clock";
@@ -582,6 +616,99 @@ let e12_plan_cache_table ~quick () =
      execute only; both paths reset per-node memos, so every eval touches \
      the data)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E13: the columnar substrate.  The same physical plan executed twice —
+   row-at-a-time (columnar disabled) vs vectorized over column batches —
+   on a selective filter and a key join, from 10k up to 1M sailors.  The
+   ns/row columns are the point: the vectorized per-row cost stays flat
+   as the input grows, so the speedup holds at scale.  The one-time
+   row→column conversion is paid in the warm-up run (it memoizes on the
+   relation), matching the serving workload: scan once, decode never. *)
+
+(* A columnar-born copy of a generated database: the relations share the
+   converted column batches, the row-oriented originals (tuple sets, boxed
+   values) become garbage.  This is the steady state the substrate is for
+   — data loaded into columns once, queried many times — and it is what
+   makes the comparison honest at the million-row scale: holding a
+   gigabyte of boxed rows live would tax every allocation the vectorized
+   kernels make with major-GC marking work on the row data's behalf. *)
+let columnar_db n =
+  let rdb =
+    Diagres_data.Generator.sailors_db ~n_sailors:n
+      ~n_boats:(max 4 (n / 10))
+      ~n_reserves:(2 * n) (n + 7)
+  in
+  Diagres_data.Database.of_list
+    (List.map
+       (fun (name, r) ->
+         ( name,
+           Diagres_data.Relation.of_batch ~canonical:true
+             (Diagres_data.Relation.schema r)
+             (Diagres_data.Relation.batch r) ))
+       (Diagres_data.Database.relations rdb))
+
+let e13_table ~quick () =
+  hr "E13  columnar vs row execution (same plan, kernels toggled)";
+  let queries =
+    [ ("filter", "select[rating > 7](Sailor)");
+      ("join", "project[sname](Sailor join Reserves)") ]
+  in
+  let sizes = if quick then [ 1000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  let old_col = !Diagres_ra.Plan.columnar_enabled in
+  Printf.printf "%-8s %9s %10s %10s %9s %11s %11s %7s\n" "query" "tuples"
+    "row(s)" "col(s)" "speedup" "row ns/row" "col ns/row" "agree";
+  List.iter
+    (fun n ->
+      let rdb = columnar_db n in
+      Gc.compact ();
+      let ntup = Diagres_data.Database.total_tuples rdb in
+      let plans =
+        List.map
+          (fun (qname, src) ->
+            (qname, Diagres_ra.Planner.plan rdb (Diagres_ra.Parser.parse src)))
+          queries
+      in
+      (* vectorized first, while only the columns are live; the row pass
+         afterwards materializes boxed tuples on demand (memoized, so its
+         warm-up pays the decode once, outside the timed region) *)
+      Diagres_ra.Plan.columnar_enabled := true;
+      let col_times =
+        List.map
+          (fun (qname, plan) ->
+            let warm = Diagres_ra.Plan.run plan in
+            let t_col, r = walltimed3s (fun () -> Diagres_ra.Plan.run plan) in
+            (qname, plan, warm, r, t_col))
+          plans
+      in
+      Diagres_ra.Plan.columnar_enabled := false;
+      List.iter
+        (fun (qname, plan, warm, rcol, t_col) ->
+          let reference = Diagres_ra.Plan.run plan in
+          let t_row, _ = walltimed3s (fun () -> Diagres_ra.Plan.run plan) in
+          let agree =
+            Diagres_data.Relation.same_rows reference warm
+            && Diagres_data.Relation.same_rows reference rcol
+          in
+          let rows = Diagres_data.Relation.cardinality reference in
+          record
+            ~name:(Printf.sprintf "e13/%s/row/n=%d" qname n)
+            ~ns:(t_row *. 1e9) ~tuples:ntup ~rows;
+          record
+            ~name:(Printf.sprintf "e13/%s/columnar/n=%d" qname n)
+            ~ns:(t_col *. 1e9) ~tuples:ntup ~rows;
+          Printf.printf "%-8s %9d %10.4f %10.4f %8.1fx %11.1f %11.1f %7b\n"
+            qname ntup t_row t_col (t_row /. t_col)
+            (t_row /. float_of_int ntup *. 1e9)
+            (t_col /. float_of_int ntup *. 1e9)
+            agree)
+        col_times;
+      Diagres_ra.Plan.columnar_enabled := old_col)
+    sizes;
+  Printf.printf
+    "(same physical plan both times — only the execution kernels differ; \
+     both modes run warm: columns converted and boxed tuples decoded \
+     before timing, the repeated-query steady state)\n"
+
 let stage = Staged.stage
 
 let bench_tests () =
@@ -719,6 +846,21 @@ let () =
       List.map int_of_string (String.split_on_char ',' spec)
     | None -> if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ]
   in
+  (* --columnar on|off: master switch for the vectorized kernels in every
+     table (same default as env DIAGRES_COLUMNAR; E13 toggles it per run
+     regardless, to measure both sides) *)
+  let () =
+    let rec find = function
+      | "--columnar" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    match find (Array.to_list Sys.argv) with
+    | Some ("on" | "1" | "true") -> Diagres_ra.Plan.columnar_enabled := true
+    | Some ("off" | "0" | "false") -> Diagres_ra.Plan.columnar_enabled := false
+    | Some v -> Printf.eprintf "ignoring --columnar %s (want on|off)\n" v
+    | None -> ()
+  in
   e1_table ();
   e2_table ();
   e4_table ();
@@ -732,6 +874,7 @@ let () =
   e11_table ~quick ();
   e12_parallel_table ~quick ~domains ();
   e12_plan_cache_table ~quick ();
+  e13_table ~quick ();
   if not quick then run_benchmarks ();
   Option.iter write_json json_path;
   print_newline ()

@@ -1,0 +1,127 @@
+(** Fixed-width batches of columns — the unit the vectorized operators
+    exchange.  A batch is [nrows] rows across [cols] columns (the explicit
+    row count keeps nullary relations honest).  A batch is {e canonical}
+    when its rows are sorted ascending by {!row_compare} and duplicate-free
+    — exactly the order {!Tuple.compare} gives a relation's tuple set, so
+    a canonical batch and the [Tset.t] it mirrors enumerate identically. *)
+
+type t = { nrows : int; cols : Column.t array }
+
+let nrows b = b.nrows
+let ncols b = Array.length b.cols
+let cols b = b.cols
+
+(** Assemble a batch from columns (all of length [nrows]; a nullary batch
+    passes an empty column array). *)
+let make ~nrows cols : t = { nrows; cols }
+
+let of_tuples ~arity (tups : Tuple.t array) : t =
+  let n = Array.length tups in
+  let cols =
+    Array.init arity (fun c ->
+        Column.of_values (Array.init n (fun i -> tups.(i).(c))))
+  in
+  { nrows = n; cols }
+
+(** Decode row [i] back to a boxed tuple. *)
+let tuple_at b i : Tuple.t =
+  Array.map (fun col -> Column.get col i) b.cols
+
+let iter f b =
+  for i = 0 to b.nrows - 1 do
+    f (tuple_at b i)
+  done
+
+let fold f acc b =
+  let acc = ref acc in
+  for i = 0 to b.nrows - 1 do
+    acc := f !acc (tuple_at b i)
+  done;
+  !acc
+
+let to_tuples b : Tuple.t array = Array.init b.nrows (tuple_at b)
+
+(** Rows [idx] (in that order) of [b] — the gather behind selection
+    vectors and join outputs. *)
+let gather b (idx : int array) : t =
+  { nrows = Array.length idx;
+    cols = Array.map (fun c -> Column.gather c idx) b.cols }
+
+(** Column subset [which] of [b], zero-copy — the late-materializing
+    projection: dropped columns are never touched. *)
+let columns b (which : int array) : t =
+  { nrows = b.nrows; cols = Array.map (fun c -> b.cols.(c)) which }
+
+(** Lexicographic row comparator, consistent with {!Tuple.compare} on the
+    decoded rows. *)
+let row_compare b : int -> int -> int =
+  let cmps = Array.map Column.row_compare b.cols in
+  fun i j ->
+    let rec go c =
+      if c = Array.length cmps then 0
+      else
+        let r = cmps.(c) i j in
+        if r <> 0 then r else go (c + 1)
+    in
+    go 0
+
+let is_canonical b =
+  let cmp = row_compare b in
+  let rec go i = i >= b.nrows || (cmp (i - 1) i < 0 && go (i + 1)) in
+  b.nrows = 0 || go 1
+
+(** Canonicalize: sort rows ascending, drop duplicates.  Already-canonical
+    batches are returned as-is (one comparator pass, no copy). *)
+let sort_dedup b : t =
+  if b.nrows <= 1 && ncols b > 0 then b
+  else if ncols b = 0 then { b with nrows = min b.nrows 1 }
+  else
+    match
+      (* single exactly-represented column: O(n) dedup off the value/code
+         domain instead of a comparison sort over every row *)
+      if ncols b = 1 then Column.distinct_sorted b.cols.(0) else None
+    with
+    | Some c -> { nrows = Column.length c; cols = [| c |] }
+    | None ->
+      if is_canonical b then b
+      else begin
+        let idx = Array.init b.nrows (fun i -> i) in
+        let cmp = row_compare b in
+        Array.sort cmp idx;
+        (* keep the first of each run of equal rows *)
+        let keep = ref [] and kept = ref 0 in
+        for k = b.nrows - 1 downto 0 do
+          if k = 0 || cmp idx.(k - 1) idx.(k) <> 0 then begin
+            keep := idx.(k) :: !keep;
+            incr kept
+          end
+        done;
+        let sel = Array.make !kept 0 in
+        List.iteri (fun i v -> sel.(i) <- v) !keep;
+        gather b sel
+      end
+
+(** Binary search of boxed tuple [tup] in a {e canonical} batch. *)
+let mem b (tup : Tuple.t) : bool =
+  let cmp_row i =
+    (* compare row i against tup, column-wise *)
+    let rec go c =
+      if c = ncols b then 0
+      else
+        let r = Value.compare (Column.get b.cols.(c) i) tup.(c) in
+        if r <> 0 then r else go (c + 1)
+    in
+    go 0
+  in
+  if ncols b = 0 then b.nrows > 0 && Array.length tup = 0
+  else begin
+    let lo = ref 0 and hi = ref (b.nrows - 1) and found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let r = cmp_row mid in
+      if r = 0 then found := true
+      else if r < 0 then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end

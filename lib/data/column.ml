@@ -1,0 +1,610 @@
+(** Typed, unboxed columns — the storage half of the columnar substrate.
+
+    A column holds the values one attribute takes over a block of rows, in
+    a representation chosen from the data itself (not the declared schema
+    type, which may be [Tany]):
+
+    - all-[Int] columns live in an int {!Bigarray} (no per-value boxing);
+    - all-[Float] columns live in a float64 {!Bigarray};
+    - all-[Bool] columns are bitsets (one bit per row);
+    - all-[String] columns are dictionary-encoded: an int {!Bigarray} of
+      codes plus a per-column {e sorted} dictionary, so code order equals
+      string order and both equality {e and} range predicates on strings
+      compile down to integer comparisons;
+    - anything else (a [Null], or a column genuinely mixing value kinds,
+      which the active-domain construction can produce) falls back to a
+      boxed [Value.t array] with the exact row-at-a-time semantics.
+
+    The selection kernels at the bottom are the vectorized inner loops the
+    physical plan operators run: each fills a byte-per-row bitmap for one
+    comparison over a row range, and the caller combines bitmaps with
+    {!band}/{!bor}/{!bnot} — no per-row closure dispatch on the typed fast
+    paths.  Everything here is consistent with {!Value.compare}: within one
+    column kind, the unboxed comparison order is exactly the boxed one, so
+    sorting rows by columns reproduces {!Tuple.compare} order. *)
+
+module T = Diagres_telemetry.Telemetry
+
+(* Dictionary utilization, counted at the points where a *probe* value
+   meets a dictionary: encoding a predicate constant, and translating one
+   dictionary's codes into another's for a join.  hit = the value exists
+   in the dictionary, miss = it does not (the probe can match nothing). *)
+let c_dict_hit = T.counter "columnar.dict.hit"
+let c_dict_miss = T.counter "columnar.dict.miss"
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** A per-column string dictionary.  [values] is sorted ascending and
+    duplicate-free, so codes compare like the strings they stand for. *)
+type dict = { values : string array; code_of : (string, int) Hashtbl.t }
+
+type t =
+  | Ints of ints
+  | Floats of floats
+  | Bools of Bytes.t * int  (** bitset, row count *)
+  | Codes of ints * dict    (** dictionary-encoded strings *)
+  | Boxed of Value.t array  (** fallback: nulls or mixed kinds *)
+
+let make_ints n : ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let make_floats n : floats =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+(* ---------------- bitsets ---------------- *)
+
+let bitset_make n = Bytes.make ((n + 7) lsr 3) '\000'
+
+let bit_get b i =
+  (Char.code (Bytes.unsafe_get b (i lsr 3)) lsr (i land 7)) land 1
+
+let bit_set b i =
+  Bytes.unsafe_set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+(* ---------------- basics ---------------- *)
+
+let length = function
+  | Ints a -> Bigarray.Array1.dim a
+  | Floats a -> Bigarray.Array1.dim a
+  | Bools (_, n) -> n
+  | Codes (a, _) -> Bigarray.Array1.dim a
+  | Boxed a -> Array.length a
+
+(** Decode one cell back to a boxed value. *)
+let get col i =
+  match col with
+  | Ints a -> Value.Int a.{i}
+  | Floats a -> Value.Float a.{i}
+  | Bools (b, _) -> Value.Bool (bit_get b i = 1)
+  | Codes (a, d) -> Value.String d.values.(a.{i})
+  | Boxed a -> a.(i)
+
+(* ---------------- dictionaries ---------------- *)
+
+let dict_of_strings (strings : string array) : dict =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun s -> if not (Hashtbl.mem seen s) then Hashtbl.add seen s ()) strings;
+  let values = Array.of_seq (Hashtbl.to_seq_keys seen) in
+  Array.sort String.compare values;
+  let code_of = Hashtbl.create (2 * Array.length values) in
+  Array.iteri (fun c s -> Hashtbl.replace code_of s c) values;
+  { values; code_of }
+
+let dict_size (d : dict) = Array.length d.values
+
+(** Code of [s] in [d], if present; counts the dictionary hit/miss
+    telemetry (this is the probe point for predicate constants). *)
+let dict_code (d : dict) s =
+  match Hashtbl.find_opt d.code_of s with
+  | Some c ->
+    T.incr c_dict_hit;
+    Some c
+  | None ->
+    T.incr c_dict_miss;
+    None
+
+(** Number of dictionary values strictly below [s] — the threshold that
+    turns an ordered string comparison into an ordered code comparison. *)
+let dict_rank (d : dict) s =
+  let lo = ref 0 and hi = ref (Array.length d.values) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare d.values.(mid) s < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** [translate ~from ~into]: per-code mapping of [from]'s codes into
+    [into]'s code space, [-1] where the string is absent (it can then never
+    compare equal to a real code, which is what the join build wants). *)
+let translate ~(from : dict) ~(into : dict) : int array =
+  Array.map
+    (fun s -> match dict_code into s with Some c -> c | None -> -1)
+    from.values
+
+(* ---------------- construction ---------------- *)
+
+(** Build the best representation for [vs].  The array is owned by the
+    column afterwards (callers pass freshly built arrays). *)
+let of_values (vs : Value.t array) : t =
+  let n = Array.length vs in
+  if n = 0 then Boxed [||]
+  else begin
+    let all p =
+      let rec go i = i = n || (p vs.(i) && go (i + 1)) in
+      go 0
+    in
+    match vs.(0) with
+    | Value.Int _ when all (function Value.Int _ -> true | _ -> false) ->
+      let a = make_ints n in
+      Array.iteri
+        (fun i v -> match v with Value.Int x -> a.{i} <- x | _ -> ())
+        vs;
+      Ints a
+    | Value.Float _ when all (function Value.Float _ -> true | _ -> false) ->
+      let a = make_floats n in
+      Array.iteri
+        (fun i v -> match v with Value.Float x -> a.{i} <- x | _ -> ())
+        vs;
+      Floats a
+    | Value.Bool _ when all (function Value.Bool _ -> true | _ -> false) ->
+      let b = bitset_make n in
+      Array.iteri
+        (fun i v -> match v with Value.Bool true -> bit_set b i | _ -> ())
+        vs;
+      Bools (b, n)
+    | Value.String _ when all (function Value.String _ -> true | _ -> false) ->
+      let strings =
+        Array.map (function Value.String s -> s | _ -> assert false) vs
+      in
+      let d = dict_of_strings strings in
+      let a = make_ints n in
+      Array.iteri (fun i s -> a.{i} <- Hashtbl.find d.code_of s) strings;
+      Codes (a, d)
+    | _ -> Boxed vs
+  end
+
+(** [gather col idx]: the column restricted to the rows in [idx], in that
+    order.  Keeps the representation (and shares the dictionary, which may
+    then overstate the distinct count — {!distinct_count} recounts). *)
+let gather col (idx : int array) : t =
+  let n = Array.length idx in
+  match col with
+  | Ints a ->
+    let out = make_ints n in
+    for k = 0 to n - 1 do
+      out.{k} <- a.{Array.unsafe_get idx k}
+    done;
+    Ints out
+  | Floats a ->
+    let out = make_floats n in
+    for k = 0 to n - 1 do
+      out.{k} <- a.{Array.unsafe_get idx k}
+    done;
+    Floats out
+  | Bools (b, _) ->
+    let out = bitset_make n in
+    for k = 0 to n - 1 do
+      if bit_get b (Array.unsafe_get idx k) = 1 then bit_set out k
+    done;
+    Bools (out, n)
+  | Codes (a, d) ->
+    let out = make_ints n in
+    for k = 0 to n - 1 do
+      out.{k} <- a.{Array.unsafe_get idx k}
+    done;
+    Codes (out, d)
+  | Boxed a -> Boxed (Array.map (fun i -> a.(i)) idx)
+
+(* ---------------- comparison ---------------- *)
+
+(** Specialized two-row comparator within one column; agrees with
+    {!Value.compare} on the decoded values (the dictionary is sorted, so
+    code order is string order). *)
+let row_compare col : int -> int -> int =
+  match col with
+  | Ints a -> fun i j -> Int.compare a.{i} a.{j}
+  | Floats a -> fun i j -> Float.compare a.{i} a.{j}
+  | Bools (b, _) -> fun i j -> Int.compare (bit_get b i) (bit_get b j)
+  | Codes (a, _) -> fun i j -> Int.compare a.{i} a.{j}
+  | Boxed a -> fun i j -> Value.compare a.(i) a.(j)
+
+(** Compare cell [i] of [a] against cell [j] of [b], across columns; falls
+    back to decoded {!Value.compare} when the representations differ. *)
+let cell_compare a i b j =
+  match (a, b) with
+  | Ints x, Ints y -> Int.compare x.{i} y.{j}
+  | Floats x, Floats y -> Float.compare x.{i} y.{j}
+  | Bools (x, _), Bools (y, _) -> Int.compare (bit_get x i) (bit_get y j)
+  | Codes (x, dx), Codes (y, dy) when dx == dy -> Int.compare x.{i} y.{j}
+  | _ -> Value.compare (get a i) (get b j)
+
+(** Sorted duplicate-free copy of the column, for the kinds whose unboxed
+    representation is exact (ints, bools, dictionary codes): the O(n)
+    single-column dedup behind wide projections, instead of a comparison
+    sort of every row.  [None] for floats — [0.] and [-0.] are equal under
+    {!Value.compare} but bit-distinct, so a bits-keyed dedup would keep
+    both — and for boxed columns; those take the generic sort. *)
+let distinct_sorted col : t option =
+  match col with
+  | Ints a ->
+    let n = Bigarray.Array1.dim a in
+    let seen = Hashtbl.create (min (max n 16) 1024) in
+    for i = 0 to n - 1 do
+      let v = Bigarray.Array1.unsafe_get a i in
+      if not (Hashtbl.mem seen v) then Hashtbl.add seen v ()
+    done;
+    let vals = Array.make (Hashtbl.length seen) 0 in
+    let j = ref 0 in
+    Hashtbl.iter
+      (fun v () ->
+        vals.(!j) <- v;
+        incr j)
+      seen;
+    Array.sort Int.compare vals;
+    let out = make_ints (Array.length vals) in
+    Array.iteri (fun i v -> out.{i} <- v) vals;
+    Some (Ints out)
+  | Bools (b, n) ->
+    let seen_t = ref false and seen_f = ref false in
+    for i = 0 to n - 1 do
+      if bit_get b i = 1 then seen_t := true else seen_f := true
+    done;
+    let m = (if !seen_f then 1 else 0) + if !seen_t then 1 else 0 in
+    let out = bitset_make m in
+    (* false sorts before true, so a set true bit is always the last row *)
+    if !seen_t then bit_set out (m - 1);
+    Some (Bools (out, m))
+  | Codes (a, d) ->
+    let k = dict_size d in
+    let present = Bytes.make k '\000' in
+    let n = Bigarray.Array1.dim a in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set present (Bigarray.Array1.unsafe_get a i) '\001'
+    done;
+    let cnt = ref 0 in
+    Bytes.iter (fun c -> if c = '\001' then incr cnt) present;
+    let out = make_ints !cnt in
+    let j = ref 0 in
+    for c = 0 to k - 1 do
+      if Bytes.get present c = '\001' then begin
+        out.{!j} <- c;
+        incr j
+      end
+    done;
+    Some (Codes (out, d))
+  | Floats _ | Boxed _ -> None
+
+(** Exact distinct-value count, straight off the unboxed representation:
+    dictionary columns count present codes against the dictionary (no
+    hashing of strings), bool columns scan the bitset, numeric columns use
+    an unboxed-key hash set. *)
+let distinct_count col =
+  let n = length col in
+  if n = 0 then 0
+  else
+    match col with
+    | Ints a ->
+      let seen = Hashtbl.create (min n 1024) in
+      for i = 0 to n - 1 do
+        let v = a.{i} in
+        if not (Hashtbl.mem seen v) then Hashtbl.add seen v ()
+      done;
+      Hashtbl.length seen
+    | Floats a ->
+      (* key on the bit pattern so nan = nan (as Value.compare has it) *)
+      let seen = Hashtbl.create (min n 1024) in
+      for i = 0 to n - 1 do
+        let v = Int64.bits_of_float a.{i} in
+        if not (Hashtbl.mem seen v) then Hashtbl.add seen v ()
+      done;
+      Hashtbl.length seen
+    | Bools (b, _) ->
+      let seen_t = ref false and seen_f = ref false in
+      for i = 0 to n - 1 do
+        if bit_get b i = 1 then seen_t := true else seen_f := true
+      done;
+      (if !seen_t then 1 else 0) + if !seen_f then 1 else 0
+    | Codes (a, d) ->
+      let present = Bytes.make (dict_size d) '\000' in
+      for i = 0 to n - 1 do
+        Bytes.unsafe_set present a.{i} '\001'
+      done;
+      let c = ref 0 in
+      Bytes.iter (fun b -> if b = '\001' then incr c) present;
+      !c
+    | Boxed a ->
+      let module VH = Hashtbl.Make (struct
+        type t = Value.t
+
+        let equal = Value.equal
+        let hash = Value.hash
+      end) in
+      let seen = VH.create (min n 1024) in
+      Array.iter (fun v -> if not (VH.mem seen v) then VH.add seen v ()) a;
+      VH.length seen
+
+(* ---------------- vectorized selection kernels ---------------- *)
+
+(** Comparison operators, mirroring [Fol.cmp] without depending on it. *)
+type cmp = Clt | Cle | Ceq | Cneq | Cge | Cgt
+
+(** A bitmap filler: write 0/1 into [dst.(k)] for rows [lo + k],
+    [0 <= k < len].  [dst] is byte-per-row scratch owned by the caller. *)
+type filler = lo:int -> len:int -> Bytes.t -> unit
+
+let fill_const b : filler =
+  let c = if b then '\001' else '\000' in
+  fun ~lo:_ ~len dst -> Bytes.fill dst 0 len c
+
+(** dst &= src over [len] bytes. *)
+let band dst src len =
+  for k = 0 to len - 1 do
+    if Bytes.unsafe_get src k = '\000' then Bytes.unsafe_set dst k '\000'
+  done
+
+(** dst |= src over [len] bytes. *)
+let bor dst src len =
+  for k = 0 to len - 1 do
+    if Bytes.unsafe_get src k <> '\000' then Bytes.unsafe_set dst k '\001'
+  done
+
+(** dst = not dst over [len] bytes. *)
+let bnot dst len =
+  for k = 0 to len - 1 do
+    Bytes.unsafe_set dst k
+      (if Bytes.unsafe_get dst k = '\000' then '\001' else '\000')
+  done
+
+(** Generic per-row fill from a predicate over absolute row indices — the
+    fallback the vectorized filter uses for combinations with no typed
+    kernel (boxed columns, cross-kind comparisons). *)
+let fill_with (p : int -> bool) : filler =
+ fun ~lo ~len dst ->
+  for k = 0 to len - 1 do
+    Bytes.unsafe_set dst k (if p (lo + k) then '\001' else '\000')
+  done
+
+(* One tight loop per operator: the match on [op] happens once, outside
+   the loop, so the loop body is a bigarray read, a compare, and a byte
+   write. *)
+let fill_int_cmp (a : ints) op (c : int) : filler =
+  let ( .%{} ) = Bigarray.Array1.unsafe_get in
+  let set = Bytes.unsafe_set in
+  match op with
+  | Clt ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} < c then '\001' else '\000')
+      done
+  | Cle ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} <= c then '\001' else '\000')
+      done
+  | Ceq ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} = c then '\001' else '\000')
+      done
+  | Cneq ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} <> c then '\001' else '\000')
+      done
+  | Cge ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} >= c then '\001' else '\000')
+      done
+  | Cgt ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} > c then '\001' else '\000')
+      done
+
+(* Float comparisons go through [Float.compare] (the total order, nan
+   lowest and equal to itself) because that is what [Value.compare] — and
+   therefore [Fol.cmp_eval] on non-null values — uses; native [<]/[=]
+   would disagree on nan. *)
+let fcmp op u v =
+  let r = Float.compare u v in
+  match op with
+  | Clt -> r < 0
+  | Cle -> r <= 0
+  | Ceq -> r = 0
+  | Cneq -> r <> 0
+  | Cge -> r >= 0
+  | Cgt -> r > 0
+
+let fill_float_cmp (a : floats) op (c : float) : filler =
+  let ( .%{} ) = Bigarray.Array1.unsafe_get in
+  let set = Bytes.unsafe_set in
+  match op with
+  | Clt ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if Float.compare a.%{lo + k} c < 0 then '\001' else '\000')
+      done
+  | Cle ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if Float.compare a.%{lo + k} c <= 0 then '\001' else '\000')
+      done
+  | Ceq ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if Float.compare a.%{lo + k} c = 0 then '\001' else '\000')
+      done
+  | Cneq ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if Float.compare a.%{lo + k} c <> 0 then '\001' else '\000')
+      done
+  | Cge ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if Float.compare a.%{lo + k} c >= 0 then '\001' else '\000')
+      done
+  | Cgt ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if Float.compare a.%{lo + k} c > 0 then '\001' else '\000')
+      done
+
+let fill_int_cmp_cols (a : ints) op (b : ints) : filler =
+  let ( .%{} ) = Bigarray.Array1.unsafe_get in
+  let set = Bytes.unsafe_set in
+  match op with
+  | Clt ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} < b.%{lo + k} then '\001' else '\000')
+      done
+  | Cle ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} <= b.%{lo + k} then '\001' else '\000')
+      done
+  | Ceq ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} = b.%{lo + k} then '\001' else '\000')
+      done
+  | Cneq ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} <> b.%{lo + k} then '\001' else '\000')
+      done
+  | Cge ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} >= b.%{lo + k} then '\001' else '\000')
+      done
+  | Cgt ->
+    fun ~lo ~len dst ->
+      for k = 0 to len - 1 do
+        set dst k (if a.%{lo + k} > b.%{lo + k} then '\001' else '\000')
+      done
+
+(* Ordered comparison against a code threshold: [rank] values sort below
+   the constant, [present] says whether the constant itself is a code.
+   col < s  <=>  code < rank;  col <= s  <=>  code < rank + (present?1:0). *)
+let code_threshold op ~rank ~present : (cmp * int) option =
+  let upper = rank + if present then 1 else 0 in
+  match op with
+  | Clt -> Some (Clt, rank)
+  | Cle -> Some (Clt, upper)
+  | Cge -> Some (Cge, rank)
+  | Cgt -> Some (Cge, upper)
+  | Ceq | Cneq -> None
+
+(** Typed kernel for [col op const], if the combination supports one.
+    The [Value] semantics are preserved exactly: dictionary order equals
+    string order, int-vs-float compares numerically. *)
+let fill_cmp_const op col (c : Value.t) : filler option =
+  match (col, c) with
+  | Ints a, Value.Int x -> Some (fill_int_cmp a op x)
+  | Ints a, Value.Float x ->
+    (* numeric cross-compare, as Value.compare does it *)
+    Some (fill_with (fun i -> fcmp op (float_of_int a.{i}) x))
+  | Floats a, Value.Float x -> Some (fill_float_cmp a op x)
+  | Floats a, Value.Int x -> Some (fill_float_cmp a op (float_of_int x))
+  | Codes (a, d), Value.String s -> (
+    match op with
+    | Ceq -> (
+      match dict_code d s with
+      | Some c -> Some (fill_int_cmp a Ceq c)
+      | None -> Some (fill_const false))
+    | Cneq -> (
+      match dict_code d s with
+      | Some c -> Some (fill_int_cmp a Cneq c)
+      | None -> Some (fill_const true))
+    | _ -> (
+      let rank = dict_rank d s in
+      let present = Hashtbl.mem d.code_of s in
+      match code_threshold op ~rank ~present with
+      | Some (op', thr) -> Some (fill_int_cmp a op' thr)
+      | None -> None))
+  | Bools (b, _), Value.Bool x ->
+    let c = if x then 1 else 0 in
+    Some
+      (fill_with
+         (fun i ->
+           let v = bit_get b i in
+           match op with
+           | Clt -> v < c
+           | Cle -> v <= c
+           | Ceq -> v = c
+           | Cneq -> v <> c
+           | Cge -> v >= c
+           | Cgt -> v > c))
+  | _ -> None
+
+(** Typed kernel for [col_a op col_b] (same row on both sides). *)
+let fill_cmp_cols op a b : filler option =
+  match (a, b) with
+  | Ints x, Ints y -> Some (fill_int_cmp_cols x op y)
+  | Floats x, Floats y -> Some (fill_with (fun i -> fcmp op x.{i} y.{i}))
+  | Ints x, Floats y ->
+    Some (fill_with (fun i -> fcmp op (float_of_int x.{i}) y.{i}))
+  | Floats x, Ints y ->
+    Some (fill_with (fun i -> fcmp op x.{i} (float_of_int y.{i})))
+  | Codes (x, dx), Codes (y, dy) when dx == dy ->
+    Some (fill_int_cmp_cols x op y)
+  | Bools (x, _), Bools (y, _) ->
+    Some
+      (fill_with
+         (fun i ->
+           let u = bit_get x i and v = bit_get y i in
+           match op with
+           | Clt -> u < v
+           | Cle -> u <= v
+           | Ceq -> u = v
+           | Cneq -> u <> v
+           | Cge -> u >= v
+           | Cgt -> u > v))
+  | _ -> None
+
+(** Selection vector of a bitmap: the absolute row indices (ascending)
+    whose byte is set. *)
+let sel_of_bits bits ~lo ~len : int array =
+  (* branchless on the bitmap bytes (every filler writes exactly 0 or 1):
+     a random pass/fail pattern — the expensive case for a selective
+     predicate — costs no branch mispredictions *)
+  let count = ref 0 in
+  for k = 0 to len - 1 do
+    count := !count + Char.code (Bytes.unsafe_get bits k)
+  done;
+  let n = !count in
+  let sel = Array.make n 0 in
+  let j = ref 0 and k = ref 0 in
+  while !j < n do
+    Array.unsafe_set sel !j (lo + !k);
+    j := !j + Char.code (Bytes.unsafe_get bits !k);
+    incr k
+  done;
+  sel
+
+(* ---------------- unboxed join keys ---------------- *)
+
+(** [join_codes l r]: when the two columns can serve as an equi-join key
+    pair without boxing, [Some (probe, build)] where [probe i] is the int
+    code of the left column's row [i] and [build j] the right column's row
+    [j] {e in the left column's code space} (so plain int equality is
+    value equality).  Dictionary pairs translate right codes into the left
+    dictionary; absent strings map to [-1], which no probe code ever is.
+    [None] when the pair needs boxed comparison (floats, mixed kinds). *)
+let join_codes l r : ((int -> int) * (int -> int)) option =
+  match (l, r) with
+  | Ints a, Ints b -> Some ((fun i -> a.{i}), fun j -> b.{j})
+  | Bools (a, _), Bools (b, _) ->
+    Some ((fun i -> bit_get a i), fun j -> bit_get b j)
+  | Codes (a, da), Codes (b, db) ->
+    if da == db then Some ((fun i -> a.{i}), fun j -> b.{j})
+    else begin
+      let tr = translate ~from:db ~into:da in
+      Some ((fun i -> a.{i}), fun j -> tr.(b.{j}))
+    end
+  | _ -> None

@@ -34,6 +34,32 @@ val lookup : t -> Value.t array -> Tuple.t list
 (** Number of distinct keys. *)
 val cardinal : t -> int
 
+(** Unboxed row index: row numbers keyed by int-code key arrays — the build
+    side of the vectorized hash join (key columns are ints, bools, or
+    dictionary codes, so key equality is plain int equality). *)
+type rows_index
+
+(** [build_int_rows ~n key] indexes rows [0..n-1] under [key j]; per-key
+    row lists come back in ascending row order. *)
+val build_int_rows : n:int -> (int -> int array) -> rows_index
+
+(** Row numbers whose key equals the probe, in ascending row order. *)
+val lookup_int_rows : rows_index -> int array -> int list
+
+(** Single-int-key variant: no key array allocated per row on either the
+    build or the probe side.  Dense key ranges (row ids, dictionary codes)
+    get a flat counting-sort CSR layout — O(1) boxing-free probes; sparse
+    ranges fall back to a hashtable. *)
+type rows_index1
+
+val build_int1_rows : n:int -> (int -> int) -> rows_index1
+
+(** Apply the function to each matching row, in ascending row order,
+    without materializing a list. *)
+val iter_int1_rows : rows_index1 -> int -> (int -> unit) -> unit
+
+val lookup_int1_rows : rows_index1 -> int -> int list
+
 (**/**)
 
 (* Exposed for Relation's internal cache management: serve the cached index

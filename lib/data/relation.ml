@@ -1,9 +1,24 @@
-(** Set-semantics relations: a schema plus a sorted set of tuples.
+(** Set-semantics relations: a schema plus a set of tuples, held as rows
+    {e or} columns.
 
     The tutorial works throughout with set semantics (RA, RC, and Datalog are
     all set-based); the SQL front-end inserts explicit duplicate elimination.
-    Tuple sets are represented with [Stdlib.Set] over [Tuple.compare], which
-    keeps all RA operators purely functional.
+    The logical value of a relation is a sorted, duplicate-free tuple set;
+    physically it lives in one (or more) of three views of that same set,
+    converted lazily and memoized:
+
+    - [tset]: [Stdlib.Set] over [Tuple.compare] — the row-mode substrate all
+      the functional operators run on;
+    - [batch]: a {e canonical} {!Batch.t} (columns sorted in [Tuple.compare]
+      order) — what the vectorized physical operators run on;
+    - [arr]: the tuples as a sorted array — what the morsel-parallel row
+      operators chunk over.
+
+    Any view can be derived from any other, so a relation born columnar
+    (from a vectorized operator, via {!of_batch}) never pays for boxing
+    unless a row-mode consumer actually asks, and vice versa.  Every view
+    enumerates rows in the same order, so cardinality, membership, and
+    equality agree regardless of which views exist.
 
     Each relation additionally carries a mutable cache of secondary hash
     indexes ({!Index}) keyed by attribute-position subsets.  The cache is
@@ -16,9 +31,20 @@ module Tset = Set.Make (struct
   let compare = Tuple.compare
 end)
 
+(* The shared row storage.  Fields only ever go [None] -> [Some] (under
+   [lock]); the unlocked fast-path reads are safe because a published
+   [Some] never changes and OCaml reads of a mutable field are atomic.
+   Invariant: at least one of [tset]/[batch] is [Some] from construction. *)
+type rows = {
+  lock : Mutex.t;
+  mutable tset : Tset.t option;
+  mutable batch : Batch.t option;  (** canonical: sorted, duplicate-free *)
+  mutable arr : Tuple.t array option;  (** sorted; treated as read-only *)
+}
+
 type t = {
   schema : Schema.t;
-  tuples : Tset.t;
+  rows : rows;
   stamp : int;  (** monotone identity of the tuple set; shared by renames *)
   indexes : Index.cache;
   stats : Stats.cache;
@@ -32,32 +58,128 @@ type t = {
    domains. *)
 let stamp_counter = Atomic.make 0
 
-(* The only constructor: every new tuple set gets a fresh stamp and fresh
+let fresh schema rows =
+  let stamp = Atomic.fetch_and_add stamp_counter 1 in
+  { schema; rows; stamp; indexes = Index.fresh_cache ~owner:stamp;
+    stats = Stats.fresh_cache ~owner:stamp }
+
+(* Row-mode constructor: every new tuple set gets a fresh stamp and fresh
    (empty) index/statistics caches keyed on it. *)
 let make schema tuples =
-  let stamp = Atomic.fetch_and_add stamp_counter 1 in
-  { schema; tuples; stamp; indexes = Index.fresh_cache ~owner:stamp;
-    stats = Stats.fresh_cache ~owner:stamp }
+  fresh schema
+    { lock = Mutex.create (); tset = Some tuples; batch = None; arr = None }
+
+(** Columnar constructor.  [canonical] asserts the batch is already sorted
+    and duplicate-free (e.g. an order-preserving selection from a canonical
+    batch); otherwise it is canonicalized here. *)
+let of_batch ?(canonical = false) schema (b : Batch.t) =
+  Schema.check_distinct schema;
+  if Batch.ncols b <> Schema.arity schema then
+    Schema.error "of_batch: %d columns do not match schema %s" (Batch.ncols b)
+      (Schema.to_string schema);
+  let b = if canonical then b else Batch.sort_dedup b in
+  fresh schema
+    { lock = Mutex.create (); tset = None; batch = Some b; arr = None }
 
 let schema r = r.schema
 let stamp r = r.stamp
-let cardinality r = Tset.cardinal r.tuples
-let is_empty r = Tset.is_empty r.tuples
-let tuples r = Tset.elements r.tuples
 
-(** Tuples in sorted order, as an array — the input the morsel-parallel
-    operators chunk over. *)
-let tuples_array r =
-  let n = Tset.cardinal r.tuples in
+(* ---------------- lazy view conversion ---------------- *)
+
+let with_lock rows f =
+  Mutex.lock rows.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock rows.lock) f
+
+let arr_of_tset ts =
+  let n = Tset.cardinal ts in
   if n = 0 then [||]
   else begin
-    let arr = Array.make n (Tset.min_elt r.tuples) in
+    let arr = Array.make n (Tset.min_elt ts) in
     let i = ref 0 in
-    Tset.iter (fun t -> arr.(!i) <- t; incr i) r.tuples;
+    Tset.iter (fun t -> arr.(!i) <- t; incr i) ts;
     arr
   end
 
-let mem tup r = Tset.mem tup r.tuples
+(* The [_locked] builders assume [rows.lock] is held; they may call each
+   other but never re-take the lock. *)
+let arr_locked rows =
+  match rows.arr with
+  | Some a -> a
+  | None ->
+    let a =
+      match rows.tset with
+      | Some ts -> arr_of_tset ts
+      | None -> Batch.to_tuples (Option.get rows.batch)
+    in
+    rows.arr <- Some a;
+    a
+
+let tset_locked rows =
+  match rows.tset with
+  | Some ts -> ts
+  | None ->
+    (* the batch is canonical, so the array is sorted and duplicate-free *)
+    let ts =
+      Array.fold_left (fun acc t -> Tset.add t acc) Tset.empty (arr_locked rows)
+    in
+    rows.tset <- Some ts;
+    ts
+
+let batch_locked ~arity rows =
+  match rows.batch with
+  | Some b -> b
+  | None ->
+    (* the array comes from the sorted set, so the batch is canonical *)
+    let b = Batch.of_tuples ~arity (arr_locked rows) in
+    rows.batch <- Some b;
+    b
+
+let force_tset r =
+  match r.rows.tset with
+  | Some ts -> ts
+  | None -> with_lock r.rows (fun () -> tset_locked r.rows)
+
+(** Tuples in sorted order, as an array — the input the morsel-parallel
+    operators chunk over.  Memoized per relation; callers must treat it as
+    read-only. *)
+let tuples_array r =
+  match r.rows.arr with
+  | Some a -> a
+  | None -> with_lock r.rows (fun () -> arr_locked r.rows)
+
+(** The columnar view, built (and memoized) from the rows on first use. *)
+let batch r =
+  match r.rows.batch with
+  | Some b -> b
+  | None ->
+    with_lock r.rows (fun () ->
+        batch_locked ~arity:(Schema.arity r.schema) r.rows)
+
+(** The columnar view if it has already been materialized — the planner's
+    cheap "is this input columnar?" probe; never forces a conversion. *)
+let peek_batch r = r.rows.batch
+
+(* ---------------- cardinality, membership, traversal ---------------- *)
+
+let cardinality r =
+  match r.rows.tset with
+  | Some ts -> Tset.cardinal ts
+  | None -> (
+    match r.rows.batch with
+    | Some b -> Batch.nrows b
+    | None -> Tset.cardinal (force_tset r))
+
+let is_empty r = cardinality r = 0
+
+let tuples r = Array.to_list (tuples_array r)
+
+let mem tup r =
+  match r.rows.tset with
+  | Some ts -> Tset.mem tup ts
+  | None -> (
+    match r.rows.batch with
+    | Some b -> Tuple.arity tup = Batch.ncols b && Batch.mem b tup
+    | None -> Tset.mem tup (force_tset r))
 
 let empty schema = make schema Tset.empty
 
@@ -68,7 +190,7 @@ let check_tuple schema tup =
 
 let add tup r =
   check_tuple r.schema tup;
-  make r.schema (Tset.add tup r.tuples)
+  make r.schema (Tset.add tup (force_tset r))
 
 let of_tuples schema tups =
   Schema.check_distinct schema;
@@ -78,22 +200,54 @@ let of_tuples schema tups =
 (** Convenience constructor from value lists. *)
 let of_lists schema rows = of_tuples schema (List.map Tuple.of_list rows)
 
-let fold f r init = Tset.fold f r.tuples init
-let iter f r = Tset.iter f r.tuples
-let filter p r = make r.schema (Tset.filter p r.tuples)
-let for_all p r = Tset.for_all p r.tuples
-let exists p r = Tset.exists p r.tuples
+(* Traversal runs off whichever view exists, in the same (sorted) order;
+   a columnar-born relation is decoded row by row without ever building
+   the set. *)
+let iter f r =
+  match r.rows.tset with
+  | Some ts -> Tset.iter f ts
+  | None -> (
+    match r.rows.arr with
+    | Some a -> Array.iter f a
+    | None -> (
+      match r.rows.batch with
+      | Some b -> Batch.iter f b
+      | None -> Tset.iter f (force_tset r)))
+
+let fold f r init =
+  match r.rows.tset with
+  | Some ts -> Tset.fold f ts init
+  | None ->
+    let acc = ref init in
+    iter (fun t -> acc := f t !acc) r;
+    !acc
+
+let filter p r = make r.schema (Tset.filter p (force_tset r))
+
+let for_all p r =
+  match r.rows.tset with
+  | Some ts -> Tset.for_all p ts
+  | None -> Array.for_all p (tuples_array r)
+
+let exists p r =
+  match r.rows.tset with
+  | Some ts -> Tset.exists p ts
+  | None -> Array.exists p (tuples_array r)
 
 let map schema f r =
-  make schema
-    (Tset.fold (fun t acc -> Tset.add (f t) acc) r.tuples Tset.empty)
+  make schema (fold (fun t acc -> Tset.add (f t) acc) r Tset.empty)
 
-let equal a b =
-  Schema.compatible a.schema b.schema && Tset.equal a.tuples b.tuples
+(* Both views enumerate in [Tuple.compare] order, so two relations hold the
+   same rows iff their sorted arrays match pointwise — no set forcing. *)
+let same_rows a b =
+  cardinality a = cardinality b
+  &&
+  let xs = tuples_array a and ys = tuples_array b in
+  let n = Array.length xs in
+  let rec go i = i = n || (Tuple.compare xs.(i) ys.(i) = 0 && go (i + 1)) in
+  go 0
 
-(** Same set of rows irrespective of attribute names — how we compare results
-    across query languages that name columns differently. *)
-let same_rows a b = Tset.equal a.tuples b.tuples
+let equal a b = Schema.compatible a.schema b.schema && same_rows a b
 
 (* ---------------- secondary indexes ---------------- *)
 
@@ -101,7 +255,7 @@ let same_rows a b = Tset.equal a.tuples b.tuples
     the cache lock (concurrent probes from several domains are safe). *)
 let index r (positions : int list) : Index.t =
   Index.cache_get r.indexes ~owner:r.stamp positions (fun () ->
-      Index.build (Array.of_list positions) (fun f -> Tset.iter f r.tuples))
+      Index.build (Array.of_list positions) (fun f -> iter f r))
 
 (** Force the index on [positions] to exist — called once before a parallel
     probe phase so the workers race on a read-only structure, never on the
@@ -115,15 +269,20 @@ let matching r (positions : int list) (key : Value.t array) : Tuple.t list =
   if positions = [] then tuples r else Index.lookup (index r positions) key
 
 (** Cardinality and per-column distinct counts, computed on first use and
-    cached like the indexes.  The distinct counts are read off cached
+    cached like the indexes.  Columnar relations read distinct counts
+    straight off the unboxed columns (dictionary presence scans, no
+    hashing of boxed values); row relations read them off cached
     single-column hash indexes, so a later equi-join on the same column
     reuses the build work. *)
 let stats r : Stats.t =
   Stats.cache_get r.stats ~owner:r.stamp (fun () ->
-      { Stats.rows = cardinality r;
-        distinct =
-          Array.init (Schema.arity r.schema) (fun i ->
-              Index.cardinal (index r [ i ])) })
+      match peek_batch r with
+      | Some b -> Stats.of_batch b
+      | None ->
+        { Stats.rows = cardinality r;
+          distinct =
+            Array.init (Schema.arity r.schema) (fun i ->
+                Index.cardinal (index r [ i ])) })
 
 let require_compatible op a b =
   if not (Schema.compatible a.schema b.schema) then
@@ -132,15 +291,16 @@ let require_compatible op a b =
 
 let union a b =
   require_compatible "union" a b;
-  make (Schema.join_types a.schema b.schema) (Tset.union a.tuples b.tuples)
+  make (Schema.join_types a.schema b.schema)
+    (Tset.union (force_tset a) (force_tset b))
 
 let inter a b =
   require_compatible "intersect" a b;
-  make a.schema (Tset.inter a.tuples b.tuples)
+  make a.schema (Tset.inter (force_tset a) (force_tset b))
 
 let diff a b =
   require_compatible "except" a b;
-  make a.schema (Tset.diff a.tuples b.tuples)
+  make a.schema (Tset.diff (force_tset a) (force_tset b))
 
 let project names r =
   let schema = Schema.project names r.schema in
@@ -162,10 +322,10 @@ let rename_all names r =
 let product a b =
   let schema = Schema.concat_disjoint a.schema b.schema in
   let tuples =
-    Tset.fold
+    fold
       (fun ta acc ->
-        Tset.fold (fun tb acc -> Tset.add (Tuple.concat ta tb) acc) b.tuples acc)
-      a.tuples Tset.empty
+        fold (fun tb acc -> Tset.add (Tuple.concat ta tb) acc) b acc)
+      a Tset.empty
   in
   make schema tuples
 
@@ -188,7 +348,7 @@ let natural_join a b =
     let ib_rest = Array.of_list ib_rest in
     let ix = index b ib in
     let tuples =
-      Tset.fold
+      fold
         (fun ta acc ->
           List.fold_left
             (fun acc tb ->
@@ -196,7 +356,7 @@ let natural_join a b =
               Tset.add (Array.append ta extra) acc)
             acc
             (Index.lookup ix (Index.key ia ta)))
-        a.tuples Tset.empty
+        a Tset.empty
     in
     make schema tuples
   end

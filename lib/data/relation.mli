@@ -23,9 +23,28 @@ val is_empty : t -> bool
 (** Tuples in sorted order. *)
 val tuples : t -> Tuple.t list
 
-(** Tuples in sorted order, as a fresh array — what the morsel-parallel
-    physical operators chunk over. *)
+(** Tuples in sorted order, as an array — what the morsel-parallel physical
+    operators chunk over.  Memoized per relation (repeated probes in one
+    evaluation share the materialization); callers must treat the array as
+    read-only. *)
 val tuples_array : t -> Tuple.t array
+
+(** Build a relation from a column batch without boxing a tuple set.  The
+    rows are canonicalized (sorted by [Tuple.compare] on the decoded rows,
+    duplicates dropped) unless [canonical:true] asserts they already are —
+    e.g. an order-preserving selection from a canonical batch.  Raises
+    {!Schema.Schema_error} when the column count does not match the schema. *)
+val of_batch : ?canonical:bool -> Schema.t -> Batch.t -> t
+
+(** The columnar view of the relation, built lazily from the rows on first
+    use and memoized.  Canonical: enumerates the tuple set in sorted
+    order. *)
+val batch : t -> Batch.t
+
+(** The columnar view if it has already been materialized — never forces a
+    conversion.  This is how the physical plan decides whether a vectorized
+    operator applies. *)
+val peek_batch : t -> Batch.t option
 
 val mem : Tuple.t -> t -> bool
 val empty : Schema.t -> t

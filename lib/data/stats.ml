@@ -54,6 +54,14 @@ let cache_get (c : cache) ~owner (compute : unit -> t) : t =
       s
   end
 
+(** Statistics straight off a column batch: the distinct counts come from
+    the unboxed representations ({!Column.distinct_count} — dictionary
+    presence scans, bitset scans, unboxed-key hash sets), with no boxed
+    values or secondary indexes involved. *)
+let of_batch (b : Batch.t) : t =
+  { rows = Batch.nrows b;
+    distinct = Array.map Column.distinct_count (Batch.cols b) }
+
 (** Distinct count of column [i], never below 1 (guards the selectivity
     divisions; an empty relation reports 1, not 0). *)
 let distinct_col (s : t) i =

@@ -19,6 +19,11 @@ val cache_owner : cache -> int
     computes unmemoized when [owner] does not match the cache's stamp. *)
 val cache_get : cache -> owner:int -> (unit -> t) -> t
 
+(** Statistics read straight off a column batch — cardinality from the row
+    count, distinct counts from the unboxed columns (dictionaries count
+    present codes; no boxed hashing). *)
+val of_batch : Batch.t -> t
+
 (** Distinct count of column [i], clamped to ≥ 1 so selectivity divisions
     are always safe. *)
 val distinct_col : t -> int -> int

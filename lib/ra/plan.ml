@@ -36,8 +36,10 @@ module D = Diagres_data
 module Pool = Diagres_pool.Pool
 module T = Diagres_telemetry.Telemetry
 
-(** A compiled predicate with its display string (for explain output). *)
-type pred = { display : string; holds : D.Tuple.t -> bool }
+(** A compiled predicate with its display string (for explain output) and
+    its source AST (recompiled into a vectorized bitmap filler when the
+    operator runs columnar). *)
+type pred = { display : string; holds : D.Tuple.t -> bool; ast : Ast.pred }
 
 type t = {
   id : int;                             (** stable id, used by explain *)
@@ -53,7 +55,10 @@ type t = {
   mutable detail : (string * int) list;
       (** operator-specific measurements from the last traced compute:
           [build_ns]/[probe_ns] for hash joins, [morsels] for the
-          parallel paths *)
+          parallel paths, [vec]/[batches] for the vectorized paths *)
+  mutable vec : bool;
+      (** planner's choice: take the vectorized (columnar) execution path
+          when {!columnar_enabled}; set by {!mark_vectorized} *)
 }
 
 and op =
@@ -105,7 +110,7 @@ let rec compile schema = function
   | Ast.Ptrue -> fun _ -> true
 
 let compile_pred schema p : pred =
-  { display = Pretty.pred_to_string p; holds = compile schema p }
+  { display = Pretty.pred_to_string p; holds = compile schema p; ast = p }
 
 (* ---------------- node construction ---------------- *)
 
@@ -114,7 +119,8 @@ let node_counter = ref 0
 let mk op schema est est_distinct : t =
   incr node_counter;
   { id = !node_counter; op; schema; est = Float.max 0. est; est_distinct;
-    cache = None; evals = 0; hits = 0; actual_ns = -1L; detail = [] }
+    cache = None; evals = 0; hits = 0; actual_ns = -1L; detail = [];
+    vec = false }
 
 (* ---------------- parallel execution helpers ---------------- *)
 
@@ -141,6 +147,33 @@ let chunk_filter holds sub =
    re-establishes the ordering contract whatever order chunks produced. *)
 let merge_chunks schema (chunks : D.Tuple.t list array) : D.Relation.t =
   D.Relation.of_tuples schema (List.concat (Array.to_list chunks))
+
+(* ---------------- columnar execution knobs ---------------- *)
+
+(** Master switch for the vectorized paths; initialized from the
+    [DIAGRES_COLUMNAR] environment variable (off with [0]/[off]/[false]/
+    [no], on otherwise — mirroring [DIAGRES_DOMAINS]) and checked at
+    execution time, so a cached plan follows the current setting. *)
+let columnar_enabled =
+  ref
+    (match Sys.getenv_opt "DIAGRES_COLUMNAR" with
+    | Some ("0" | "off" | "false" | "no") -> false
+    | _ -> true)
+
+(** Minimum estimated input rows before the planner marks an operator
+    vectorized — below this, forcing the columnar view costs more than the
+    tight loops save.  Mutable so the differential tests can force the
+    vectorized operators on tiny relations. *)
+let vec_threshold = ref 256
+
+(** Rows per vectorized batch: the unit the selection kernels and the
+    parallel probe chunk over.  Mutable so the tests can force batch
+    boundaries on tiny inputs. *)
+let batch_rows = ref 4096
+
+let c_batches = T.counter "columnar.batches"
+let c_rows = T.counter "columnar.rows"
+let c_fallback = T.counter "columnar.fallback_row_mode"
 
 (* Number of build partitions for the parallel hash join: a power of two
    (cheap masking) with enough slack that partition skew leaves no domain
@@ -191,6 +224,179 @@ let note_morsels n len chunk =
   if T.enabled () then
     n.detail <- ("morsels", (len + chunk - 1) / max 1 chunk) :: n.detail
 
+(* ---------------- vectorized operators ---------------- *)
+
+(* Run [f lo len] over the row range [0, nrows) in batches of [!batch_rows],
+   through the domain pool when the input clears the parallel threshold.
+   Returns per-batch results in range order; counts the batch/row
+   telemetry. *)
+let vec_batches nrows (f : int -> int -> 'a) : 'a array =
+  let chunk = max 1 !batch_rows in
+  let nchunks = max 1 ((nrows + chunk - 1) / chunk) in
+  T.add c_batches nchunks;
+  T.add c_rows nrows;
+  let run k =
+    let lo = k * chunk in
+    f lo (min chunk (nrows - lo))
+  in
+  if parallel_for nrows && nchunks > 1 then
+    Pool.run_all (Array.init nchunks (fun k () -> run k))
+  else Array.init nchunks run
+
+let concat_ints (parts : int array array) : int array =
+  let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 parts in
+  let out = Array.make total 0 in
+  let off = ref 0 in
+  Array.iter
+    (fun s ->
+      Array.blit s 0 out !off (Array.length s);
+      off := !off + Array.length s)
+    parts;
+  out
+
+(* σ as a selection-vector pass: compile the predicate into a bitmap
+   filler once, run it batch by batch, and gather the surviving rows.  A
+   selection from a canonical batch keeps canonical order, so the result
+   relation is built without re-sorting; a predicate passing every row
+   returns the input relation unchanged (and shares its caches). *)
+let vec_filter n (p : pred) (r : D.Relation.t) : D.Relation.t =
+  let b = D.Relation.batch r in
+  let nrows = D.Batch.nrows b in
+  let filler = Vector.compile_pred b n.schema p.ast in
+  (* every batch writes its own disjoint range of one full-length bitmap
+     (safe from several domains), so the selection vector and the gather
+     run once over the whole relation instead of per batch — no per-batch
+     index arrays, no concatenation pass *)
+  let bits = Bytes.create nrows in
+  let parts =
+    vec_batches nrows (fun lo len ->
+        let bb = Bytes.create len in
+        filler ~lo ~len bb;
+        Bytes.blit bb 0 bits lo len)
+  in
+  if T.enabled () then
+    n.detail <- ("vec", 1) :: ("batches", Array.length parts) :: n.detail;
+  let sel = D.Column.sel_of_bits bits ~lo:0 ~len:nrows in
+  if Array.length sel = nrows then r
+  else D.Relation.of_batch ~canonical:true n.schema (D.Batch.gather b sel)
+
+(* π with late materialization: the kept columns are re-labeled zero-copy
+   ([Batch.columns] shares the column arrays); only the canonicalizing
+   sort-dedup of the *kept* columns touches data — dropped columns are
+   never read. *)
+let vec_project n idx (r : D.Relation.t) : D.Relation.t =
+  let b = D.Relation.batch r in
+  T.add c_batches 1;
+  T.add c_rows (D.Batch.nrows b);
+  if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
+  D.Relation.of_batch n.schema (D.Batch.columns b idx)
+
+(* Hash join on unboxed int key columns (ints, bools, dictionary codes —
+   [Column.join_codes] translates the build side's dictionary into the
+   probe side's code space, so code equality is value equality).  Build is
+   an int-keyed row index over the right side; probe emits (left row,
+   right row) index pairs batch by batch through the pool; the output is
+   assembled by gathering left columns and the right rest columns over
+   those pairs, with the residual predicate running vectorized over the
+   assembled batch.  [None] when some key pair has no unboxed code view
+   (floats, mixed-kind columns) — the caller then takes the row path. *)
+let vec_hash_join n (j : hash_join) lr rr : D.Relation.t option =
+  let lb = D.Relation.batch lr and rb = D.Relation.batch rr in
+  let lcols = D.Batch.cols lb and rcols = D.Batch.cols rb in
+  let rkey = Array.of_list j.rkey in
+  let nk = Array.length j.lkey in
+  let pairs =
+    Array.init nk (fun k ->
+        D.Column.join_codes lcols.(j.lkey.(k)) rcols.(rkey.(k)))
+  in
+  if nk = 0 || Array.exists Option.is_none pairs then None
+  else begin
+    let probes = Array.map (fun p -> fst (Option.get p)) pairs in
+    let builds = Array.map (fun p -> snd (Option.get p)) pairs in
+    (* single-key joins (the common case) keep the key an unboxed int end
+       to end; multi-key joins pay one small key array per row *)
+    let build_ns, iter_matches =
+      timed_if (fun () ->
+          if nk = 1 then begin
+            let probe = probes.(0) and build = builds.(0) in
+            let tbl = D.Index.build_int1_rows ~n:(D.Batch.nrows rb) build in
+            fun i f -> D.Index.iter_int1_rows tbl (probe i) f
+          end
+          else begin
+            let lkeyf i = Array.init nk (fun k -> probes.(k) i) in
+            let rkeyf jrow = Array.init nk (fun k -> builds.(k) jrow) in
+            let tbl = D.Index.build_int_rows ~n:(D.Batch.nrows rb) rkeyf in
+            fun i f -> List.iter f (D.Index.lookup_int_rows tbl (lkeyf i))
+          end)
+    in
+    let probe_ns, (li, ri) =
+      timed_if @@ fun () ->
+      let parts =
+        vec_batches (D.Batch.nrows lb) (fun lo len ->
+            let cap = ref (max 16 len) in
+            let li = ref (Array.make !cap 0)
+            and ri = ref (Array.make !cap 0) in
+            let cnt = ref 0 in
+            for i = lo to lo + len - 1 do
+              iter_matches i (fun jrow ->
+                  if !cnt = !cap then begin
+                    cap := 2 * !cap;
+                    let li' = Array.make !cap 0 and ri' = Array.make !cap 0 in
+                    Array.blit !li 0 li' 0 !cnt;
+                    Array.blit !ri 0 ri' 0 !cnt;
+                    li := li';
+                    ri := ri'
+                  end;
+                  !li.(!cnt) <- i;
+                  !ri.(!cnt) <- jrow;
+                  incr cnt)
+            done;
+            (Array.sub !li 0 !cnt, Array.sub !ri 0 !cnt))
+      in
+      ( concat_ints (Array.map fst parts),
+        concat_ints (Array.map snd parts) )
+    in
+    let out_cols =
+      Array.append
+        (Array.map (fun c -> D.Column.gather c li) lcols)
+        (Array.map (fun rpos -> D.Column.gather rcols.(rpos) ri) j.right_rest)
+    in
+    let out_b = D.Batch.make ~nrows:(Array.length li) out_cols in
+    let out_b =
+      match j.residual with
+      | None -> out_b
+      | Some p ->
+        let filler = Vector.compile_pred out_b n.schema p.ast in
+        let m = D.Batch.nrows out_b in
+        let bits = Bytes.create m in
+        filler ~lo:0 ~len:m bits;
+        let sel = D.Column.sel_of_bits bits ~lo:0 ~len:m in
+        if Array.length sel = m then out_b else D.Batch.gather out_b sel
+    in
+    if T.enabled () then
+      n.detail <-
+        [ ("build_ns", build_ns); ("probe_ns", probe_ns); ("vec", 1) ];
+    (* The output is canonical by construction, so the sort-dedup (and even
+       its is-canonical scan) is skipped.  Argument: the probe walks left
+       rows ascending and the index yields matching right rows ascending,
+       so output rows are ordered by (left row, right row); left input is
+       canonical (strictly ascending), and within one left row the matched
+       right tuples share the key columns, hence sort by their rest columns
+       — which appear after the left columns, in right-side order, in
+       [out_cols].  Rows are distinct because (left, right) row pairs are,
+       and equal-keyed right tuples differ in their rest columns.  The
+       residual selection keeps a subsequence, which preserves both. *)
+    Some (D.Relation.of_batch ~canonical:true n.schema out_b)
+  end
+
+(* A row-mode operator running over an input that was born columnar:
+   counted so the telemetry shows where vectorization does not apply. *)
+let note_row_fallback inputs =
+  if
+    !columnar_enabled
+    && List.exists (fun r -> Option.is_some (D.Relation.peek_batch r)) inputs
+  then T.incr c_fallback
+
 let rec exec (n : t) : D.Relation.t =
   match n.cache with
   | Some r ->
@@ -235,7 +441,8 @@ and compute n : D.Relation.t =
   | Empty -> D.Relation.empty n.schema
   | Filter (p, c) ->
     let r = exec c in
-    if not (parallel_for (D.Relation.cardinality r)) then
+    if !columnar_enabled && n.vec then vec_filter n p r
+    else if not (parallel_for (D.Relation.cardinality r)) then
       D.Relation.filter p.holds r
     else begin
       note_morsels n (D.Relation.cardinality r) !morsel_size;
@@ -244,6 +451,8 @@ and compute n : D.Relation.t =
         (Pool.parallel_map_chunks ~chunk:!morsel_size (chunk_filter p.holds)
            arr)
     end
+  | Project (idx, c) when !columnar_enabled && n.vec ->
+    vec_project n idx (exec c)
   | Project (idx, c) ->
     let r = exec c in
     let proj t = Array.map (D.Tuple.get t) idx in
@@ -258,8 +467,21 @@ and compute n : D.Relation.t =
     end
   | Relabel c ->
     D.Relation.rename_all (D.Schema.names n.schema) (exec c)
-  | Hash_join j ->
+  | Hash_join j -> (
     let lr = exec j.left and rr = exec j.right in
+    match
+      if !columnar_enabled && n.vec then begin
+        match vec_hash_join n j lr rr with
+        | Some r -> Some r
+        | None ->
+          (* key columns with no unboxed code view: row path *)
+          T.incr c_fallback;
+          None
+      end
+      else None
+    with
+    | Some r -> r
+    | None ->
     let probe_all lookup =
       D.Relation.fold
         (fun ta acc ->
@@ -355,9 +577,10 @@ and compute n : D.Relation.t =
               (D.Relation.cardinality lr + !morsel_size - 1) / !morsel_size )
           ];
       r
-    end
+    end)
   | Nl_join (p, a, b) ->
     let ra = exec a and rb = exec b in
+    note_row_fallback [ ra; rb ];
     let ca = D.Relation.cardinality ra and cb = D.Relation.cardinality rb in
     let pair_chunk sub =
       Array.fold_right
@@ -383,6 +606,7 @@ and compute n : D.Relation.t =
     end
   | Union (a, b) ->
     let ra = exec a and rb = exec b in
+    note_row_fallback [ ra; rb ];
     if not (parallel_for (D.Relation.cardinality rb)) then
       D.Relation.union ra rb
     else begin
@@ -398,6 +622,7 @@ and compute n : D.Relation.t =
     end
   | Inter (a, b) ->
     let ra = exec a and rb = exec b in
+    note_row_fallback [ ra; rb ];
     if not (parallel_for (D.Relation.cardinality ra)) then
       D.Relation.inter ra rb
     else begin
@@ -409,6 +634,7 @@ and compute n : D.Relation.t =
     end
   | Diff (a, b) ->
     let ra = exec a and rb = exec b in
+    note_row_fallback [ ra; rb ];
     if not (parallel_for (D.Relation.cardinality ra)) then
       D.Relation.diff ra rb
     else begin
@@ -418,7 +644,10 @@ and compute n : D.Relation.t =
            (chunk_filter (fun t -> not (D.Relation.mem t rb)))
            (D.Relation.tuples_array ra))
     end
-  | Division (a, b) -> D.Relation.division (exec a) (exec b)
+  | Division (a, b) ->
+    let ra = exec a and rb = exec b in
+    note_row_fallback [ ra; rb ];
+    D.Relation.division ra rb
 
 (* ---------------- traversal ---------------- *)
 
@@ -433,6 +662,25 @@ let fold_unique f (root : t) init =
     end
   in
   go init root
+
+(** Mark the nodes that should execute vectorized when {!columnar_enabled}:
+    filters and projections whose estimated input clears {!vec_threshold}
+    rows, and hash joins where either side does.  Set-ops, division, and
+    nested-loop joins stay in row mode — their sorted-set implementations
+    already run without per-row closure dispatch, and vectorizing them does
+    not pay.  Called by {!Planner.plan} once cardinality estimates exist;
+    the flag is only acted on at execution time, so one plan serves both
+    modes. *)
+let mark_vectorized root =
+  let thr = float_of_int !vec_threshold in
+  fold_unique
+    (fun n () ->
+      n.vec <-
+        (match n.op with
+        | Filter (_, c) | Project (_, c) -> c.est >= thr
+        | Hash_join j -> Float.max j.left.est j.right.est >= thr
+        | _ -> false))
+    root ()
 
 (** Reset every node's result memo and counters.  {!run} calls this before
     executing, making the per-node caches {e single-evaluation-scoped}: a

@@ -359,4 +359,6 @@ let plan ?(optimize = true) db (e : Ast.t) : Plan.t =
     else e
   in
   let st = { db; env; memo = Hashtbl.create 32 } in
-  go st e
+  let n = go st e in
+  Plan.mark_vectorized n;
+  n

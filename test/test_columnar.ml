@@ -1,0 +1,307 @@
+(* Columnar substrate + vectorized operators.
+
+   Two layers of coverage:
+
+   - unit tests for the storage pieces: dictionary encoding roundtrips
+     (sorted codes, so code order = string order), selection-vector edge
+     cases (empty / full / singleton bitmaps), batch canonicalization,
+     the memoized [Relation.tuples_array], and the columnar statistics
+     fast path;
+
+   - a qgen-driven 500-query differential: for each generated well-typed
+     RA query, the vectorized planned evaluator (forced on with tiny
+     batches so batch boundaries are exercised), the row-mode planned
+     evaluator, and the naive tree-walking evaluator must agree — at 1
+     and at 4 domains, so the batched kernels also run through the
+     domain pool. *)
+
+module D = Diagres_data
+module C = D.Column
+module V = D.Value
+module Plan = Diagres_ra.Plan
+module Planner = Diagres_ra.Planner
+module Pool = Diagres_pool.Pool
+module T = Diagres_telemetry.Telemetry
+module Q = Diagres.Qgen
+
+let db = Testutil.db
+let schemas = Testutil.schemas
+
+(* Run [f] with the pool at [domains] and the vectorized operators forced
+   on tiny inputs: [vec_threshold = 0] marks every filter/project/join
+   vectorized, [batch_rows = 3] forces multi-batch execution on the sample
+   relations, and [par_threshold = 0] routes the batches through the pool.
+   [columnar] toggles the master switch, so the same forcing covers both
+   the vectorized and the row fallback paths. *)
+let forcing ?(columnar = true) domains f =
+  let old_size = Pool.size () in
+  let old_thr = !Plan.par_threshold and old_morsel = !Plan.morsel_size in
+  let old_vec = !Plan.vec_threshold and old_batch = !Plan.batch_rows in
+  let old_col = !Plan.columnar_enabled in
+  Pool.set_size domains;
+  Plan.par_threshold := 0;
+  Plan.morsel_size := 3;
+  Plan.vec_threshold := 0;
+  Plan.batch_rows := 3;
+  Plan.columnar_enabled := columnar;
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_size old_size;
+      Plan.par_threshold := old_thr;
+      Plan.morsel_size := old_morsel;
+      Plan.vec_threshold := old_vec;
+      Plan.batch_rows := old_batch;
+      Plan.columnar_enabled := old_col)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Columns: dictionary encoding.                                       *)
+
+let test_dict_roundtrip () =
+  let strings = [| "red"; "green"; "red"; "blue"; "green"; "red" |] in
+  let vs = Array.map (fun s -> V.String s) strings in
+  let col = C.of_values vs in
+  (match col with
+  | C.Codes (codes, d) ->
+    (* decode = identity *)
+    Array.iteri
+      (fun i s ->
+        Alcotest.(check string) "decode" s
+          (match C.get col i with V.String s' -> s' | _ -> "?"))
+      strings;
+    (* the dictionary is sorted, so code order is string order *)
+    Alcotest.(check (list string)) "sorted dictionary"
+      [ "blue"; "green"; "red" ]
+      (Array.to_list d.C.values);
+    for i = 0 to Array.length strings - 1 do
+      for j = 0 to Array.length strings - 1 do
+        let by_code = compare codes.{i} codes.{j}
+        and by_string = String.compare strings.(i) strings.(j) in
+        if compare by_code 0 <> compare by_string 0 then
+          Alcotest.failf "code order disagrees at (%d, %d)" i j
+      done
+    done
+  | _ -> Alcotest.fail "string column did not dictionary-encode");
+  Alcotest.(check int) "distinct off the dictionary" 3 (C.distinct_count col)
+
+let test_dict_ordered_const () =
+  (* ordered comparisons against constants absent from the dictionary *)
+  let col =
+    C.of_values (Array.map (fun s -> V.String s) [| "b"; "d"; "f" |])
+  in
+  let run op c =
+    match C.fill_cmp_const op col (V.String c) with
+    | None -> Alcotest.fail "expected a typed kernel"
+    | Some f ->
+      let bits = Bytes.create 3 in
+      f ~lo:0 ~len:3 bits;
+      Array.to_list (C.sel_of_bits bits ~lo:0 ~len:3)
+  in
+  Alcotest.(check (list int)) "< c (absent)" [ 0 ] (run C.Clt "c");
+  Alcotest.(check (list int)) "<= d (present)" [ 0; 1 ] (run C.Cle "d");
+  Alcotest.(check (list int)) "> d (present)" [ 2 ] (run C.Cgt "d");
+  Alcotest.(check (list int)) ">= e (absent)" [ 2 ] (run C.Cge "e");
+  Alcotest.(check (list int)) "= e (absent)" [] (run C.Ceq "e");
+  Alcotest.(check (list int)) "<> d" [ 0; 2 ] (run C.Cneq "d")
+
+(* ------------------------------------------------------------------ *)
+(* Selection vectors: empty, full, singleton.                          *)
+
+let test_selection_edges () =
+  let col = C.of_values (Array.map (fun i -> V.Int i) [| 1; 2; 3; 4; 5 |]) in
+  let sel op c =
+    match C.fill_cmp_const op col (V.Int c) with
+    | None -> Alcotest.fail "int kernel missing"
+    | Some f ->
+      let bits = Bytes.create 5 in
+      f ~lo:0 ~len:5 bits;
+      C.sel_of_bits bits ~lo:0 ~len:5
+  in
+  Alcotest.(check (list int)) "empty" [] (Array.to_list (sel C.Cgt 99));
+  Alcotest.(check (list int)) "full" [ 0; 1; 2; 3; 4 ]
+    (Array.to_list (sel C.Cle 99));
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Array.to_list (sel C.Ceq 3));
+  (* an empty range is legal (last batch of a multiple-of-batch input) *)
+  match C.fill_cmp_const C.Ceq col (V.Int 3) with
+  | Some f ->
+    let bits = Bytes.create 0 in
+    f ~lo:5 ~len:0 bits;
+    Alcotest.(check (list int)) "empty range" []
+      (Array.to_list (C.sel_of_bits bits ~lo:5 ~len:0))
+  | None -> Alcotest.fail "int kernel missing"
+
+(* A filter that keeps every row must return the input relation itself
+   (no copy); one that keeps none must return an empty relation. *)
+let test_filter_full_empty_via_plan () =
+  forcing 1 (fun () ->
+      let parse = Diagres_ra.Parser.parse in
+      let full = Plan.run (Planner.plan db (parse "select[sid >= 0](Sailor)"))
+      and none =
+        Plan.run (Planner.plan db (parse "select[sid < 0](Sailor)"))
+      in
+      Testutil.check_same_rows "full selection" D.Sample_db.sailors full;
+      Alcotest.(check int) "empty selection" 0 (D.Relation.cardinality none))
+
+(* ------------------------------------------------------------------ *)
+(* Batches and relations.                                              *)
+
+let test_of_batch_canonicalizes () =
+  let mk l = Array.map (fun i -> V.Int i) (Array.of_list l) in
+  let tups = [| mk [ 3; 1 ]; mk [ 1; 2 ]; mk [ 3; 1 ]; mk [ 1; 1 ] |] in
+  let b = D.Batch.of_tuples ~arity:2 tups in
+  let schema =
+    [ { D.Schema.name = "x"; ty = V.Tint };
+      { D.Schema.name = "y"; ty = V.Tint } ]
+  in
+  let r = D.Relation.of_batch schema b in
+  let expected = D.Relation.of_tuples schema (Array.to_list tups) in
+  Testutil.check_same_rows "sorted + deduped" expected r;
+  Alcotest.(check int) "3 distinct rows" 3 (D.Relation.cardinality r);
+  (* a columnar-born relation converts back to rows on demand *)
+  Alcotest.(check bool) "mem decodes" true
+    (D.Relation.mem (mk [ 1; 2 ]) r);
+  Alcotest.(check bool) "mem rejects" false
+    (D.Relation.mem (mk [ 2; 1 ]) r)
+
+let test_tuples_array_memoized () =
+  let r = D.Sample_db.sailors in
+  Alcotest.(check bool) "same physical array" true
+    (D.Relation.tuples_array r == D.Relation.tuples_array r);
+  (* and on a columnar-born relation too *)
+  let rc =
+    D.Relation.of_batch (D.Relation.schema r)
+      (D.Relation.batch r)
+  in
+  Alcotest.(check bool) "columnar-born memoized" true
+    (D.Relation.tuples_array rc == D.Relation.tuples_array rc)
+
+let test_stats_columnar_fast_path () =
+  (* row-born and columnar-born views of the same rows must report the
+     same statistics; the columnar side reads them off the columns *)
+  List.iter
+    (fun (_, r) ->
+      let rc = D.Relation.of_batch (D.Relation.schema r) (D.Relation.batch r) in
+      let s = D.Relation.stats r and sc = D.Relation.stats rc in
+      Alcotest.(check int) "rows" s.D.Stats.rows sc.D.Stats.rows;
+      Alcotest.(check (array int)) "distinct" s.D.Stats.distinct
+        sc.D.Stats.distinct)
+    (D.Database.relations db)
+
+(* Late materialization: project-after-join drops columns without
+   decoding them; the result must still match the naive evaluator. *)
+let test_late_materialization_project_after_join () =
+  let parse = Diagres_ra.Parser.parse in
+  let queries =
+    [ "project[sname](Sailor join Reserves)";
+      "project[bid](select[rating > 7](Sailor join Reserves))";
+      "project[color](Boat join Reserves)" ]
+  in
+  List.iter
+    (fun q ->
+      let e = parse q in
+      let naive = Diagres_ra.Eval.eval db e in
+      List.iter
+        (fun domains ->
+          forcing domains (fun () ->
+              Testutil.check_same_rows
+                (Printf.sprintf "%s at %d domains" q domains)
+                naive
+                (Plan.run (Planner.plan db e))))
+        [ 1; 4 ])
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry wiring.                                                   *)
+
+let test_counters () =
+  let batches0 = T.counter_named "columnar.batches"
+  and rows0 = T.counter_named "columnar.rows" in
+  forcing 1 (fun () ->
+      let e = Diagres_ra.Parser.parse "select[rating = 10](Sailor)" in
+      ignore (Plan.run (Planner.plan db e) : D.Relation.t));
+  Alcotest.(check bool) "batches counted" true
+    (T.counter_named "columnar.batches" > batches0);
+  Alcotest.(check bool) "rows counted" true
+    (T.counter_named "columnar.rows" > rows0);
+  (* a division over columnar inputs is a counted row-mode fallback *)
+  let fb0 = T.counter_named "columnar.fallback_row_mode" in
+  forcing 1 (fun () ->
+      let e =
+        Diagres_ra.Parser.parse
+          "project[sid, bid](Reserves) div project[bid](Boat)"
+      in
+      ignore (Plan.run (Planner.plan db e) : D.Relation.t));
+  Alcotest.(check bool) "fallback counted" true
+    (T.counter_named "columnar.fallback_row_mode" > fb0)
+
+(* ------------------------------------------------------------------ *)
+(* The 500-query differential: columnar ≡ row ≡ naive at 1 and 4       *)
+(* domains, with forced-small batches.                                 *)
+
+let fuzz_n =
+  match Sys.getenv_opt "DIAGRES_FUZZ_N" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 500)
+  | None -> 500
+
+let test_differential () =
+  let st = Random.State.make [| 0xc01; 2026 |] in
+  for i = 1 to fuzz_n do
+    let e = Q.gen_ra st schemas 3 in
+    let naive = Diagres_ra.Eval.eval db e in
+    List.iter
+      (fun domains ->
+        let run ~columnar =
+          forcing ~columnar domains (fun () ->
+              Plan.run (Planner.plan db e))
+        in
+        let vec = run ~columnar:true and row = run ~columnar:false in
+        if not (D.Relation.same_rows naive vec) then
+          Alcotest.failf "#%d at %d domains: columnar diverges from naive:\n%s"
+            i domains (Diagres_ra.Pretty.ascii e);
+        if not (D.Relation.same_rows naive row) then
+          Alcotest.failf "#%d at %d domains: row mode diverges from naive:\n%s"
+            i domains (Diagres_ra.Pretty.ascii e))
+      [ 1; 4 ]
+  done
+
+(* QCheck variant over Testutil's generator: different query shapes
+   (products with renamed-apart sides, disjunctions), with shrinking. *)
+let prop_columnar_matches_row =
+  QCheck.Test.make ~name:"columnar = row = naive (1/4 domains)" ~count:120
+    (Testutil.arbitrary_ra ())
+    (fun e ->
+      let naive = Diagres_ra.Eval.eval db e in
+      List.for_all
+        (fun domains ->
+          let run ~columnar =
+            forcing ~columnar domains (fun () ->
+                Plan.run (Planner.plan db e))
+          in
+          D.Relation.same_rows naive (run ~columnar:true)
+          && D.Relation.same_rows naive (run ~columnar:false))
+        [ 1; 4 ])
+
+let () =
+  Alcotest.run "columnar"
+    [ ( "columns",
+        [ Alcotest.test_case "dictionary roundtrip" `Quick test_dict_roundtrip;
+          Alcotest.test_case "ordered string consts" `Quick
+            test_dict_ordered_const;
+          Alcotest.test_case "selection edges" `Quick test_selection_edges;
+          Alcotest.test_case "full/empty filters" `Quick
+            test_filter_full_empty_via_plan ] );
+      ( "relations",
+        [ Alcotest.test_case "of_batch canonicalizes" `Quick
+            test_of_batch_canonicalizes;
+          Alcotest.test_case "tuples_array memoized" `Quick
+            test_tuples_array_memoized;
+          Alcotest.test_case "stats fast path" `Quick
+            test_stats_columnar_fast_path;
+          Alcotest.test_case "late materialization" `Quick
+            test_late_materialization_project_after_join ] );
+      ( "telemetry",
+        [ Alcotest.test_case "columnar counters" `Quick test_counters ] );
+      ( "differential",
+        [ Alcotest.test_case "500 queries, columnar = row = naive" `Slow
+            test_differential;
+          Testutil.qtest prop_columnar_matches_row ] ) ]
