@@ -101,6 +101,124 @@ let sort_dedup b : t =
         gather b sel
       end
 
+(* ---------------- linear-merge set operations ----------------
+
+   Canonical batches enumerate their rows in [Tuple.compare] order, so the
+   set operations are single linear merges — no hashing, no boxing, no
+   sort.  All three require both inputs canonical and of equal arity (the
+   callers check schema compatibility); outputs are canonical by
+   construction.  The row comparator is built once per merge
+   ({!Column.cmp2}), so differing string dictionaries cost a rank
+   translation up front rather than a decode per comparison. *)
+
+(** Row [i] of [a] vs row [j] of [b], lexicographically. *)
+let cross_compare a b : int -> int -> int =
+  let cmps =
+    Array.init (ncols a) (fun c -> Column.cmp2 a.cols.(c) b.cols.(c))
+  in
+  let n = Array.length cmps in
+  fun i j ->
+    let rec go c =
+      if c = n then 0
+      else
+        let r = cmps.(c) i j in
+        if r <> 0 then r else go (c + 1)
+    in
+    go 0
+
+(** a ∪ b.  Output rows interleave both inputs ({!Column.gather2}). *)
+let merge_union a b : t =
+  if ncols a = 0 then
+    { nrows = (if a.nrows > 0 || b.nrows > 0 then 1 else 0); cols = [||] }
+  else if a.nrows = 0 then b
+  else if b.nrows = 0 then a
+  else begin
+    let cmp = cross_compare a b in
+    let idx = Array.make (a.nrows + b.nrows) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < a.nrows && !j < b.nrows do
+      let c = cmp !i !j in
+      if c < 0 then begin
+        idx.(!k) <- !i lsl 1;
+        incr i
+      end
+      else if c > 0 then begin
+        idx.(!k) <- (!j lsl 1) lor 1;
+        incr j
+      end
+      else begin
+        idx.(!k) <- !i lsl 1;
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < a.nrows do
+      idx.(!k) <- !i lsl 1;
+      incr i;
+      incr k
+    done;
+    while !j < b.nrows do
+      idx.(!k) <- (!j lsl 1) lor 1;
+      incr j;
+      incr k
+    done;
+    let idx = if !k = Array.length idx then idx else Array.sub idx 0 !k in
+    { nrows = Array.length idx;
+      cols = Array.mapi (fun c ca -> Column.gather2 ca b.cols.(c) idx) a.cols }
+  end
+
+(* Intersection and difference both select a subsequence of [a]'s rows, so
+   they share one merge loop and a plain gather. *)
+let merge_select ~keep_match a b : t =
+  if ncols a = 0 then
+    let nrows =
+      if keep_match then min a.nrows b.nrows
+      else if b.nrows = 0 then a.nrows
+      else 0
+    in
+    { nrows; cols = [||] }
+  else if a.nrows = 0 || (b.nrows = 0 && keep_match) then
+    gather a [||]
+  else if b.nrows = 0 then a
+  else begin
+    let cmp = cross_compare a b in
+    let sel = Array.make a.nrows 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < a.nrows && !j < b.nrows do
+      let c = cmp !i !j in
+      if c < 0 then begin
+        if not keep_match then begin
+          sel.(!k) <- !i;
+          incr k
+        end;
+        incr i
+      end
+      else if c > 0 then incr j
+      else begin
+        if keep_match then begin
+          sel.(!k) <- !i;
+          incr k
+        end;
+        incr i;
+        incr j
+      end
+    done;
+    if not keep_match then
+      while !i < a.nrows do
+        sel.(!k) <- !i;
+        incr k;
+        incr i
+      done;
+    if !k = a.nrows then a else gather a (Array.sub sel 0 !k)
+  end
+
+(** a ∩ b. *)
+let merge_inter a b : t = merge_select ~keep_match:true a b
+
+(** a − b. *)
+let merge_diff a b : t = merge_select ~keep_match:false a b
+
 (** Binary search of boxed tuple [tup] in a {e canonical} batch. *)
 let mem b (tup : Tuple.t) : bool =
   let cmp_row i =

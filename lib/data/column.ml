@@ -220,6 +220,134 @@ let cell_compare a i b j =
   | Codes (x, dx), Codes (y, dy) when dx == dy -> Int.compare x.{i} y.{j}
   | _ -> Value.compare (get a i) (get b j)
 
+(** Cross-column two-row comparator factory: [cmp2 a b] compares row [i]
+    of [a] against row [j] of [b], consistently with {!Value.compare} on
+    the decoded cells.  Unlike {!cell_compare} the representation match —
+    and any dictionary rank translation — happens once, outside the loop:
+    this is the comparator the linear-merge set operations run, so two
+    dictionary columns with different dictionaries still compare by two
+    int reads per row pair (each right-hand value's rank in the left
+    dictionary is precomputed). *)
+let cmp2 a b : int -> int -> int =
+  match (a, b) with
+  | Ints x, Ints y -> fun i j -> Int.compare x.{i} y.{j}
+  | Floats x, Floats y -> fun i j -> Float.compare x.{i} y.{j}
+  | Bools (x, _), Bools (y, _) ->
+    fun i j -> Int.compare (bit_get x i) (bit_get y j)
+  | Codes (x, dx), Codes (y, dy) when dx == dy ->
+    fun i j -> Int.compare x.{i} y.{j}
+  | Codes (x, dx), Codes (y, dy) ->
+    (* rank each of dy's values in dx once; [present] marks exact hits so
+       equality is decided without touching a string in the loop *)
+    let k = dict_size dy in
+    let rank = Array.make k 0 and present = Bytes.make k '\000' in
+    for c = 0 to k - 1 do
+      let s = dy.values.(c) in
+      rank.(c) <- dict_rank dx s;
+      if Hashtbl.mem dx.code_of s then Bytes.set present c '\001'
+    done;
+    fun i j ->
+      let c = y.{j} in
+      let r = rank.(c) in
+      if x.{i} < r then -1
+      else if x.{i} = r && Bytes.get present c = '\001' then 0
+      else 1
+  | _ -> fun i j -> Value.compare (get a i) (get b j)
+
+(** Union of two sorted dictionaries: the merged dictionary plus the
+    translation of each input's codes into the merged code space. *)
+let merge_dicts (da : dict) (db : dict) : dict * int array * int array =
+  let na = Array.length da.values and nb = Array.length db.values in
+  let merged = Array.make (na + nb) "" in
+  let ta = Array.make na 0 and tb = Array.make nb 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na || !j < nb do
+    let c =
+      if !i = na then 1
+      else if !j = nb then -1
+      else String.compare da.values.(!i) db.values.(!j)
+    in
+    if c < 0 then begin
+      merged.(!k) <- da.values.(!i);
+      ta.(!i) <- !k;
+      incr i
+    end
+    else if c > 0 then begin
+      merged.(!k) <- db.values.(!j);
+      tb.(!j) <- !k;
+      incr j
+    end
+    else begin
+      merged.(!k) <- da.values.(!i);
+      ta.(!i) <- !k;
+      tb.(!j) <- !k;
+      incr i;
+      incr j
+    end;
+    incr k
+  done;
+  let values = Array.sub merged 0 !k in
+  let code_of = Hashtbl.create (2 * !k) in
+  Array.iteri (fun c s -> Hashtbl.replace code_of s c) values;
+  ({ values; code_of }, ta, tb)
+
+(** [gather2 a b idx]: the column whose row [k] is row [v lsr 1] of [a]
+    when [idx.(k)] is even, of [b] when odd — the gather behind the
+    linear-merge set operations, whose outputs interleave rows of two
+    batches.  Keeps the unboxed representation when both sides share one
+    (differing dictionaries are merged, so string columns stay
+    dictionary-encoded across updates); mixed representations decode to
+    boxed values. *)
+let gather2 a b (idx : int array) : t =
+  let n = Array.length idx in
+  match (a, b) with
+  | Ints x, Ints y ->
+    let out = make_ints n in
+    for k = 0 to n - 1 do
+      let v = Array.unsafe_get idx k in
+      out.{k} <- (if v land 1 = 0 then x.{v lsr 1} else y.{v lsr 1})
+    done;
+    Ints out
+  | Floats x, Floats y ->
+    let out = make_floats n in
+    for k = 0 to n - 1 do
+      let v = Array.unsafe_get idx k in
+      out.{k} <- (if v land 1 = 0 then x.{v lsr 1} else y.{v lsr 1})
+    done;
+    Floats out
+  | Bools (x, _), Bools (y, _) ->
+    let out = bitset_make n in
+    for k = 0 to n - 1 do
+      let v = Array.unsafe_get idx k in
+      let bit =
+        if v land 1 = 0 then bit_get x (v lsr 1) else bit_get y (v lsr 1)
+      in
+      if bit = 1 then bit_set out k
+    done;
+    Bools (out, n)
+  | Codes (x, dx), Codes (y, dy) ->
+    let d, ta, tb =
+      if dx == dy then (dx, [||], [||]) else merge_dicts dx dy
+    in
+    let out = make_ints n in
+    if dx == dy then
+      for k = 0 to n - 1 do
+        let v = Array.unsafe_get idx k in
+        out.{k} <- (if v land 1 = 0 then x.{v lsr 1} else y.{v lsr 1})
+      done
+    else
+      for k = 0 to n - 1 do
+        let v = Array.unsafe_get idx k in
+        out.{k} <-
+          (if v land 1 = 0 then ta.(x.{v lsr 1}) else tb.(y.{v lsr 1}))
+      done;
+    Codes (out, d)
+  | _ ->
+    Boxed
+      (Array.init n (fun k ->
+           let v = idx.(k) in
+           if v land 1 = 0 then get a (v lsr 1) else get b (v lsr 1)))
+
 (** Sorted duplicate-free copy of the column, for the kinds whose unboxed
     representation is exact (ints, bools, dictionary codes): the O(n)
     single-column dedup behind wide projections, instead of a comparison
@@ -230,22 +358,55 @@ let distinct_sorted col : t option =
   match col with
   | Ints a ->
     let n = Bigarray.Array1.dim a in
-    let seen = Hashtbl.create (min (max n 16) 1024) in
-    for i = 0 to n - 1 do
-      let v = Bigarray.Array1.unsafe_get a i in
-      if not (Hashtbl.mem seen v) then Hashtbl.add seen v ()
-    done;
-    let vals = Array.make (Hashtbl.length seen) 0 in
-    let j = ref 0 in
-    Hashtbl.iter
-      (fun v () ->
-        vals.(!j) <- v;
-        incr j)
-      seen;
-    Array.sort Int.compare vals;
-    let out = make_ints (Array.length vals) in
-    Array.iteri (fun i v -> out.{i} <- v) vals;
-    Some (Ints out)
+    (* a single column projected out of a canonical batch is very often
+       already sorted (it was the major sort key); one linear pass then
+       beats the hashtable + sort by an order of magnitude at 10M+ rows *)
+    let sorted =
+      let rec go i =
+        i >= n
+        || Bigarray.Array1.unsafe_get a (i - 1) <= Bigarray.Array1.unsafe_get a i
+           && go (i + 1)
+      in
+      n = 0 || go 1
+    in
+    if sorted then begin
+      let m = ref (min n 1) in
+      for i = 1 to n - 1 do
+        if Bigarray.Array1.unsafe_get a i <> Bigarray.Array1.unsafe_get a (i - 1)
+        then incr m
+      done;
+      let out = make_ints !m in
+      if n > 0 then begin
+        out.{0} <- a.{0};
+        let j = ref 0 in
+        for i = 1 to n - 1 do
+          let v = Bigarray.Array1.unsafe_get a i in
+          if v <> out.{!j} then begin
+            incr j;
+            out.{!j} <- v
+          end
+        done
+      end;
+      Some (Ints out)
+    end
+    else begin
+      let seen = Hashtbl.create (min (max n 16) 1024) in
+      for i = 0 to n - 1 do
+        let v = Bigarray.Array1.unsafe_get a i in
+        if not (Hashtbl.mem seen v) then Hashtbl.add seen v ()
+      done;
+      let vals = Array.make (Hashtbl.length seen) 0 in
+      let j = ref 0 in
+      Hashtbl.iter
+        (fun v () ->
+          vals.(!j) <- v;
+          incr j)
+        seen;
+      Array.sort Int.compare vals;
+      let out = make_ints (Array.length vals) in
+      Array.iteri (fun i v -> out.{i} <- v) vals;
+      Some (Ints out)
+    end
   | Bools (b, n) ->
     let seen_t = ref false and seen_f = ref false in
     for i = 0 to n - 1 do

@@ -51,6 +51,27 @@ let stamp (db : t) : int =
         acc (Relation.schema rel))
     db 0
 
+(** Apply per-relation insert/delete batches: [(name, inserts, deletes)].
+    Returns the updated database plus, per entry, the new binding and the
+    normalized applied deltas (see {!Relation.apply_delta}).  Only the
+    named relations are rebound, so untouched relations keep their stamps
+    — their index/statistics caches, and any plan-cache entry keyed
+    through {!stamp}, are invalidated exactly where the data changed.
+    Raises {!Unknown_relation} on an unknown name. *)
+let apply_delta (updates : (string * Relation.t * Relation.t) list) (db : t) :
+    t * (string * Relation.t * Relation.t * Relation.t) list =
+  let db', applied =
+    List.fold_left
+      (fun (db, acc) (name, ins, del) ->
+        let r = find name db in
+        let r', ins', del' =
+          Relation.apply_delta ~inserts:ins ~deletes:del r
+        in
+        (Smap.add name r' db, (name, r', ins', del') :: acc))
+      (db, []) updates
+  in
+  (db', List.rev applied)
+
 let pp ppf (db : t) =
   Smap.iter
     (fun name rel ->

@@ -26,4 +26,15 @@ val total_tuples : t -> int
     {!Relation.stamp}, attribute names) triples.  Sound as a cache key:
     rebinding any name to a rebuilt or renamed relation changes it. *)
 val stamp : t -> int
+
+(** Apply per-relation insert/delete batches: [(name, inserts, deletes)].
+    Returns the updated database and, per entry, [(name, new_relation,
+    applied_inserts, applied_deletes)] with the applied deltas normalized
+    as {!Relation.apply_delta} does.  Untouched relations keep their
+    stamps and caches.  Raises {!Unknown_relation}. *)
+val apply_delta :
+  (string * Relation.t * Relation.t) list ->
+  t ->
+  t * (string * Relation.t * Relation.t * Relation.t) list
+
 val pp : Format.formatter -> t -> unit

@@ -78,3 +78,130 @@ let monadic_db ?(universe = 8) ?(preds = [ "P"; "Q"; "R" ]) seed =
     Relation.of_lists schema rows
   in
   Database.of_list (List.map (fun p -> (p, rel p)) preds)
+
+(* ---------------- update streams ---------------- *)
+
+let sailor_row r ~sid_range =
+  [ Value.Int (1 + int r sid_range); Value.String (pick r names);
+    Value.Int (1 + int r 10); Value.Float (float_of_int (16 + int r 50)) ]
+
+let boat_row r ~bid_range =
+  [ Value.Int (100 + int r bid_range); Value.String (pick r boat_names);
+    Value.String (pick r colors) ]
+
+let reserves_row r ~sid_range ~bid_range =
+  [ Value.Int (1 + int r sid_range); Value.Int (100 + int r bid_range);
+    Value.String (Printf.sprintf "%d/%d" (1 + int r 12) (1 + int r 28)) ]
+
+(** One insert/delete batch over [db]: for each named relation, about
+    [frac] of the current rows are deleted (sampled from the current
+    contents) and a like number of fresh rows inserted, drawn from the
+    same distributions as {!sailors_db} so join selectivities stay
+    realistic.  Advancing the same [r] across calls yields a reproducible
+    update stream — the input of the view-maintenance differential tests
+    and the update-stream bench. *)
+let update_batch ?(relations = [ "Sailor"; "Boat"; "Reserves" ]) ~frac r
+    (db : Database.t) : (string * Relation.t * Relation.t) list =
+  let n_s = max 1 (Relation.cardinality (Database.find "Sailor" db)) in
+  let n_b = max 1 (Relation.cardinality (Database.find "Boat" db)) in
+  List.map
+    (fun name ->
+      let rel = Database.find name db in
+      let schema = Relation.schema rel in
+      let arr = Relation.tuples_array rel in
+      let n = Array.length arr in
+      let k = max 1 (int_of_float (frac *. float_of_int n)) in
+      let deletes =
+        if n = 0 then []
+        else List.init k (fun _ -> Array.to_list arr.(int r n))
+      in
+      let inserts =
+        List.init k (fun _ ->
+            match name with
+            | "Sailor" -> sailor_row r ~sid_range:n_s
+            | "Boat" -> boat_row r ~bid_range:n_b
+            | "Reserves" -> reserves_row r ~sid_range:n_s ~bid_range:n_b
+            | _ -> invalid_arg ("Generator.update_batch: " ^ name))
+      in
+      (name, Relation.of_lists schema inserts, Relation.of_lists schema deletes))
+    relations
+
+(* ---------------- columnar-direct instances ---------------- *)
+
+(** The {!sailors_db} shape built directly as canonical column batches —
+    no boxed tuple set is ever materialized, which is what makes the
+    10M-row scaling sweeps affordable.  Sailors and boats get ascending
+    keys (so the rows are already in canonical order); the reservation
+    (sid, bid) pairs are drawn distinct and sorted. *)
+let sailors_db_columnar ?(n_sailors = 1_000_000) ?n_boats ?n_reserves seed =
+  let n_boats =
+    match n_boats with Some n -> n | None -> max 4 (n_sailors / 10)
+  in
+  let n_reserves =
+    match n_reserves with Some n -> n | None -> n_sailors * 2
+  in
+  let r = rng seed in
+  let sname_dict = Column.dict_of_strings (Array.of_list names) in
+  let n_names = Column.dict_size sname_dict in
+  let sid = Column.make_ints n_sailors in
+  let sname = Column.make_ints n_sailors in
+  let rating = Column.make_ints n_sailors in
+  let age = Column.make_floats n_sailors in
+  for i = 0 to n_sailors - 1 do
+    sid.{i} <- i + 1;
+    sname.{i} <- int r n_names;
+    rating.{i} <- 1 + int r 10;
+    age.{i} <- float_of_int (16 + int r 50)
+  done;
+  let sailor =
+    Relation.of_batch ~canonical:true Sample_db.sailor_schema
+      (Batch.make ~nrows:n_sailors
+         [| Column.Ints sid; Column.Codes (sname, sname_dict);
+            Column.Ints rating; Column.Floats age |])
+  in
+  let bname_dict = Column.dict_of_strings (Array.of_list boat_names) in
+  let color_dict = Column.dict_of_strings (Array.of_list colors) in
+  let bid = Column.make_ints n_boats in
+  let bname = Column.make_ints n_boats in
+  let color = Column.make_ints n_boats in
+  for i = 0 to n_boats - 1 do
+    bid.{i} <- 100 + i;
+    bname.{i} <- int r (Column.dict_size bname_dict);
+    color.{i} <- int r (Column.dict_size color_dict)
+  done;
+  let boat =
+    Relation.of_batch ~canonical:true Sample_db.boat_schema
+      (Batch.make ~nrows:n_boats
+         [| Column.Ints bid; Column.Codes (bname, bname_dict);
+            Column.Codes (color, color_dict) |])
+  in
+  let target = min n_reserves (n_sailors * n_boats) in
+  let seen = Hashtbl.create (2 * target) in
+  while Hashtbl.length seen < target do
+    Hashtbl.replace seen (1 + int r n_sailors, 100 + int r n_boats) ()
+  done;
+  let pairs = Array.of_seq (Hashtbl.to_seq_keys seen) in
+  Array.sort compare pairs;
+  let m = Array.length pairs in
+  let day_dict =
+    Column.dict_of_strings
+      (Array.init (12 * 28) (fun i ->
+           Printf.sprintf "%d/%d" (1 + (i / 28)) (1 + (i mod 28))))
+  in
+  let rsid = Column.make_ints m in
+  let rbid = Column.make_ints m in
+  let day = Column.make_ints m in
+  Array.iteri
+    (fun i (s, b) ->
+      rsid.{i} <- s;
+      rbid.{i} <- b;
+      day.{i} <- int r (Column.dict_size day_dict))
+    pairs;
+  let reserves =
+    Relation.of_batch ~canonical:true Sample_db.reserves_schema
+      (Batch.make ~nrows:m
+         [| Column.Ints rsid; Column.Ints rbid;
+            Column.Codes (day, day_dict) |])
+  in
+  Database.of_list
+    [ ("Sailor", sailor); ("Boat", boat); ("Reserves", reserves) ]

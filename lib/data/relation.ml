@@ -302,6 +302,41 @@ let diff a b =
   require_compatible "except" a b;
   make a.schema (Tset.diff (force_tset a) (force_tset b))
 
+(** [apply_delta ~inserts ~deletes r]: [r] with [deletes] removed and
+    [inserts] added.  Inserts win when a tuple appears in both.  Returns
+    [(r', applied_inserts, applied_deletes)] where the applied deltas are
+    normalized against [r] — applied inserts are genuinely new
+    ([inserts − r]) and applied deletes genuinely retracted
+    ([deletes ∩ r − inserts]) — which is the exact signed delta the
+    differential evaluator propagates.  The updated relation gets a fresh
+    monotone stamp (so its index/statistics caches and any plan-cache
+    entry keyed through {!Database.stamp} are invalidated), except when
+    the normalized delta is empty, in which case [r] itself is returned
+    and every cache survives.  A columnar-backed relation is updated by
+    linear batch merges and stays columnar — delta batches run through
+    the vectorized kernels unchanged; a row-backed one updates its
+    persistent set in O(|Δ| log n). *)
+let apply_delta ~inserts ~deletes r =
+  require_compatible "apply_delta" r inserts;
+  require_compatible "apply_delta" r deletes;
+  let ins = filter (fun t -> not (mem t r)) inserts in
+  let del = filter (fun t -> mem t r && not (mem t inserts)) deletes in
+  let r' =
+    if is_empty ins && is_empty del then r
+    else
+      match r.rows.tset with
+      | Some ts ->
+        let ts = fold (fun t acc -> Tset.remove t acc) del ts in
+        let ts = fold (fun t acc -> Tset.add t acc) ins ts in
+        make r.schema ts
+      | None ->
+        let b = batch r in
+        let b = Batch.merge_diff b (batch del) in
+        let b = Batch.merge_union b (batch ins) in
+        of_batch ~canonical:true r.schema b
+  in
+  (r', ins, del)
+
 let project names r =
   let schema = Schema.project names r.schema in
   let idx = Array.of_list (List.map (fun n -> Schema.index n r.schema) names) in

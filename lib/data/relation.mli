@@ -81,6 +81,19 @@ val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 
+(** [apply_delta ~inserts ~deletes r]: [r] with [deletes] removed and
+    [inserts] added (inserts win on overlap).  Returns
+    [(r', applied_inserts, applied_deletes)] with the applied deltas
+    normalized against [r]: inserts genuinely new, deletes genuinely
+    retracted, the two disjoint — the exact signed delta differential
+    view maintenance propagates.  [r'] carries a fresh stamp (invalidating
+    only this relation's caches); when the normalized delta is empty [r]
+    itself is returned and its stamp and caches survive.  Columnar-backed
+    relations are updated by linear canonical-batch merges and stay
+    columnar; row-backed ones update the persistent set in O(|Δ| log n).
+    Raises {!Schema.Schema_error} on arity mismatch. *)
+val apply_delta : inserts:t -> deletes:t -> t -> t * t * t
+
 (** π: projection (possibly nullary — the Boolean relation). *)
 val project : string list -> t -> t
 

@@ -389,6 +389,20 @@ let vec_hash_join n (j : hash_join) lr rr : D.Relation.t option =
     Some (D.Relation.of_batch ~canonical:true n.schema out_b)
   end
 
+(* Set operations over two canonical batches: a single linear merge
+   (Batch.merge_union and friends), no hashing and no boxing.  Outputs are
+   canonical by
+   construction — a union interleaves two sorted duplicate-free row
+   sequences, intersection and difference keep subsequences of the left
+   one. *)
+let vec_setop n (merge : D.Batch.t -> D.Batch.t -> D.Batch.t) ra rb :
+    D.Relation.t =
+  let ba = D.Relation.batch ra and bb = D.Relation.batch rb in
+  T.add c_batches 2;
+  T.add c_rows (D.Batch.nrows ba + D.Batch.nrows bb);
+  if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
+  D.Relation.of_batch ~canonical:true n.schema (merge ba bb)
+
 (* A row-mode operator running over an input that was born columnar:
    counted so the telemetry shows where vectorization does not apply. *)
 let note_row_fallback inputs =
@@ -604,6 +618,12 @@ and compute n : D.Relation.t =
         (Pool.parallel_map_chunks ~chunk:(chunk_for ca) pair_chunk
            (D.Relation.tuples_array ra))
     end
+  | Union (a, b) when !columnar_enabled && n.vec ->
+    vec_setop n D.Batch.merge_union (exec a) (exec b)
+  | Inter (a, b) when !columnar_enabled && n.vec ->
+    vec_setop n D.Batch.merge_inter (exec a) (exec b)
+  | Diff (a, b) when !columnar_enabled && n.vec ->
+    vec_setop n D.Batch.merge_diff (exec a) (exec b)
   | Union (a, b) ->
     let ra = exec a and rb = exec b in
     note_row_fallback [ ra; rb ];
@@ -665,12 +685,14 @@ let fold_unique f (root : t) init =
 
 (** Mark the nodes that should execute vectorized when {!columnar_enabled}:
     filters and projections whose estimated input clears {!vec_threshold}
-    rows, and hash joins where either side does.  Set-ops, division, and
-    nested-loop joins stay in row mode — their sorted-set implementations
-    already run without per-row closure dispatch, and vectorizing them does
-    not pay.  Called by {!Planner.plan} once cardinality estimates exist;
-    the flag is only acted on at execution time, so one plan serves both
-    modes. *)
+    rows, hash joins where either side does, and set operations (union /
+    intersect / minus) likewise — canonical batches are sorted and
+    duplicate-free, so those run as single linear merges with no hashing
+    or boxing.  Division and nested-loop joins stay in row mode — their
+    sorted-set implementations already run without per-row closure
+    dispatch, and vectorizing them does not pay.  Called by
+    {!Planner.plan} once cardinality estimates exist; the flag is only
+    acted on at execution time, so one plan serves both modes. *)
 let mark_vectorized root =
   let thr = float_of_int !vec_threshold in
   fold_unique
@@ -679,6 +701,8 @@ let mark_vectorized root =
         (match n.op with
         | Filter (_, c) | Project (_, c) -> c.est >= thr
         | Hash_join j -> Float.max j.left.est j.right.est >= thr
+        | Union (a, b) | Inter (a, b) | Diff (a, b) ->
+          Float.max a.est b.est >= thr
         | _ -> false))
     root ()
 
@@ -697,6 +721,18 @@ let reset_caches root =
       n.actual_ns <- -1L;
       n.detail <- [])
     root ()
+
+(** Execute a {e freshly built} node without resetting memos first — the
+    entry point the differential evaluator ({!Delta}) uses for the
+    ephemeral per-update delta plans it assembles around existing
+    relations.  The per-evaluation node memo of a registered plan is
+    {b not} shared with delta evaluation: a plan can be served from the
+    plan cache and re-{!run} for an ad-hoc query at any time, which
+    resets every node's [cache] — so differential state must live with
+    the view (see {!Delta}), never on plan nodes, and the delta plans
+    executed here are built fresh per maintenance round from nodes no
+    {!run} can reach. *)
+let exec_fresh (n : t) : D.Relation.t = exec n
 
 (** Execute a (possibly cached, possibly previously executed) plan from a
     clean slate — the entry point {!Eval.eval_planned} uses. *)

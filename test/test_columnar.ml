@@ -163,6 +163,27 @@ let test_of_batch_canonicalizes () =
   Alcotest.(check bool) "mem rejects" false
     (D.Relation.mem (mk [ 2; 1 ]) r)
 
+let test_distinct_sorted_paths () =
+  (* the single-column dedup has a linear fast path for already-sorted
+     int columns and a hashtable path otherwise — same result required *)
+  let dedup l =
+    let col = D.Column.make_ints (List.length l) in
+    List.iteri (fun i v -> col.{i} <- v) l;
+    let b = D.Batch.make ~nrows:(List.length l) [| D.Column.Ints col |] in
+    let c = D.Batch.sort_dedup b in
+    List.init (D.Batch.nrows c) (fun i ->
+        match (D.Batch.tuple_at c i).(0) with V.Int v -> v | _ -> assert false)
+  in
+  let sorted_dups = [ 1; 1; 2; 4; 4; 4; 9 ] in
+  let shuffled = [ 4; 1; 9; 4; 2; 1; 4 ] in
+  Alcotest.(check (list int)) "sorted input, linear path" [ 1; 2; 4; 9 ]
+    (dedup sorted_dups);
+  Alcotest.(check (list int)) "unsorted input, hashtable path" [ 1; 2; 4; 9 ]
+    (dedup shuffled);
+  Alcotest.(check (list int)) "already distinct" [ 3; 5; 8 ] (dedup [ 3; 5; 8 ]);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (dedup [ 7 ]);
+  Alcotest.(check (list int)) "empty" [] (dedup [])
+
 let test_tuples_array_memoized () =
   let r = D.Sample_db.sailors in
   Alcotest.(check bool) "same physical array" true
@@ -293,6 +314,8 @@ let () =
       ( "relations",
         [ Alcotest.test_case "of_batch canonicalizes" `Quick
             test_of_batch_canonicalizes;
+          Alcotest.test_case "distinct_sorted paths" `Quick
+            test_distinct_sorted_paths;
           Alcotest.test_case "tuples_array memoized" `Quick
             test_tuples_array_memoized;
           Alcotest.test_case "stats fast path" `Quick
