@@ -16,10 +16,14 @@
       boxed [Value.t array] with the exact row-at-a-time semantics.
 
     The selection kernels at the bottom are the vectorized inner loops the
-    physical plan operators run: each fills a byte-per-row bitmap for one
-    comparison over a row range, and the caller combines bitmaps with
-    {!band}/{!bor}/{!bnot} — no per-row closure dispatch on the typed fast
-    paths.  Everything here is consistent with {!Value.compare}: within one
+    physical plan operators run: each fills a bit-per-row word bitmap for
+    one comparison over a row range (63 rows per native-int word), and the
+    caller combines bitmaps with {!wand}/{!wor}/{!wnot} — one machine op
+    per 63 rows, no per-row closure dispatch on the typed fast paths.
+    Counting is popcount-based ({!count_bits}) and {!sel_of_bits} converts
+    a bitmap to a selection vector word-at-a-time, skipping all-zero words
+    and unrolling all-one words.  Everything here is consistent with
+    {!Value.compare}: within one
     column kind, the unboxed comparison order is exactly the boxed one, so
     sorting rows by columns reproduces {!Tuple.compare} order. *)
 
@@ -491,79 +495,197 @@ let distinct_count col =
 (** Comparison operators, mirroring [Fol.cmp] without depending on it. *)
 type cmp = Clt | Cle | Ceq | Cneq | Cge | Cgt
 
-(** A bitmap filler: write 0/1 into [dst.(k)] for rows [lo + k],
-    [0 <= k < len].  [dst] is byte-per-row scratch owned by the caller. *)
-type filler = lo:int -> len:int -> Bytes.t -> unit
+(* ---- word bitmaps ----
+   One bit per row, 63 rows per word: OCaml's native int carries 63 usable
+   bits, and staying on plain ints keeps every combiner a single untagged
+   machine op.  Invariant maintained by every writer here: bits at or
+   beyond [len] in the last word are zero, so popcount and sel_of_bits
+   never see phantom rows. *)
+
+(** Rows per bitmap word (63: OCaml native ints are 63-bit). *)
+let bits_per_word = 63
+
+(** A word with all [bits_per_word] row bits set (as a two's-complement
+    native int, that is [-1]). *)
+let full_word = -1
+
+type words = int array
+
+(** Number of words a [len]-row bitmap occupies. *)
+let words_for len = (len + bits_per_word - 1) / bits_per_word
+
+(* mask selecting the low [m] bits, 0 <= m <= bits_per_word *)
+let tail_mask m = if m >= bits_per_word then full_word else (1 lsl m) - 1
+
+(** A bitmap filler: write the pass/fail bits for rows [lo + k],
+    [0 <= k < len], into [dst] — bit [k mod 63] of word [k / 63], i.e.
+    [dst] is a {e local} window whose bit 0 is row [lo].  [dst] has at
+    least [words_for len] words and is owned by the caller; bits at or
+    beyond [len] in the last word are left zero. *)
+type filler = lo:int -> len:int -> words -> unit
+
+(** Per-domain scratch pool for transient bitmap words and selection
+    vectors.  The vectorized operators churn through one buffer per batch,
+    and freshly mapped pages fault on first touch (measured in
+    bench/main.ml), so steady-state batches must reuse memory.  A stack,
+    not a single slot: nested connectives in one compiled predicate hold
+    several buffers at once.  Buffers handed out here must never escape
+    the callback — a deferred selection view keeps its bitmap alive, so
+    that one allocates fresh. *)
+module Scratch = struct
+  let pool : int array list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  (** [with_ints n f]: run [f buf] with a pooled [int array] of at least
+      [n] elements (contents unspecified); the buffer returns to this
+      domain's pool when [f] finishes. *)
+  let with_ints n f =
+    let st = Domain.DLS.get pool in
+    let buf =
+      match !st with
+      | b :: rest ->
+        st := rest;
+        if Array.length b >= n then b
+        else Array.make (max n (2 * Array.length b)) 0
+      | [] -> Array.make (max n 256) 0
+    in
+    Fun.protect ~finally:(fun () -> st := buf :: !st) (fun () -> f buf)
+
+  (** Pooled word bitmap covering [len] rows (contents unspecified — every
+      filler overwrites its whole window). *)
+  let with_words ~len f = with_ints (words_for len) f
+end
 
 let fill_const b : filler =
-  let c = if b then '\001' else '\000' in
-  fun ~lo:_ ~len dst -> Bytes.fill dst 0 len c
+ fun ~lo:_ ~len dst ->
+  let nw = words_for len in
+  if not b then Array.fill dst 0 nw 0
+  else begin
+    Array.fill dst 0 nw full_word;
+    let m = len - ((nw - 1) * bits_per_word) in
+    if nw > 0 then dst.(nw - 1) <- tail_mask m
+  end
 
-(** dst &= src over [len] bytes. *)
-let band dst src len =
-  for k = 0 to len - 1 do
-    if Bytes.unsafe_get src k = '\000' then Bytes.unsafe_set dst k '\000'
+(** dst &= src over [nw] words. *)
+let wand (dst : words) (src : words) nw =
+  for w = 0 to nw - 1 do
+    Array.unsafe_set dst w
+      (Array.unsafe_get dst w land Array.unsafe_get src w)
   done
 
-(** dst |= src over [len] bytes. *)
-let bor dst src len =
-  for k = 0 to len - 1 do
-    if Bytes.unsafe_get src k <> '\000' then Bytes.unsafe_set dst k '\001'
+(** dst |= src over [nw] words. *)
+let wor (dst : words) (src : words) nw =
+  for w = 0 to nw - 1 do
+    Array.unsafe_set dst w (Array.unsafe_get dst w lor Array.unsafe_get src w)
   done
 
-(** dst = not dst over [len] bytes. *)
-let bnot dst len =
-  for k = 0 to len - 1 do
-    Bytes.unsafe_set dst k
-      (if Bytes.unsafe_get dst k = '\000' then '\001' else '\000')
+(** dst = not dst over a [len]-row bitmap; the tail word is re-masked so
+    phantom bits beyond [len] stay zero. *)
+let wnot (dst : words) ~len =
+  let nw = words_for len in
+  for w = 0 to nw - 1 do
+    Array.unsafe_set dst w (lnot (Array.unsafe_get dst w))
+  done;
+  if nw > 0 then begin
+    let m = len - ((nw - 1) * bits_per_word) in
+    dst.(nw - 1) <- dst.(nw - 1) land tail_mask m
+  end
+
+(** Set bits in one word.  SWAR over two 32-bit halves: the usual 64-bit
+    magic constants overflow OCaml's 63-bit int literals. *)
+let popcount x =
+  let p32 v =
+    let v = v - ((v lsr 1) land 0x55555555) in
+    let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+    let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+    (* C truncates the multiply to 32 bits; OCaml ints do not, so mask
+       before taking the top byte *)
+    ((v * 0x01010101) land 0xFFFFFFFF) lsr 24
+  in
+  p32 (x land 0xFFFFFFFF) + p32 (x lsr 32)
+
+(** Number of set bits in a [len]-row bitmap (relies on the phantom-bits-
+    zero invariant). *)
+let count_bits (bits : words) ~len =
+  let nw = words_for len in
+  let n = ref 0 in
+  for w = 0 to nw - 1 do
+    n := !n + popcount (Array.unsafe_get bits w)
+  done;
+  !n
+
+(* Word-blocked driver: [word base m] returns the m-bit pass/fail bitmap
+   for rows [base .. base + m - 1].  The per-word closure call amortizes
+   over 63 rows, and each kernel's inner loop stays monomorphic with the
+   comparison inlined. *)
+let blocked (word : int -> int -> int) : filler =
+ fun ~lo ~len dst ->
+  let nw = words_for len in
+  for w = 0 to nw - 1 do
+    let base = lo + (w * bits_per_word) in
+    let m = min bits_per_word (lo + len - base) in
+    Array.unsafe_set dst w (word base m)
   done
 
 (** Generic per-row fill from a predicate over absolute row indices — the
     fallback the vectorized filter uses for combinations with no typed
     kernel (boxed columns, cross-kind comparisons). *)
 let fill_with (p : int -> bool) : filler =
- fun ~lo ~len dst ->
-  for k = 0 to len - 1 do
-    Bytes.unsafe_set dst k (if p (lo + k) then '\001' else '\000')
-  done
+  blocked (fun base m ->
+      let acc = ref 0 in
+      for b = 0 to m - 1 do
+        if p (base + b) then acc := !acc lor (1 lsl b)
+      done;
+      !acc)
 
-(* One tight loop per operator: the match on [op] happens once, outside
-   the loop, so the loop body is a bigarray read, a compare, and a byte
-   write. *)
+(* One tight word loop per operator: the match on [op] happens once,
+   outside, so the loop body is a bigarray read, a compare, and an
+   or-shift into the word accumulator — no branches on the result. *)
 let fill_int_cmp (a : ints) op (c : int) : filler =
   let ( .%{} ) = Bigarray.Array1.unsafe_get in
-  let set = Bytes.unsafe_set in
   match op with
   | Clt ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} < c then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + b} < c) lsl b)
+        done;
+        !acc)
   | Cle ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} <= c then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + b} <= c) lsl b)
+        done;
+        !acc)
   | Ceq ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} = c then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + b} = c) lsl b)
+        done;
+        !acc)
   | Cneq ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} <> c then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + b} <> c) lsl b)
+        done;
+        !acc)
   | Cge ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} >= c then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + b} >= c) lsl b)
+        done;
+        !acc)
   | Cgt ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} > c then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + b} > c) lsl b)
+        done;
+        !acc)
 
 (* Float comparisons go through [Float.compare] (the total order, nan
    lowest and equal to itself) because that is what [Value.compare] — and
@@ -579,75 +701,115 @@ let fcmp op u v =
   | Cge -> r >= 0
   | Cgt -> r > 0
 
+(* Float kernels: [Float.compare a c OP 0] is what Value.compare uses, but
+   in a tight loop the allocation-free native comparisons are worth having.
+   Native [<]/[<=]/[>]/[>=]/[=] agree with the total order except around
+   nan, and [c] is a constant — so when [c] is not nan, the only rows the
+   two disagree on are nan rows, which the total order puts below every
+   real: nan < c, not (nan >= c), nan <> c.  Native comparisons return
+   exactly that (false for every ordered test against nan) except for
+   [Clt]/[Cle], which need the nan rows {e included}; those two instead
+   test the negated opposite (not (a > c), not (a >= c)).  A nan constant
+   keeps the Float.compare path. *)
 let fill_float_cmp (a : floats) op (c : float) : filler =
   let ( .%{} ) = Bigarray.Array1.unsafe_get in
-  let set = Bytes.unsafe_set in
-  match op with
-  | Clt ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if Float.compare a.%{lo + k} c < 0 then '\001' else '\000')
-      done
-  | Cle ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if Float.compare a.%{lo + k} c <= 0 then '\001' else '\000')
-      done
-  | Ceq ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if Float.compare a.%{lo + k} c = 0 then '\001' else '\000')
-      done
-  | Cneq ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if Float.compare a.%{lo + k} c <> 0 then '\001' else '\000')
-      done
-  | Cge ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if Float.compare a.%{lo + k} c >= 0 then '\001' else '\000')
-      done
-  | Cgt ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if Float.compare a.%{lo + k} c > 0 then '\001' else '\000')
-      done
+  if Float.is_nan c then
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for b = 0 to m - 1 do
+          if fcmp op a.%{base + b} c then acc := !acc lor (1 lsl b)
+        done;
+        !acc)
+  else
+    match op with
+    | Clt ->
+      blocked (fun base m ->
+          let acc = ref 0 in
+          for b = 0 to m - 1 do
+            acc := !acc lor (Bool.to_int (not (a.%{base + b} >= c)) lsl b)
+          done;
+          !acc)
+    | Cle ->
+      blocked (fun base m ->
+          let acc = ref 0 in
+          for b = 0 to m - 1 do
+            acc := !acc lor (Bool.to_int (not (a.%{base + b} > c)) lsl b)
+          done;
+          !acc)
+    | Ceq ->
+      blocked (fun base m ->
+          let acc = ref 0 in
+          for b = 0 to m - 1 do
+            acc := !acc lor (Bool.to_int (a.%{base + b} = c) lsl b)
+          done;
+          !acc)
+    | Cneq ->
+      blocked (fun base m ->
+          let acc = ref 0 in
+          for b = 0 to m - 1 do
+            acc := !acc lor (Bool.to_int (not (a.%{base + b} = c)) lsl b)
+          done;
+          !acc)
+    | Cge ->
+      blocked (fun base m ->
+          let acc = ref 0 in
+          for b = 0 to m - 1 do
+            acc := !acc lor (Bool.to_int (a.%{base + b} >= c) lsl b)
+          done;
+          !acc)
+    | Cgt ->
+      blocked (fun base m ->
+          let acc = ref 0 in
+          for b = 0 to m - 1 do
+            acc := !acc lor (Bool.to_int (a.%{base + b} > c) lsl b)
+          done;
+          !acc)
 
 let fill_int_cmp_cols (a : ints) op (b : ints) : filler =
   let ( .%{} ) = Bigarray.Array1.unsafe_get in
-  let set = Bytes.unsafe_set in
   match op with
   | Clt ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} < b.%{lo + k} then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + k} < b.%{base + k}) lsl k)
+        done;
+        !acc)
   | Cle ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} <= b.%{lo + k} then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + k} <= b.%{base + k}) lsl k)
+        done;
+        !acc)
   | Ceq ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} = b.%{lo + k} then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + k} = b.%{base + k}) lsl k)
+        done;
+        !acc)
   | Cneq ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} <> b.%{lo + k} then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + k} <> b.%{base + k}) lsl k)
+        done;
+        !acc)
   | Cge ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} >= b.%{lo + k} then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + k} >= b.%{base + k}) lsl k)
+        done;
+        !acc)
   | Cgt ->
-    fun ~lo ~len dst ->
-      for k = 0 to len - 1 do
-        set dst k (if a.%{lo + k} > b.%{lo + k} then '\001' else '\000')
-      done
+    blocked (fun base m ->
+        let acc = ref 0 in
+        for k = 0 to m - 1 do
+          acc := !acc lor (Bool.to_int (a.%{base + k} > b.%{base + k}) lsl k)
+        done;
+        !acc)
 
 (* Ordered comparison against a code threshold: [rank] values sort below
    the constant, [present] says whether the constant itself is a code.
@@ -728,23 +890,38 @@ let fill_cmp_cols op a b : filler option =
            | Cgt -> u > v))
   | _ -> None
 
-(** Selection vector of a bitmap: the absolute row indices (ascending)
-    whose byte is set. *)
-let sel_of_bits bits ~lo ~len : int array =
-  (* branchless on the bitmap bytes (every filler writes exactly 0 or 1):
-     a random pass/fail pattern — the expensive case for a selective
-     predicate — costs no branch mispredictions *)
-  let count = ref 0 in
-  for k = 0 to len - 1 do
-    count := !count + Char.code (Bytes.unsafe_get bits k)
-  done;
-  let n = !count in
+(** Selection vector of a bitmap: the absolute row indices (ascending,
+    offset by [lo]) whose bit is set.  Word-skipping: all-zero words cost
+    one compare per 63 rows, all-one words unroll to straight stores, and
+    only mixed words pay the per-bit shift loop (which exits at the
+    highest set bit). *)
+let sel_of_bits (bits : words) ~lo ~len : int array =
+  let n = count_bits bits ~len in
   let sel = Array.make n 0 in
-  let j = ref 0 and k = ref 0 in
-  while !j < n do
-    Array.unsafe_set sel !j (lo + !k);
-    j := !j + Char.code (Bytes.unsafe_get bits !k);
-    incr k
+  let nw = words_for len in
+  let j = ref 0 in
+  for w = 0 to nw - 1 do
+    let word = Array.unsafe_get bits w in
+    if word <> 0 then begin
+      let base = lo + (w * bits_per_word) in
+      if word = full_word then begin
+        for b = 0 to bits_per_word - 1 do
+          Array.unsafe_set sel (!j + b) (base + b)
+        done;
+        j := !j + bits_per_word
+      end
+      else begin
+        let x = ref word and b = ref 0 in
+        while !x <> 0 do
+          if !x land 1 = 1 then begin
+            Array.unsafe_set sel !j (base + !b);
+            incr j
+          end;
+          x := !x lsr 1;
+          incr b
+        done
+      end
+    end
   done;
   sel
 

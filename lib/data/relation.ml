@@ -12,7 +12,14 @@
     - [batch]: a {e canonical} {!Batch.t} (columns sorted in [Tuple.compare]
       order) — what the vectorized physical operators run on;
     - [arr]: the tuples as a sorted array — what the morsel-parallel row
-      operators chunk over.
+      operators chunk over;
+    - [view]: a {e deferred selection} — a base batch plus a word bitmap of
+      selected rows ({!of_view}).  This is the late-materialization
+      representation the vectorized filter/project emit: no gather has
+      happened yet.  Downstream vectorized operators read the bitmap
+      directly ({!view_parts}/{!view_sel}); any consumer that needs one of
+      the other representations forces the gather exactly once, under the
+      lock, and the result is memoized like every other conversion.
 
     Any view can be derived from any other, so a relation born columnar
     (from a vectorized operator, via {!of_batch}) never pays for boxing
@@ -31,15 +38,44 @@ module Tset = Set.Make (struct
   let compare = Tuple.compare
 end)
 
+module T = Diagres_telemetry.Telemetry
+
+(* Late-materialization accounting: a gather is *deferred* when a
+   vectorized operator hands its selection on as a view instead of
+   materializing ([sel_rows] sums the rows carried that way), and *forced*
+   when some consumer later needs the materialized batch after all.
+   deferred − forced = gathers that never happened. *)
+let c_gathers_deferred = T.counter "columnar.gathers_deferred"
+let c_gathers_forced = T.counter "columnar.gathers_forced"
+let c_sel_rows = T.counter "columnar.sel_rows"
+
+(** A deferred selection: the rows of [vbase] whose bit is set in [vbits].
+    [vbase]'s columns are already the relation's output columns (a
+    projection view holds a zero-copy column subset as its base).
+    [vcanonical] asserts the selected rows are sorted and duplicate-free
+    in base order — true for a filter of a canonical batch, false once a
+    projection may have introduced duplicates; non-canonical views pay a
+    [sort_dedup] at materialization.  [vnsel] is the popcount of [vbits]
+    (for non-canonical views an upper bound on the cardinality). *)
+type view = {
+  vbase : Batch.t;
+  vbits : Column.words;
+  vcanonical : bool;
+  vnsel : int;
+  mutable vsel : int array option;  (** memoized ascending selection vector *)
+}
+
 (* The shared row storage.  Fields only ever go [None] -> [Some] (under
    [lock]); the unlocked fast-path reads are safe because a published
    [Some] never changes and OCaml reads of a mutable field are atomic.
-   Invariant: at least one of [tset]/[batch] is [Some] from construction. *)
+   Invariant: at least one of [tset]/[batch]/[view] is [Some] from
+   construction. *)
 type rows = {
   lock : Mutex.t;
   mutable tset : Tset.t option;
   mutable batch : Batch.t option;  (** canonical: sorted, duplicate-free *)
   mutable arr : Tuple.t array option;  (** sorted; treated as read-only *)
+  mutable view : view option;  (** deferred selection, pending gather *)
 }
 
 type t = {
@@ -67,7 +103,8 @@ let fresh schema rows =
    (empty) index/statistics caches keyed on it. *)
 let make schema tuples =
   fresh schema
-    { lock = Mutex.create (); tset = Some tuples; batch = None; arr = None }
+    { lock = Mutex.create (); tset = Some tuples; batch = None; arr = None;
+      view = None }
 
 (** Columnar constructor.  [canonical] asserts the batch is already sorted
     and duplicate-free (e.g. an order-preserving selection from a canonical
@@ -79,7 +116,26 @@ let of_batch ?(canonical = false) schema (b : Batch.t) =
       (Schema.to_string schema);
   let b = if canonical then b else Batch.sort_dedup b in
   fresh schema
-    { lock = Mutex.create (); tset = None; batch = Some b; arr = None }
+    { lock = Mutex.create (); tset = None; batch = Some b; arr = None;
+      view = None }
+
+(** Deferred-selection constructor: the relation whose rows are the set
+    bits of [bits] over [base], with {e no} gather performed.  [count] is
+    the popcount of [bits]; [canonical] as in {!type-view}.  The bitmap is
+    owned by the view afterwards (callers pass freshly built words, never
+    pooled scratch). *)
+let of_view ?(canonical = true) ~count schema (base : Batch.t)
+    (bits : Column.words) =
+  Schema.check_distinct schema;
+  if Batch.ncols base <> Schema.arity schema then
+    Schema.error "of_view: %d columns do not match schema %s"
+      (Batch.ncols base) (Schema.to_string schema);
+  T.incr c_gathers_deferred;
+  T.add c_sel_rows count;
+  fresh schema
+    { lock = Mutex.create (); tset = None; batch = None; arr = None;
+      view = Some { vbase = base; vbits = bits; vcanonical = canonical;
+                    vnsel = count; vsel = None } }
 
 let schema r = r.schema
 let stamp r = r.stamp
@@ -102,14 +158,42 @@ let arr_of_tset ts =
 
 (* The [_locked] builders assume [rows.lock] is held; they may call each
    other but never re-take the lock. *)
+
+(* selection vector of a pending view, memoized (lock held) *)
+let sel_of_view v =
+  match v.vsel with
+  | Some s -> s
+  | None ->
+    let s = Column.sel_of_bits v.vbits ~lo:0 ~len:(Batch.nrows v.vbase) in
+    v.vsel <- Some s;
+    s
+
+(* the deferred gather finally happens here — once per relation *)
+let batch_of_view_locked rows v =
+  match rows.batch with
+  | Some b -> b
+  | None ->
+    T.incr c_gathers_forced;
+    let g = Batch.gather v.vbase (sel_of_view v) in
+    let b = if v.vcanonical then g else Batch.sort_dedup g in
+    rows.batch <- Some b;
+    b
+
 let arr_locked rows =
   match rows.arr with
   | Some a -> a
   | None ->
     let a =
-      match rows.tset with
-      | Some ts -> arr_of_tset ts
-      | None -> Batch.to_tuples (Option.get rows.batch)
+      match (rows.tset, rows.batch, rows.view) with
+      | Some ts, _, _ -> arr_of_tset ts
+      | None, Some b, _ -> Batch.to_tuples b
+      | None, None, Some v when v.vcanonical ->
+        (* decode rows straight through the selection vector — a row-mode
+           consumer of a canonical view never pays for the column gather *)
+        let sel = sel_of_view v in
+        Array.init v.vnsel (fun i -> Batch.tuple_at v.vbase sel.(i))
+      | None, None, Some v -> Batch.to_tuples (batch_of_view_locked rows v)
+      | None, None, None -> assert false
     in
     rows.arr <- Some a;
     a
@@ -128,11 +212,14 @@ let tset_locked rows =
 let batch_locked ~arity rows =
   match rows.batch with
   | Some b -> b
-  | None ->
-    (* the array comes from the sorted set, so the batch is canonical *)
-    let b = Batch.of_tuples ~arity (arr_locked rows) in
-    rows.batch <- Some b;
-    b
+  | None -> (
+    match rows.view with
+    | Some v -> batch_of_view_locked rows v
+    | None ->
+      (* the array comes from the sorted set, so the batch is canonical *)
+      let b = Batch.of_tuples ~arity (arr_locked rows) in
+      rows.batch <- Some b;
+      b)
 
 let force_tset r =
   match r.rows.tset with
@@ -159,6 +246,33 @@ let batch r =
     cheap "is this input columnar?" probe; never forces a conversion. *)
 let peek_batch r = r.rows.batch
 
+(** Whether the relation is columnar-born: a materialized batch {e or} a
+    pending deferred selection.  Never forces a conversion; this is what
+    the row-fallback telemetry tests against. *)
+let is_columnar r =
+  Option.is_some r.rows.batch || Option.is_some r.rows.view
+
+(** The pending deferred selection, if any: [(base, bits, canonical,
+    count)].  [None] once the batch has been materialized (consumers then
+    prefer the batch).  The bitmap is read-only shared state. *)
+let view_parts r =
+  match r.rows.batch with
+  | Some _ -> None
+  | None -> (
+    match r.rows.view with
+    | Some v -> Some (v.vbase, v.vbits, v.vcanonical, v.vnsel)
+    | None -> None)
+
+(** For {e canonical} pending views: the base batch plus the memoized
+    ascending selection vector — what the vectorized hash join probes and
+    builds through without gathering.  [None] for non-canonical views
+    (those must materialize to dedup first) and for non-view relations. *)
+let view_sel r =
+  match (r.rows.batch, r.rows.view) with
+  | None, Some v when v.vcanonical ->
+    Some (v.vbase, with_lock r.rows (fun () -> sel_of_view v))
+  | _ -> None
+
 (* ---------------- cardinality, membership, traversal ---------------- *)
 
 let cardinality r =
@@ -167,7 +281,13 @@ let cardinality r =
   | None -> (
     match r.rows.batch with
     | Some b -> Batch.nrows b
-    | None -> Tset.cardinal (force_tset r))
+    | None -> (
+      match r.rows.view with
+      | Some v when v.vcanonical -> v.vnsel  (* no gather for a count *)
+      | Some _ ->
+        (* duplicates possible: only the dedup knows the exact count *)
+        Batch.nrows (batch r)
+      | None -> Tset.cardinal (force_tset r)))
 
 let is_empty r = cardinality r = 0
 
@@ -179,7 +299,11 @@ let mem tup r =
   | None -> (
     match r.rows.batch with
     | Some b -> Tuple.arity tup = Batch.ncols b && Batch.mem b tup
-    | None -> Tset.mem tup (force_tset r))
+    | None ->
+      if Option.is_some r.rows.view then
+        let b = batch r in
+        Tuple.arity tup = Batch.ncols b && Batch.mem b tup
+      else Tset.mem tup (force_tset r))
 
 let empty schema = make schema Tset.empty
 
@@ -212,7 +336,10 @@ let iter f r =
     | None -> (
       match r.rows.batch with
       | Some b -> Batch.iter f b
-      | None -> Tset.iter f (force_tset r)))
+      | None ->
+        (* view-backed (or raced): the sorted array decodes through the
+           selection without building the boxed set *)
+        Array.iter f (tuples_array r)))
 
 let fold f r init =
   match r.rows.tset with

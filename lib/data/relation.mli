@@ -46,6 +46,35 @@ val batch : t -> Batch.t
     operator applies. *)
 val peek_batch : t -> Batch.t option
 
+(** Late materialization: a relation may be born as a {e deferred
+    selection} — a base batch plus a word bitmap of selected rows, with no
+    gather performed.  Vectorized consumers read the bitmap or its
+    selection vector directly; any other consumer forces the gather once
+    (memoized, counted as [columnar.gathers_forced]). *)
+
+(** [of_view ~count schema base bits]: the relation selecting the set bits
+    of [bits] (whose popcount is [count]) from [base], deferred.
+    [canonical] (default true) asserts the selected rows are sorted and
+    duplicate-free in base order — pass [false] when duplicates are
+    possible (e.g. after a column projection); those dedup at
+    materialization.  The bitmap is owned by the view afterwards.  Raises
+    {!Schema.Schema_error} when the column count does not match. *)
+val of_view :
+  ?canonical:bool -> count:int -> Schema.t -> Batch.t -> Column.words -> t
+
+(** The pending deferred selection, if any: [(base, bits, canonical,
+    count)].  [None] once a batch exists.  Read-only shared state; never
+    forces anything. *)
+val view_parts : t -> (Batch.t * Column.words * bool * int) option
+
+(** For canonical pending views: the base batch and the memoized ascending
+    selection vector (built on first use, under the relation lock). *)
+val view_sel : t -> (Batch.t * int array) option
+
+(** Whether the relation is columnar-born (materialized batch or pending
+    view); never forces a conversion. *)
+val is_columnar : t -> bool
+
 val mem : Tuple.t -> t -> bool
 val empty : Schema.t -> t
 

@@ -59,6 +59,11 @@ type t = {
   mutable vec : bool;
       (** planner's choice: take the vectorized (columnar) execution path
           when {!columnar_enabled}; set by {!mark_vectorized} *)
+  mutable fuse : bool;
+      (** planner's choice: this filter/projection may emit a {e deferred
+          selection view} (no gather) because every consumer — or nobody,
+          for the plan root — reads views natively; set by
+          {!mark_fusable}, acted on when {!defer_gathers} *)
 }
 
 and op =
@@ -120,7 +125,7 @@ let mk op schema est est_distinct : t =
   incr node_counter;
   { id = !node_counter; op; schema; est = Float.max 0. est; est_distinct;
     cache = None; evals = 0; hits = 0; actual_ns = -1L; detail = [];
-    vec = false }
+    vec = false; fuse = false }
 
 (* ---------------- parallel execution helpers ---------------- *)
 
@@ -168,8 +173,22 @@ let vec_threshold = ref 256
 
 (** Rows per vectorized batch: the unit the selection kernels and the
     parallel probe chunk over.  Mutable so the tests can force batch
-    boundaries on tiny inputs. *)
+    boundaries on tiny inputs.  (The filter rounds this up to a multiple
+    of 63 so parallel batches write disjoint bitmap words.) *)
 let batch_rows = ref 4096
+
+(** Late-materialization master switch: when a planner-marked fusable
+    filter/projection runs, emit a deferred selection view (batch + word
+    bitmap, no gather) instead of materializing.  On by default;
+    [DIAGRES_DEFER=0]/[off]/[false]/[no] turns it off and every operator
+    gathers eagerly as in the pre-late-materialization engine — the bench
+    crosses the two modes and CI smokes both.  Checked at execution time,
+    so a cached plan follows the current setting. *)
+let defer_gathers =
+  ref
+    (match Sys.getenv_opt "DIAGRES_DEFER" with
+    | Some ("0" | "off" | "false" | "no") -> false
+    | _ -> true)
 
 let c_batches = T.counter "columnar.batches"
 let c_rows = T.counter "columnar.rows"
@@ -226,12 +245,13 @@ let note_morsels n len chunk =
 
 (* ---------------- vectorized operators ---------------- *)
 
-(* Run [f lo len] over the row range [0, nrows) in batches of [!batch_rows],
-   through the domain pool when the input clears the parallel threshold.
-   Returns per-batch results in range order; counts the batch/row
-   telemetry. *)
-let vec_batches nrows (f : int -> int -> 'a) : 'a array =
+(* Run [f lo len] over the row range [0, nrows) in batches of [!batch_rows]
+   (rounded up to a multiple of [align]), through the domain pool when the
+   input clears the parallel threshold.  Returns per-batch results in
+   range order; counts the batch/row telemetry. *)
+let vec_batches ?(align = 1) nrows (f : int -> int -> 'a) : 'a array =
   let chunk = max 1 !batch_rows in
+  let chunk = (chunk + align - 1) / align * align in
   let nchunks = max 1 ((nrows + chunk - 1) / chunk) in
   T.add c_batches nchunks;
   T.add c_rows nrows;
@@ -254,42 +274,100 @@ let concat_ints (parts : int array array) : int array =
     parts;
   out
 
-(* σ as a selection-vector pass: compile the predicate into a bitmap
-   filler once, run it batch by batch, and gather the surviving rows.  A
-   selection from a canonical batch keeps canonical order, so the result
-   relation is built without re-sorting; a predicate passing every row
-   returns the input relation unchanged (and shares its caches). *)
+(* σ as a word-bitmap pass: compile the predicate into a bitmap filler
+   once, run it batch by batch into one full-length bitmap, and either
+   emit a deferred selection view (late materialization: no gather at
+   all) or gather the surviving rows here.  A filter over a pending view
+   never gathers its input either: it runs the filler over the view's
+   base batch and ANDs the two bitmaps, so chains of filters fuse into
+   one bitmap with no intermediate materialization.  A selection from a
+   canonical batch keeps canonical order, so the result relation is built
+   without re-sorting; a predicate passing every row returns the input
+   relation unchanged (and shares its caches). *)
 let vec_filter n (p : pred) (r : D.Relation.t) : D.Relation.t =
-  let b = D.Relation.batch r in
-  let nrows = D.Batch.nrows b in
-  let filler = Vector.compile_pred b n.schema p.ast in
-  (* every batch writes its own disjoint range of one full-length bitmap
-     (safe from several domains), so the selection vector and the gather
-     run once over the whole relation instead of per batch — no per-batch
-     index arrays, no concatenation pass *)
-  let bits = Bytes.create nrows in
-  let parts =
-    vec_batches nrows (fun lo len ->
-        let bb = Bytes.create len in
-        filler ~lo ~len bb;
-        Bytes.blit bb 0 bits lo len)
+  let base, prior =
+    match D.Relation.view_parts r with
+    | Some (base, bits, canonical, _) -> (base, Some (bits, canonical))
+    | None -> (D.Relation.batch r, None)
   in
+  let nrows = D.Batch.nrows base in
+  let filler = Vector.compile_pred base n.schema p.ast in
+  let nw = D.Column.words_for nrows in
+  let deferring = n.fuse && !defer_gathers in
+  (* every batch writes its own disjoint word range of one full-length
+     bitmap (batches are 63-row aligned, so ranges never straddle a word;
+     safe from several domains), and the count / selection / gather run
+     once over the whole relation.  The bitmap escapes into the result
+     view when deferring; otherwise it is per-domain pooled scratch and
+     steady-state filters allocate nothing here. *)
+  let with_bits k =
+    if deferring then k (Array.make nw 0)
+    else D.Column.Scratch.with_words ~len:nrows k
+  in
+  with_bits @@ fun bits ->
+  let parts =
+    vec_batches ~align:D.Column.bits_per_word nrows (fun lo len ->
+        D.Column.Scratch.with_words ~len (fun window ->
+            filler ~lo ~len window;
+            Array.blit window 0 bits
+              (lo / D.Column.bits_per_word)
+              (D.Column.words_for len)))
+  in
+  (* a pending input selection fuses by AND — never mutating the input's
+     bitmap, which other consumers of the shared node may still read *)
+  let prior_canonical =
+    match prior with
+    | Some (pbits, canonical) ->
+      D.Column.wand bits pbits nw;
+      canonical
+    | None -> true
+  in
+  let count = D.Column.count_bits bits ~len:nrows in
   if T.enabled () then
-    n.detail <- ("vec", 1) :: ("batches", Array.length parts) :: n.detail;
-  let sel = D.Column.sel_of_bits bits ~lo:0 ~len:nrows in
-  if Array.length sel = nrows then r
-  else D.Relation.of_batch ~canonical:true n.schema (D.Batch.gather b sel)
+    n.detail <-
+      ("sel_rows", count) :: ("vec", 1)
+      :: ("batches", Array.length parts) :: n.detail;
+  if count = nrows then r (* every base row passes: input unchanged *)
+  else if count = 0 then D.Relation.empty n.schema
+  else if deferring then begin
+    if T.enabled () then n.detail <- ("deferred", 1) :: n.detail;
+    D.Relation.of_view ~canonical:prior_canonical ~count n.schema base bits
+  end
+  else begin
+    let g = D.Batch.gather_bits base bits in
+    if prior_canonical then D.Relation.of_batch ~canonical:true n.schema g
+    else D.Relation.of_batch n.schema g
+  end
 
 (* π with late materialization: the kept columns are re-labeled zero-copy
    ([Batch.columns] shares the column arrays); only the canonicalizing
    sort-dedup of the *kept* columns touches data — dropped columns are
-   never read. *)
+   never read.  A projection of a pending view stays a view over the
+   column subset, sharing the bitmap; it is marked non-canonical (dropping
+   columns can introduce duplicates), so the dedup happens at whoever
+   finally materializes — by then the selection has been fully fused. *)
 let vec_project n idx (r : D.Relation.t) : D.Relation.t =
-  let b = D.Relation.batch r in
-  T.add c_batches 1;
-  T.add c_rows (D.Batch.nrows b);
-  if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
-  D.Relation.of_batch n.schema (D.Batch.columns b idx)
+  match D.Relation.view_parts r with
+  | Some (base, bits, _, count) ->
+    let kept = D.Batch.columns base idx in
+    T.add c_batches 1;
+    T.add c_rows count;
+    if n.fuse && !defer_gathers then begin
+      if T.enabled () then
+        n.detail <-
+          ("sel_rows", count) :: ("deferred", 1) :: ("vec", 1) :: n.detail;
+      D.Relation.of_view ~canonical:false ~count n.schema kept bits
+    end
+    else begin
+      if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
+      D.Relation.of_batch n.schema (D.Batch.gather_bits kept bits)
+    end
+  | None ->
+    let b = D.Relation.batch r in
+    T.add c_batches 1;
+    T.add c_rows (D.Batch.nrows b);
+    if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
+    D.Relation.of_batch n.schema (D.Batch.columns b idx)
 
 (* Hash join on unboxed int key columns (ints, bools, dictionary codes —
    [Column.join_codes] translates the build side's dictionary into the
@@ -298,10 +376,25 @@ let vec_project n idx (r : D.Relation.t) : D.Relation.t =
    right row) index pairs batch by batch through the pool; the output is
    assembled by gathering left columns and the right rest columns over
    those pairs, with the residual predicate running vectorized over the
-   assembled batch.  [None] when some key pair has no unboxed code view
-   (floats, mixed-kind columns) — the caller then takes the row path. *)
+   assembled batch.  Inputs that arrive as {e canonical pending views}
+   (deferred selections) are joined {e through} their selection vectors —
+   build hashes only the selected right rows, probe walks only the
+   selected left rows, and neither side is ever gathered; non-canonical
+   views materialize first (the canonicity argument below needs sorted
+   duplicate-free inputs).  [None] when some key pair has no unboxed code
+   view (floats, mixed-kind columns) — the caller then takes the row
+   path. *)
 let vec_hash_join n (j : hash_join) lr rr : D.Relation.t option =
-  let lb = D.Relation.batch lr and rb = D.Relation.batch rr in
+  let lb, lsel =
+    match D.Relation.view_sel lr with
+    | Some (base, sel) -> (base, Some sel)
+    | None -> (D.Relation.batch lr, None)
+  in
+  let rb, rsel =
+    match D.Relation.view_sel rr with
+    | Some (base, sel) -> (base, Some sel)
+    | None -> (D.Relation.batch rr, None)
+  in
   let lcols = D.Batch.cols lb and rcols = D.Batch.cols rb in
   let rkey = Array.of_list j.rkey in
   let nk = Array.length j.lkey in
@@ -313,31 +406,65 @@ let vec_hash_join n (j : hash_join) lr rr : D.Relation.t option =
   else begin
     let probes = Array.map (fun p -> fst (Option.get p)) pairs in
     let builds = Array.map (fun p -> snd (Option.get p)) pairs in
+    (* build/probe domains: positions in the selection vector when the
+       input is a pending view, base rows otherwise.  Both selection
+       vectors ascend, so iterating positions in order still visits base
+       rows in order — the canonicity argument below survives unchanged. *)
+    let build_n, build_row =
+      match rsel with
+      | Some s -> (Array.length s, fun k -> Array.unsafe_get s k)
+      | None -> (D.Batch.nrows rb, fun k -> k)
+    in
+    let probe_n, probe_row =
+      match lsel with
+      | Some s -> (Array.length s, fun i -> Array.unsafe_get s i)
+      | None -> (D.Batch.nrows lb, fun i -> i)
+    in
     (* single-key joins (the common case) keep the key an unboxed int end
-       to end; multi-key joins pay one small key array per row *)
+       to end; multi-key joins pay one small key array per row.
+       [iter_matches] takes and yields *base* row indices. *)
     let build_ns, iter_matches =
       timed_if (fun () ->
           if nk = 1 then begin
             let probe = probes.(0) and build = builds.(0) in
-            let tbl = D.Index.build_int1_rows ~n:(D.Batch.nrows rb) build in
-            fun i f -> D.Index.iter_int1_rows tbl (probe i) f
+            let tbl =
+              D.Index.build_int1_rows ~n:build_n (fun k ->
+                  build (build_row k))
+            in
+            match rsel with
+            | None -> fun i f -> D.Index.iter_int1_rows tbl (probe i) f
+            | Some s ->
+              fun i f ->
+                D.Index.iter_int1_rows tbl (probe i) (fun k ->
+                    f (Array.unsafe_get s k))
           end
           else begin
             let lkeyf i = Array.init nk (fun k -> probes.(k) i) in
-            let rkeyf jrow = Array.init nk (fun k -> builds.(k) jrow) in
-            let tbl = D.Index.build_int_rows ~n:(D.Batch.nrows rb) rkeyf in
-            fun i f -> List.iter f (D.Index.lookup_int_rows tbl (lkeyf i))
+            let rkeyf k =
+              let jrow = build_row k in
+              Array.init nk (fun c -> builds.(c) jrow)
+            in
+            let tbl = D.Index.build_int_rows ~n:build_n rkeyf in
+            match rsel with
+            | None ->
+              fun i f -> List.iter f (D.Index.lookup_int_rows tbl (lkeyf i))
+            | Some s ->
+              fun i f ->
+                List.iter
+                  (fun k -> f (Array.unsafe_get s k))
+                  (D.Index.lookup_int_rows tbl (lkeyf i))
           end)
     in
     let probe_ns, (li, ri) =
       timed_if @@ fun () ->
       let parts =
-        vec_batches (D.Batch.nrows lb) (fun lo len ->
+        vec_batches probe_n (fun lo len ->
             let cap = ref (max 16 len) in
             let li = ref (Array.make !cap 0)
             and ri = ref (Array.make !cap 0) in
             let cnt = ref 0 in
-            for i = lo to lo + len - 1 do
+            for pos = lo to lo + len - 1 do
+              let i = probe_row pos in
               iter_matches i (fun jrow ->
                   if !cnt = !cap then begin
                     cap := 2 * !cap;
@@ -368,10 +495,10 @@ let vec_hash_join n (j : hash_join) lr rr : D.Relation.t option =
       | Some p ->
         let filler = Vector.compile_pred out_b n.schema p.ast in
         let m = D.Batch.nrows out_b in
-        let bits = Bytes.create m in
-        filler ~lo:0 ~len:m bits;
-        let sel = D.Column.sel_of_bits bits ~lo:0 ~len:m in
-        if Array.length sel = m then out_b else D.Batch.gather out_b sel
+        D.Column.Scratch.with_words ~len:m (fun bits ->
+            filler ~lo:0 ~len:m bits;
+            let sel = D.Column.sel_of_bits bits ~lo:0 ~len:m in
+            if Array.length sel = m then out_b else D.Batch.gather out_b sel)
     in
     if T.enabled () then
       n.detail <-
@@ -403,13 +530,104 @@ let vec_setop n (merge : D.Batch.t -> D.Batch.t -> D.Batch.t) ra rb :
   if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
   D.Relation.of_batch ~canonical:true n.schema (merge ba bb)
 
-(* A row-mode operator running over an input that was born columnar:
-   counted so the telemetry shows where vectorization does not apply. *)
+(* ÷ as a sorted-group merge: reorder the dividend's columns to
+   (keep, divisor-in-divisor-order) — zero-copy — and canonicalize once;
+   the rows then cluster into keep-groups, and within one group the
+   divisor suffix ascends exactly like the canonical divisor batch does
+   (same columns, same comparator).  One linear two-pointer merge per
+   group decides containment; winners are the groups whose merge consumes
+   the whole divisor.  No hashing, no boxing, and [Column.cmp2] keeps
+   dictionary-vs-dictionary comparisons on int ranks.  The winners' first
+   rows form an ascending distinct selection over the sorted batch, so
+   the output is canonical by construction.  Unlike the join kernels this
+   never needs a row fallback: cmp2 falls back to decoded Value.compare
+   per column pair, which is still the exact row semantics. *)
+let vec_division n (a : t) (b : t) (ra : D.Relation.t) (rb : D.Relation.t) :
+    D.Relation.t =
+  (* division is a pipeline breaker: both inputs materialize *)
+  let bb = D.Relation.batch rb in
+  let keep_names = D.Schema.names n.schema in
+  let ia_keep =
+    Array.of_list (List.map (fun nm -> D.Schema.index nm a.schema) keep_names)
+  in
+  let nk = Array.length ia_keep in
+  let ba = D.Relation.batch ra in
+  let nb = D.Batch.nrows bb in
+  T.add c_batches 2;
+  T.add c_rows (D.Batch.nrows ba + nb);
+  if T.enabled () then n.detail <- ("vec", 1) :: n.detail;
+  if nb = 0 then
+    (* the classic caveat: an empty divisor keeps every candidate *)
+    D.Relation.of_batch n.schema (D.Batch.columns ba ia_keep)
+  else begin
+    let ia_div =
+      Array.of_list
+        (List.map
+           (fun nm -> D.Schema.index nm a.schema)
+           (D.Schema.names b.schema))
+    in
+    let s = D.Batch.sort_dedup (D.Batch.columns ba (Array.append ia_keep ia_div)) in
+    let na = D.Batch.nrows s in
+    let scols = D.Batch.cols s in
+    let keep_cmps = Array.init nk (fun c -> D.Column.row_compare scols.(c)) in
+    let same_group i j =
+      let rec go c = c = nk || (keep_cmps.(c) i j = 0 && go (c + 1)) in
+      go 0
+    in
+    let ncd = D.Batch.ncols bb in
+    let div_cmps =
+      Array.init ncd (fun c -> D.Column.cmp2 scols.(nk + c) (D.Batch.cols bb).(c))
+    in
+    let cmp_div i j =
+      let rec go c =
+        if c = ncd then 0
+        else
+          let r = div_cmps.(c) i j in
+          if r <> 0 then r else go (c + 1)
+      in
+      go 0
+    in
+    let winners = ref [] and nwin = ref 0 in
+    let i = ref 0 in
+    while !i < na do
+      let g0 = !i in
+      let e = ref (g0 + 1) in
+      while !e < na && same_group g0 !e do incr e done;
+      let ii = ref g0 and jb = ref 0 in
+      while !ii < !e && !jb < nb do
+        let c = cmp_div !ii !jb in
+        if c < 0 then incr ii
+        else if c = 0 then begin
+          incr ii;
+          incr jb
+        end
+        else jb := nb + 1 (* this divisor row is absent: fail the group *)
+      done;
+      if !jb = nb then begin
+        winners := g0 :: !winners;
+        incr nwin
+      end;
+      i := !e
+    done;
+    let sel = Array.make !nwin 0 in
+    List.iteri (fun k v -> sel.(k) <- v) !winners;
+    (* winners were prepended, so they sit in [sel] descending: reverse *)
+    let half = !nwin / 2 in
+    for k = 0 to half - 1 do
+      let t = sel.(k) in
+      sel.(k) <- sel.(!nwin - 1 - k);
+      sel.(!nwin - 1 - k) <- t
+    done;
+    let keep_batch = D.Batch.columns s (Array.init nk Fun.id) in
+    D.Relation.of_batch ~canonical:true n.schema (D.Batch.gather keep_batch sel)
+  end
+
+(* A row-mode operator running over an input that was born columnar
+   (materialized batch or pending deferred selection): counted so the
+   telemetry shows where vectorization does not apply. *)
 let note_row_fallback inputs =
-  if
-    !columnar_enabled
-    && List.exists (fun r -> Option.is_some (D.Relation.peek_batch r)) inputs
-  then T.incr c_fallback
+  if !columnar_enabled && List.exists D.Relation.is_columnar inputs then
+    T.incr c_fallback
 
 let rec exec (n : t) : D.Relation.t =
   match n.cache with
@@ -664,6 +882,8 @@ and compute n : D.Relation.t =
            (chunk_filter (fun t -> not (D.Relation.mem t rb)))
            (D.Relation.tuples_array ra))
     end
+  | Division (a, b) when !columnar_enabled && n.vec ->
+    vec_division n a b (exec a) (exec b)
   | Division (a, b) ->
     let ra = exec a and rb = exec b in
     note_row_fallback [ ra; rb ];
@@ -685,14 +905,15 @@ let fold_unique f (root : t) init =
 
 (** Mark the nodes that should execute vectorized when {!columnar_enabled}:
     filters and projections whose estimated input clears {!vec_threshold}
-    rows, hash joins where either side does, and set operations (union /
+    rows, hash joins where either side does, set operations (union /
     intersect / minus) likewise — canonical batches are sorted and
     duplicate-free, so those run as single linear merges with no hashing
-    or boxing.  Division and nested-loop joins stay in row mode — their
-    sorted-set implementations already run without per-row closure
-    dispatch, and vectorizing them does not pay.  Called by
-    {!Planner.plan} once cardinality estimates exist; the flag is only
-    acted on at execution time, so one plan serves both modes. *)
+    or boxing — and division (sorted-group merge, {!vec_division}).
+    Nested-loop joins stay in row mode — their sorted-set implementation
+    already runs without per-row closure dispatch, and vectorizing them
+    does not pay.  Called by {!Planner.plan} once cardinality estimates
+    exist; the flag is only acted on at execution time, so one plan serves
+    both modes. *)
 let mark_vectorized root =
   let thr = float_of_int !vec_threshold in
   fold_unique
@@ -701,9 +922,49 @@ let mark_vectorized root =
         (match n.op with
         | Filter (_, c) | Project (_, c) -> c.est >= thr
         | Hash_join j -> Float.max j.left.est j.right.est >= thr
-        | Union (a, b) | Inter (a, b) | Diff (a, b) ->
+        | Union (a, b) | Inter (a, b) | Diff (a, b) | Division (a, b) ->
           Float.max a.est b.est >= thr
         | _ -> false))
+    root ()
+
+(** Mark the filters and projections that may emit a {e deferred selection
+    view} (no gather — late materialization) when {!defer_gathers}:
+    exactly the vectorized σ/π whose every consumer reads views natively
+    (a downstream vectorized filter, projection, or hash join), plus the
+    plan root — the final gather is deferred to whoever consumes the
+    result, and a cardinality probe or row-mode decode of a canonical
+    view never pays for the column gather at all.  Everything else —
+    set operations, division, nested-loop joins, row-mode operators — is
+    a pipeline breaker: those force materialization simply by asking the
+    relation for its batch, so fusion marking is a pure optimization and
+    an unmarked node behaves exactly as before.  A DAG-shared node with
+    even one non-view consumer stays unmarked (it would materialize
+    anyway, and eagerly is cheaper than under the relation lock).  Called
+    by {!Planner.plan} after {!mark_vectorized}. *)
+let mark_fusable root =
+  let parents : (int, t list) Hashtbl.t = Hashtbl.create 16 in
+  fold_unique
+    (fun n () ->
+      List.iter
+        (fun c ->
+          let ps = Option.value ~default:[] (Hashtbl.find_opt parents c.id) in
+          Hashtbl.replace parents c.id (n :: ps))
+        (children n))
+    root ();
+  let view_consumer p =
+    p.vec
+    &&
+    match p.op with Filter _ | Project _ | Hash_join _ -> true | _ -> false
+  in
+  fold_unique
+    (fun n () ->
+      n.fuse <-
+        n.vec
+        && (match n.op with Filter _ | Project _ -> true | _ -> false)
+        &&
+        match Hashtbl.find_opt parents n.id with
+        | None | Some [] -> true (* plan root: defer the final gather *)
+        | Some ps -> List.for_all view_consumer ps)
     root ()
 
 (** Reset every node's result memo and counters.  {!run} calls this before

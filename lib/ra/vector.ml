@@ -6,11 +6,15 @@
     predicate one comparison at a time over a row range: each [Cmp] atom
     runs a typed kernel when the column representation supports one (int,
     float, dictionary-code, and bool columns against a constant or a same-
-    batch column), and the boolean connectives combine the resulting
-    bitmaps bytewise.  Atoms with no typed kernel (boxed columns, cross-
-    kind comparisons) decode row-at-a-time through {!Fol.cmp_eval}, so the
-    compiled filler is {e always} exactly equivalent to the row predicate —
-    the fast paths are an optimization, never a semantics change. *)
+    batch column), and the boolean connectives combine the resulting word
+    bitmaps one machine op per 63 rows ({!Column.wand}/{!wor}/{!wnot}).
+    Connective scratch comes from the per-domain pool
+    ({!Column.Scratch}) — a stack, so nested connectives hold several
+    buffers at once and steady-state batches allocate nothing.  Atoms with
+    no typed kernel (boxed columns, cross-kind comparisons) decode
+    row-at-a-time through {!Fol.cmp_eval}, so the compiled filler is
+    {e always} exactly equivalent to the row predicate — the fast paths
+    are an optimization, never a semantics change. *)
 
 module D = Diagres_data
 module C = Diagres_data.Column
@@ -25,9 +29,10 @@ let cmp_of : F.cmp -> C.cmp = function
   | F.Ge -> C.Cge
 
 (** Compile [p] against batch [b] whose columns are named by [schema].
-    The filler writes one byte per row (0/1) for rows [lo .. lo+len-1];
-    scratch for the connectives is allocated per call, so the same filler
-    can run concurrently from several domains. *)
+    The filler writes one bit per row for rows [lo .. lo+len-1] into a
+    word bitmap (bit 0 of word 0 = row [lo]); connective scratch is pooled
+    per domain, so the same filler can run concurrently from several
+    domains. *)
 let compile_pred (b : D.Batch.t) (schema : D.Schema.t) (p : Ast.pred) :
     C.filler =
   let cols = D.Batch.cols b in
@@ -53,21 +58,21 @@ let compile_pred (b : D.Batch.t) (schema : D.Schema.t) (p : Ast.pred) :
       let fp = go p and fq = go q in
       fun ~lo ~len dst ->
         fp ~lo ~len dst;
-        let scratch = Bytes.create len in
-        fq ~lo ~len scratch;
-        C.band dst scratch len
+        C.Scratch.with_words ~len (fun scratch ->
+            fq ~lo ~len scratch;
+            C.wand dst scratch (C.words_for len))
     | Ast.Or (p, q) ->
       let fp = go p and fq = go q in
       fun ~lo ~len dst ->
         fp ~lo ~len dst;
-        let scratch = Bytes.create len in
-        fq ~lo ~len scratch;
-        C.bor dst scratch len
+        C.Scratch.with_words ~len (fun scratch ->
+            fq ~lo ~len scratch;
+            C.wor dst scratch (C.words_for len))
     | Ast.Not p ->
       let fp = go p in
       fun ~lo ~len dst ->
         fp ~lo ~len dst;
-        C.bnot dst len
+        C.wnot dst ~len
     | Ast.Ptrue -> C.fill_const true
   in
   go p

@@ -1,23 +1,29 @@
 (* Columnar substrate + vectorized operators.
 
-   Two layers of coverage:
+   Three layers of coverage:
 
    - unit tests for the storage pieces: dictionary encoding roundtrips
-     (sorted codes, so code order = string order), selection-vector edge
-     cases (empty / full / singleton bitmaps), batch canonicalization,
-     the memoized [Relation.tuples_array], and the columnar statistics
-     fast path;
+     (sorted codes, so code order = string order), the word-bitmap
+     kernels (blocked comparison fillers, wand/wor/wnot, popcount,
+     word-skipping selection vectors) checked bit-for-bit against the
+     row semantics at unaligned offsets and lengths, the scratch pool,
+     batch canonicalization, deferred selection views, and the columnar
+     statistics fast path;
+
+   - vectorized division (sorted-group merge) against the reference
+     evaluator, including the empty-divisor caveat and a nullary
+     quotient;
 
    - a qgen-driven 500-query differential: for each generated well-typed
-     RA query, the vectorized planned evaluator (forced on with tiny
-     batches so batch boundaries are exercised), the row-mode planned
-     evaluator, and the naive tree-walking evaluator must agree — at 1
-     and at 4 domains, so the batched kernels also run through the
-     domain pool. *)
+     RA query, the vectorized planned evaluator — with deferred gathers
+     on AND off — the row-mode planned evaluator, and the naive
+     tree-walking evaluator must agree — at 1 and at 4 domains, so the
+     batched kernels also run through the domain pool. *)
 
 module D = Diagres_data
 module C = D.Column
 module V = D.Value
+module F = Diagres_logic.Fol
 module Plan = Diagres_ra.Plan
 module Planner = Diagres_ra.Planner
 module Pool = Diagres_pool.Pool
@@ -30,20 +36,24 @@ let schemas = Testutil.schemas
 (* Run [f] with the pool at [domains] and the vectorized operators forced
    on tiny inputs: [vec_threshold = 0] marks every filter/project/join
    vectorized, [batch_rows = 3] forces multi-batch execution on the sample
-   relations, and [par_threshold = 0] routes the batches through the pool.
-   [columnar] toggles the master switch, so the same forcing covers both
-   the vectorized and the row fallback paths. *)
-let forcing ?(columnar = true) domains f =
+   relations (the filter rounds it up to one 63-row word per batch), and
+   [par_threshold = 0] routes the batches through the pool.  [columnar]
+   toggles the master switch, so the same forcing covers both the
+   vectorized and the row fallback paths; [defer] crosses late
+   materialization (deferred selection views) against eager gathers. *)
+let forcing ?(columnar = true) ?(defer = true) domains f =
   let old_size = Pool.size () in
   let old_thr = !Plan.par_threshold and old_morsel = !Plan.morsel_size in
   let old_vec = !Plan.vec_threshold and old_batch = !Plan.batch_rows in
   let old_col = !Plan.columnar_enabled in
+  let old_defer = !Plan.defer_gathers in
   Pool.set_size domains;
   Plan.par_threshold := 0;
   Plan.morsel_size := 3;
   Plan.vec_threshold := 0;
   Plan.batch_rows := 3;
   Plan.columnar_enabled := columnar;
+  Plan.defer_gathers := defer;
   Fun.protect
     ~finally:(fun () ->
       Pool.set_size old_size;
@@ -51,7 +61,8 @@ let forcing ?(columnar = true) domains f =
       Plan.morsel_size := old_morsel;
       Plan.vec_threshold := old_vec;
       Plan.batch_rows := old_batch;
-      Plan.columnar_enabled := old_col)
+      Plan.columnar_enabled := old_col;
+      Plan.defer_gathers := old_defer)
     f
 
 (* ------------------------------------------------------------------ *)
@@ -84,19 +95,22 @@ let test_dict_roundtrip () =
   | _ -> Alcotest.fail "string column did not dictionary-encode");
   Alcotest.(check int) "distinct off the dictionary" 3 (C.distinct_count col)
 
+(* run a const-comparison filler over [lo, lo+len) and return the
+   selected absolute rows *)
+let run_const col op c ~lo ~len =
+  match C.fill_cmp_const op col c with
+  | None -> Alcotest.fail "expected a typed kernel"
+  | Some f ->
+    let bits = Array.make (max 1 (C.words_for len)) 0 in
+    f ~lo ~len bits;
+    Array.to_list (C.sel_of_bits bits ~lo ~len)
+
 let test_dict_ordered_const () =
   (* ordered comparisons against constants absent from the dictionary *)
   let col =
     C.of_values (Array.map (fun s -> V.String s) [| "b"; "d"; "f" |])
   in
-  let run op c =
-    match C.fill_cmp_const op col (V.String c) with
-    | None -> Alcotest.fail "expected a typed kernel"
-    | Some f ->
-      let bits = Bytes.create 3 in
-      f ~lo:0 ~len:3 bits;
-      Array.to_list (C.sel_of_bits bits ~lo:0 ~len:3)
-  in
+  let run op c = run_const col op (V.String c) ~lo:0 ~len:3 in
   Alcotest.(check (list int)) "< c (absent)" [ 0 ] (run C.Clt "c");
   Alcotest.(check (list int)) "<= d (present)" [ 0; 1 ] (run C.Cle "d");
   Alcotest.(check (list int)) "> d (present)" [ 2 ] (run C.Cgt "d");
@@ -105,30 +119,170 @@ let test_dict_ordered_const () =
   Alcotest.(check (list int)) "<> d" [ 0; 2 ] (run C.Cneq "d")
 
 (* ------------------------------------------------------------------ *)
-(* Selection vectors: empty, full, singleton.                          *)
+(* Word-bitmap kernels vs the row semantics.                           *)
+
+let all_ops = [ C.Clt; C.Cle; C.Ceq; C.Cneq; C.Cge; C.Cgt ]
+
+let fol_of : C.cmp -> F.cmp = function
+  | C.Ceq -> F.Eq
+  | C.Cneq -> F.Neq
+  | C.Clt -> F.Lt
+  | C.Cle -> F.Le
+  | C.Cgt -> F.Gt
+  | C.Cge -> F.Ge
+
+(* Windows that exercise word alignment: full array (not a multiple of
+   63), exactly one word, straddling a word boundary at an unaligned lo,
+   a short tail, an empty range, and a 63-aligned interior word. *)
+let windows n =
+  [ (0, n); (0, min n 63); (5, min (n - 5) 70); (n - 4, 4); (5, 0);
+    (63, min (n - 63) 63) ]
+
+(* The specification: bit k of the filled window is set iff the decoded
+   row [lo + k] satisfies [Fol.cmp_eval op row const] — the exact
+   semantics the row evaluator and the generic fallback use. *)
+let check_against_rows name col op (c : V.t) =
+  let n = C.length col in
+  List.iter
+    (fun (lo, len) ->
+      let got = run_const col op c ~lo ~len in
+      let expected = ref [] in
+      for i = lo + len - 1 downto lo do
+        if F.cmp_eval (fol_of op) (C.get col i) c then
+          expected := i :: !expected
+      done;
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s lo=%d len=%d" name lo len)
+        !expected got)
+    (windows n)
+
+let test_int_kernel_vs_rows () =
+  (* 130 rows: not a multiple of 63, spans three words *)
+  let col =
+    C.of_values (Array.init 130 (fun i -> V.Int ((i * 7 mod 29) - 11)))
+  in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun c -> check_against_rows "int" col op (V.Int c))
+        [ -11; 0; 5; 99 ])
+    all_ops
+
+let test_float_kernel_vs_rows () =
+  (* nan rows must follow the Value.compare total order (nan lowest),
+     which the native-comparison fast paths emulate by negation *)
+  let specials = [| Float.nan; Float.neg_infinity; -1.5; 0.; 2.5; Float.infinity |] in
+  let col =
+    C.of_values (Array.init 130 (fun i -> V.Float specials.(i mod 6)))
+  in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun c -> check_against_rows "float" col op (V.Float c))
+        [ 0.; 2.5; Float.nan; Float.neg_infinity ])
+    all_ops
+
+let test_cols_kernel_vs_rows () =
+  let a = C.of_values (Array.init 130 (fun i -> V.Int (i mod 7)))
+  and b = C.of_values (Array.init 130 (fun i -> V.Int ((i * 3) mod 7))) in
+  List.iter
+    (fun op ->
+      match C.fill_cmp_cols op a b with
+      | None -> Alcotest.fail "int col-col kernel missing"
+      | Some f ->
+        List.iter
+          (fun (lo, len) ->
+            let bits = Array.make (max 1 (C.words_for len)) 0 in
+            f ~lo ~len bits;
+            let got = Array.to_list (C.sel_of_bits bits ~lo ~len) in
+            let expected = ref [] in
+            for i = lo + len - 1 downto lo do
+              if F.cmp_eval (fol_of op) (C.get a i) (C.get b i) then
+                expected := i :: !expected
+            done;
+            Alcotest.(check (list int))
+              (Printf.sprintf "cols lo=%d len=%d" lo len)
+              !expected got)
+          (windows 130))
+    all_ops
+
+let test_word_combiners () =
+  (* wand / wor / wnot against per-row boolean algebra, on a length that
+     ends mid-word so the wnot tail re-mask is exercised *)
+  let n = 130 in
+  let p i = i mod 3 = 0 and q i = i mod 5 <> 1 in
+  let fill pred =
+    let bits = Array.make (C.words_for n) 0 in
+    (C.fill_with (fun i -> pred i)) ~lo:0 ~len:n bits;
+    bits
+  in
+  let sel bits = Array.to_list (C.sel_of_bits bits ~lo:0 ~len:n) in
+  let expect pred =
+    List.filter pred (List.init n Fun.id)
+  in
+  let band = fill p in
+  C.wand band (fill q) (C.words_for n);
+  Alcotest.(check (list int)) "wand" (expect (fun i -> p i && q i)) (sel band);
+  let bor = fill p in
+  C.wor bor (fill q) (C.words_for n);
+  Alcotest.(check (list int)) "wor" (expect (fun i -> p i || q i)) (sel bor);
+  let bnot = fill p in
+  C.wnot bnot ~len:n;
+  Alcotest.(check (list int)) "wnot" (expect (fun i -> not (p i))) (sel bnot);
+  (* the phantom-bits-zero invariant survives complement: counts add up *)
+  Alcotest.(check int) "wnot count"
+    (n - C.count_bits (fill p) ~len:n)
+    (C.count_bits bnot ~len:n)
+
+let test_popcount () =
+  Alcotest.(check int) "0" 0 (C.popcount 0);
+  Alcotest.(check int) "full word" 63 (C.popcount C.full_word);
+  Alcotest.(check int) "sign bit" 1 (C.popcount min_int);
+  Alcotest.(check int) "one" 1 (C.popcount 1);
+  let naive x =
+    let n = ref 0 and x = ref x in
+    while !x <> 0 do
+      n := !n + (!x land 1);
+      x := !x lsr 1
+    done;
+    !n
+  in
+  let st = Random.State.make [| 0xbeef |] in
+  for _ = 1 to 1000 do
+    let x = Random.State.bits64 st |> Int64.to_int in
+    Alcotest.(check int) "random word" (naive x) (C.popcount x)
+  done
 
 let test_selection_edges () =
   let col = C.of_values (Array.map (fun i -> V.Int i) [| 1; 2; 3; 4; 5 |]) in
-  let sel op c =
-    match C.fill_cmp_const op col (V.Int c) with
-    | None -> Alcotest.fail "int kernel missing"
-    | Some f ->
-      let bits = Bytes.create 5 in
-      f ~lo:0 ~len:5 bits;
-      C.sel_of_bits bits ~lo:0 ~len:5
-  in
-  Alcotest.(check (list int)) "empty" [] (Array.to_list (sel C.Cgt 99));
-  Alcotest.(check (list int)) "full" [ 0; 1; 2; 3; 4 ]
-    (Array.to_list (sel C.Cle 99));
-  Alcotest.(check (list int)) "singleton" [ 2 ] (Array.to_list (sel C.Ceq 3));
+  let sel op c = run_const col op (V.Int c) ~lo:0 ~len:5 in
+  Alcotest.(check (list int)) "empty" [] (sel C.Cgt 99);
+  Alcotest.(check (list int)) "full" [ 0; 1; 2; 3; 4 ] (sel C.Cle 99);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (sel C.Ceq 3);
   (* an empty range is legal (last batch of a multiple-of-batch input) *)
-  match C.fill_cmp_const C.Ceq col (V.Int 3) with
-  | Some f ->
-    let bits = Bytes.create 0 in
-    f ~lo:5 ~len:0 bits;
-    Alcotest.(check (list int)) "empty range" []
-      (Array.to_list (C.sel_of_bits bits ~lo:5 ~len:0))
-  | None -> Alcotest.fail "int kernel missing"
+  Alcotest.(check (list int)) "empty range" []
+    (run_const col C.Ceq (V.Int 3) ~lo:5 ~len:0);
+  (* the all-ones unrolled path: a full word plus an unaligned tail *)
+  let big = C.of_values (Array.init 100 (fun i -> V.Int i)) in
+  Alcotest.(check (list int)) "all-ones words"
+    (List.init 100 Fun.id)
+    (run_const big C.Cge (V.Int 0) ~lo:0 ~len:100)
+
+let test_scratch_pool () =
+  (* nested holds are distinct buffers (the pool is a stack)... *)
+  C.Scratch.with_words ~len:200 (fun a ->
+      C.Scratch.with_words ~len:200 (fun b ->
+          Alcotest.(check bool) "nested buffers distinct" false (a == b)));
+  (* ...and sequential uses reuse the same buffer (identity probe only:
+     the buffer is never read after release) *)
+  let probe = ref [||] in
+  C.Scratch.with_words ~len:100 (fun a -> probe := a);
+  C.Scratch.with_words ~len:100 (fun b ->
+      Alcotest.(check bool) "sequential reuse" true (b == !probe));
+  (* a too-small pooled buffer is replaced, never resized in place *)
+  C.Scratch.with_ints 5 (fun _ -> ());
+  C.Scratch.with_ints 10_000 (fun b ->
+      Alcotest.(check bool) "grown" true (Array.length b >= 10_000))
 
 (* A filter that keeps every row must return the input relation itself
    (no copy); one that keeps none must return an empty relation. *)
@@ -162,6 +316,50 @@ let test_of_batch_canonicalizes () =
     (D.Relation.mem (mk [ 1; 2 ]) r);
   Alcotest.(check bool) "mem rejects" false
     (D.Relation.mem (mk [ 2; 1 ]) r)
+
+(* Deferred selection views: of_view must behave exactly like the gather
+   it postpones, for every consumer path (cardinality, tuples, mem,
+   batch), both canonical and not. *)
+let test_deferred_view_semantics () =
+  let n = 130 in
+  let b =
+    D.Batch.make ~nrows:n
+      [| C.of_values (Array.init n (fun i -> V.Int i));
+         C.of_values (Array.init n (fun i -> V.Int (i mod 4))) |]
+  in
+  let schema =
+    [ { D.Schema.name = "x"; ty = V.Tint };
+      { D.Schema.name = "y"; ty = V.Tint } ]
+  in
+  let bits = Array.make (C.words_for n) 0 in
+  (C.fill_with (fun i -> i mod 3 = 0)) ~lo:0 ~len:n bits;
+  let count = C.count_bits bits ~len:n in
+  let v = D.Relation.of_view ~count schema b bits in
+  (* cardinality of a canonical view never gathers *)
+  Alcotest.(check int) "view cardinality" count (D.Relation.cardinality v);
+  (match D.Relation.view_sel v with
+  | None -> Alcotest.fail "canonical view must expose its selection"
+  | Some (base, sel) ->
+    Alcotest.(check bool) "view base shared" true (base == b);
+    Alcotest.(check int) "sel length" count (Array.length sel));
+  let eager = D.Relation.of_batch schema (D.Batch.gather_bits b bits) in
+  Alcotest.(check bool) "view = eager" true (D.Relation.same_rows eager v);
+  Alcotest.(check bool) "mem through view" true
+    (D.Relation.mem [| V.Int 3; V.Int 3 |] v);
+  (* a non-canonical view (here: duplicates from a projection) dedups at
+     materialization *)
+  let bits2 = Array.make (C.words_for n) 0 in
+  (C.fill_with (fun i -> i < 10)) ~lo:0 ~len:n bits2;
+  let ys = D.Batch.columns b [| 1 |] in
+  let vy =
+    D.Relation.of_view ~canonical:false ~count:10
+      [ { D.Schema.name = "y"; ty = V.Tint } ]
+      ys bits2
+  in
+  Alcotest.(check bool) "non-canonical view hides sel" true
+    (D.Relation.view_sel vy = None);
+  Alcotest.(check int) "deduped at materialization" 4
+    (D.Relation.cardinality vy)
 
 let test_distinct_sorted_paths () =
   (* the single-column dedup has a linear fast path for already-sorted
@@ -223,12 +421,44 @@ let test_late_materialization_project_after_join () =
       let naive = Diagres_ra.Eval.eval db e in
       List.iter
         (fun domains ->
-          forcing domains (fun () ->
+          List.iter
+            (fun defer ->
+              forcing ~defer domains (fun () ->
+                  Testutil.check_same_rows
+                    (Printf.sprintf "%s at %d domains defer=%b" q domains
+                       defer)
+                    naive
+                    (Plan.run (Planner.plan db e))))
+            [ true; false ])
+        [ 1; 4 ])
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Vectorized division.                                                *)
+
+let test_division_vec () =
+  let parse = Diagres_ra.Parser.parse in
+  let queries =
+    [ (* Q3 of the tutorial: sailors who reserved all red boats *)
+      "project[sid, bid](Reserves) div project[bid](select[color = 'red'](Boat))";
+      "project[sid, bid](Reserves) div project[bid](Boat)";
+      (* the classic caveat: an empty divisor keeps every candidate *)
+      "project[sid, bid](Reserves) div project[bid](select[bid < 0](Boat))";
+      (* multi-column keep *)
+      "Reserves div project[day](Reserves)" ]
+  in
+  List.iter
+    (fun q ->
+      let e = parse q in
+      let naive = Diagres_ra.Eval.eval db e in
+      List.iter
+        (fun columnar ->
+          forcing ~columnar 1 (fun () ->
               Testutil.check_same_rows
-                (Printf.sprintf "%s at %d domains" q domains)
+                (Printf.sprintf "%s columnar=%b" q columnar)
                 naive
                 (Plan.run (Planner.plan db e))))
-        [ 1; 4 ])
+        [ true; false ])
     queries
 
 (* ------------------------------------------------------------------ *)
@@ -244,20 +474,57 @@ let test_counters () =
     (T.counter_named "columnar.batches" > batches0);
   Alcotest.(check bool) "rows counted" true
     (T.counter_named "columnar.rows" > rows0);
-  (* a division over columnar inputs is a counted row-mode fallback *)
+  (* a nested-loop join over columnar inputs is a counted row-mode
+     fallback *)
   let fb0 = T.counter_named "columnar.fallback_row_mode" in
+  forcing 1 (fun () ->
+      let e =
+        Diagres_ra.Parser.parse
+          "select[rating > 7](Sailor) * select[bid >= 0](Boat)"
+      in
+      ignore (Plan.run (Planner.plan db e) : D.Relation.t));
+  Alcotest.(check bool) "fallback counted" true
+    (T.counter_named "columnar.fallback_row_mode" > fb0);
+  (* division is vectorized now: no fallback on the bench-suite shapes *)
+  let fb1 = T.counter_named "columnar.fallback_row_mode" in
   forcing 1 (fun () ->
       let e =
         Diagres_ra.Parser.parse
           "project[sid, bid](Reserves) div project[bid](Boat)"
       in
       ignore (Plan.run (Planner.plan db e) : D.Relation.t));
-  Alcotest.(check bool) "fallback counted" true
-    (T.counter_named "columnar.fallback_row_mode" > fb0)
+  Alcotest.(check int) "division does not fall back" fb1
+    (T.counter_named "columnar.fallback_row_mode");
+  (* a fused filter chain defers its gathers and counts them *)
+  let d0 = T.counter_named "columnar.gathers_deferred" in
+  forcing 1 (fun () ->
+      let e =
+        Diagres_ra.Parser.parse
+          "select[rating > 3](select[age > 20.0](Sailor))"
+      in
+      let r = Plan.run (Planner.plan db e) in
+      let naive =
+        Diagres_ra.Eval.eval db
+          (Diagres_ra.Parser.parse
+             "select[rating > 3](select[age > 20.0](Sailor))")
+      in
+      Testutil.check_same_rows "fused chain" naive r);
+  Alcotest.(check bool) "gathers deferred counted" true
+    (T.counter_named "columnar.gathers_deferred" > d0);
+  (* with deferral off, the same plan defers nothing *)
+  let d1 = T.counter_named "columnar.gathers_deferred" in
+  forcing ~defer:false 1 (fun () ->
+      let e =
+        Diagres_ra.Parser.parse
+          "select[rating > 3](select[age > 20.0](Sailor))"
+      in
+      ignore (Plan.run (Planner.plan db e) : D.Relation.t));
+  Alcotest.(check int) "eager mode defers nothing" d1
+    (T.counter_named "columnar.gathers_deferred")
 
 (* ------------------------------------------------------------------ *)
-(* The 500-query differential: columnar ≡ row ≡ naive at 1 and 4       *)
-(* domains, with forced-small batches.                                 *)
+(* The 500-query differential: columnar (deferred and eager) ≡ row ≡   *)
+(* naive at 1 and 4 domains, with forced-small batches.                *)
 
 let fuzz_n =
   match Sys.getenv_opt "DIAGRES_FUZZ_N" with
@@ -271,14 +538,21 @@ let test_differential () =
     let naive = Diagres_ra.Eval.eval db e in
     List.iter
       (fun domains ->
-        let run ~columnar =
-          forcing ~columnar domains (fun () ->
+        let run ~columnar ~defer =
+          forcing ~columnar ~defer domains (fun () ->
               Plan.run (Planner.plan db e))
         in
-        let vec = run ~columnar:true and row = run ~columnar:false in
-        if not (D.Relation.same_rows naive vec) then
-          Alcotest.failf "#%d at %d domains: columnar diverges from naive:\n%s"
-            i domains (Diagres_ra.Pretty.ascii e);
+        let deferred = run ~columnar:true ~defer:true
+        and eager = run ~columnar:true ~defer:false
+        and row = run ~columnar:false ~defer:true in
+        if not (D.Relation.same_rows naive deferred) then
+          Alcotest.failf
+            "#%d at %d domains: deferred columnar diverges from naive:\n%s" i
+            domains (Diagres_ra.Pretty.ascii e);
+        if not (D.Relation.same_rows naive eager) then
+          Alcotest.failf
+            "#%d at %d domains: eager columnar diverges from naive:\n%s" i
+            domains (Diagres_ra.Pretty.ascii e);
         if not (D.Relation.same_rows naive row) then
           Alcotest.failf "#%d at %d domains: row mode diverges from naive:\n%s"
             i domains (Diagres_ra.Pretty.ascii e))
@@ -288,18 +562,20 @@ let test_differential () =
 (* QCheck variant over Testutil's generator: different query shapes
    (products with renamed-apart sides, disjunctions), with shrinking. *)
 let prop_columnar_matches_row =
-  QCheck.Test.make ~name:"columnar = row = naive (1/4 domains)" ~count:120
+  QCheck.Test.make ~name:"columnar (deferred/eager) = row = naive (1/4 domains)"
+    ~count:120
     (Testutil.arbitrary_ra ())
     (fun e ->
       let naive = Diagres_ra.Eval.eval db e in
       List.for_all
         (fun domains ->
-          let run ~columnar =
-            forcing ~columnar domains (fun () ->
+          let run ~columnar ~defer =
+            forcing ~columnar ~defer domains (fun () ->
                 Plan.run (Planner.plan db e))
           in
-          D.Relation.same_rows naive (run ~columnar:true)
-          && D.Relation.same_rows naive (run ~columnar:false))
+          D.Relation.same_rows naive (run ~columnar:true ~defer:true)
+          && D.Relation.same_rows naive (run ~columnar:true ~defer:false)
+          && D.Relation.same_rows naive (run ~columnar:false ~defer:true))
         [ 1; 4 ])
 
 let () =
@@ -307,13 +583,25 @@ let () =
     [ ( "columns",
         [ Alcotest.test_case "dictionary roundtrip" `Quick test_dict_roundtrip;
           Alcotest.test_case "ordered string consts" `Quick
-            test_dict_ordered_const;
+            test_dict_ordered_const ] );
+      ( "kernels",
+        [ Alcotest.test_case "int kernels = row semantics" `Quick
+            test_int_kernel_vs_rows;
+          Alcotest.test_case "float kernels (nan) = row semantics" `Quick
+            test_float_kernel_vs_rows;
+          Alcotest.test_case "col-col kernels = row semantics" `Quick
+            test_cols_kernel_vs_rows;
+          Alcotest.test_case "wand/wor/wnot" `Quick test_word_combiners;
+          Alcotest.test_case "popcount" `Quick test_popcount;
           Alcotest.test_case "selection edges" `Quick test_selection_edges;
+          Alcotest.test_case "scratch pool" `Quick test_scratch_pool;
           Alcotest.test_case "full/empty filters" `Quick
             test_filter_full_empty_via_plan ] );
       ( "relations",
         [ Alcotest.test_case "of_batch canonicalizes" `Quick
             test_of_batch_canonicalizes;
+          Alcotest.test_case "deferred view semantics" `Quick
+            test_deferred_view_semantics;
           Alcotest.test_case "distinct_sorted paths" `Quick
             test_distinct_sorted_paths;
           Alcotest.test_case "tuples_array memoized" `Quick
@@ -322,9 +610,12 @@ let () =
             test_stats_columnar_fast_path;
           Alcotest.test_case "late materialization" `Quick
             test_late_materialization_project_after_join ] );
+      ( "division",
+        [ Alcotest.test_case "sorted-group merge = naive" `Quick
+            test_division_vec ] );
       ( "telemetry",
         [ Alcotest.test_case "columnar counters" `Quick test_counters ] );
       ( "differential",
-        [ Alcotest.test_case "500 queries, columnar = row = naive" `Slow
-            test_differential;
+        [ Alcotest.test_case "500 queries, deferred = eager = row = naive"
+            `Slow test_differential;
           Testutil.qtest prop_columnar_matches_row ] ) ]
