@@ -195,21 +195,36 @@ let e10_table () =
   print_string (Diagres.Survey.to_table ())
 
 (* ------------------------------------------------------------------ *)
-(* JSON result sink (--json FILE): every measurement below lands here as
-   {name, ns_per_run, tuples, rows}, followed by a snapshot of the
-   telemetry metrics registry (cache hit/miss counters, pool utilization)
+(* JSON result sink (--json FILE): a versioned snapshot.  Every
+   measurement below lands here as {name, ns_per_run, tuples, rows},
+   preceded by the schema version and the run-mode switches (so a
+   baseline taken in --quick mode is never silently compared against a
+   full run), and followed by a snapshot of the telemetry metrics
+   registry (cache hit/miss counters, pool utilization, memory gauges)
    accumulated over the whole run.  Hand-rolled emission — no JSON
    dependency in the tree.                                               *)
+
+(* Bump when the snapshot layout changes incompatibly; --check refuses
+   baselines with a different version. *)
+let snapshot_schema_version = 1
 
 let results : (string * float * int * int) list ref = ref []
 
 let record ~name ~ns ~tuples ~rows =
   results := (name, ns, tuples, rows) :: !results
 
-let write_json path =
+let write_json ~quick ~huge ~domains path =
   let rows = List.rev !results in
   let oc = open_out path in
-  output_string oc "{\n\"measurements\": [\n";
+  output_string oc "{\n";
+  Printf.fprintf oc "\"schema_version\": %d,\n" snapshot_schema_version;
+  Printf.fprintf oc
+    "\"mode\": {\"quick\": %b, \"huge\": %b, \"domains\": \"%s\", \
+     \"columnar\": %b, \"defer\": %b},\n"
+    quick huge
+    (String.concat "," (List.map string_of_int domains))
+    !Diagres_ra.Plan.columnar_enabled !Diagres_ra.Plan.defer_gathers;
+  output_string oc "\"measurements\": [\n";
   let last = List.length rows - 1 in
   List.iteri
     (fun i (name, ns, tuples, nrows) ->
@@ -239,6 +254,252 @@ let write_json path =
   output_string oc "\n}\n";
   close_out oc;
   Printf.printf "\nwrote %d measurements to %s\n" (List.length rows) path
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression gate (--check BASELINE [--tolerance PCT]): reads a
+   committed snapshot, compares every measurement present in both runs,
+   and exits non-zero when the current run is slower than the baseline
+   allows.  The comparison is noise-aware: sub-millisecond measurements
+   are jitter-dominated on a shared machine and are reported but never
+   flagged, and a flagged regression must also exceed an absolute
+   1 ms delta so a 30% blow-up of a 2 ms measurement on a busy host does
+   not fail the gate on its own ratio.  Minimal recursive-descent JSON
+   reader below — the tree carries no JSON dependency. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> raise (Bad "unterminated string")
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then raise (Bad "bad unicode escape");
+            Buffer.add_string b (String.sub s !pos 4);
+            pos := !pos + 4
+          | Some c -> Buffer.add_char b c; advance ()
+          | None -> raise (Bad "dangling escape"));
+          go ()
+        | Some c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then raise (Bad "expected number");
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> raise (Bad "malformed number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad "expected , or } in object")
+          in
+          members []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> raise (Bad "expected , or ] in array")
+          in
+          elements []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> pos := !pos + 4; Bool true
+      | Some 'f' -> pos := !pos + 5; Bool false
+      | Some 'n' -> pos := !pos + 4; Null
+      | _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let field_opt k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let field k j =
+    match field_opt k j with
+    | Some v -> v
+    | None -> raise (Bad ("missing field " ^ k))
+
+  let num = function Num f -> f | _ -> raise (Bad "not a number")
+  let str = function Str s -> s | _ -> raise (Bad "not a string")
+end
+
+(* Below this a measurement is jitter, not signal: never flag it. *)
+let noise_floor_ns = 1e6
+
+(* And a regression must also be at least this much absolute slowdown. *)
+let min_delta_ns = 1e6
+
+(* Exit status: 0 clean, 1 regression found, 2 unusable baseline. *)
+let check_baseline ~tolerance path : int =
+  let contents =
+    try Some (In_channel.with_open_bin path In_channel.input_all)
+    with Sys_error msg ->
+      Printf.eprintf "check: cannot read %s: %s\n" path msg;
+      None
+  in
+  match contents with
+  | None -> 2
+  | Some contents -> (
+    match Json.parse contents with
+    | exception Json.Bad msg ->
+      Printf.eprintf "check: %s is not valid snapshot JSON: %s\n" path msg;
+      2
+    | j -> (
+      match
+        Option.map (fun v -> int_of_float (Json.num v))
+          (Json.field_opt "schema_version" j)
+      with
+      | None ->
+        Printf.eprintf
+          "check: %s has no schema_version (pre-versioning snapshot); \
+           regenerate the baseline with --json\n"
+          path;
+        2
+      | Some v when v <> snapshot_schema_version ->
+        Printf.eprintf
+          "check: %s has schema_version %d, this binary writes %d; \
+           regenerate the baseline\n"
+          path v snapshot_schema_version;
+        2
+      | Some _ ->
+        (* Mode mismatch is a warning, not an error: CI compares a
+           committed --quick baseline against a --quick run, but a
+           developer may want to eyeball a full run against it too. *)
+        (match Json.field_opt "mode" j with
+        | Some m ->
+          let flag k =
+            match Json.field_opt k m with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          let here_quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+          if flag "quick" <> here_quick then
+            Printf.eprintf
+              "check: warning: baseline quick=%b but this run quick=%b — \
+               comparison may be meaningless\n"
+              (flag "quick") here_quick
+        | None -> ());
+        let baseline =
+          match Json.field "measurements" j with
+          | Json.List ms ->
+            List.map
+              (fun m ->
+                (Json.str (Json.field "name" m),
+                 Json.num (Json.field "ns_per_run" m)))
+              ms
+          | _ -> raise (Json.Bad "measurements is not an array")
+        in
+        let current = List.rev !results in
+        let tol_factor = 1. +. (tolerance /. 100.) in
+        let regressions = ref 0
+        and compared = ref 0
+        and noisy = ref 0
+        and missing = ref 0 in
+        Printf.printf
+          "\n-- perf check against %s (tolerance %.0f%%) --\n%-44s %12s \
+           %12s %8s  %s\n"
+          path tolerance "measurement" "base" "current" "ratio" "verdict";
+        List.iter
+          (fun (name, ns, _tuples, _rows) ->
+            match List.assoc_opt name baseline with
+            | None -> incr missing
+            | Some base_ns ->
+              let ratio = if base_ns > 0. then ns /. base_ns else 1. in
+              let verdict =
+                if base_ns < noise_floor_ns || ns < noise_floor_ns then (
+                  incr noisy;
+                  "noise")
+                else begin
+                  incr compared;
+                  if ns > base_ns *. tol_factor
+                     && ns -. base_ns > min_delta_ns
+                  then (
+                    incr regressions;
+                    "REGRESSION")
+                  else if ns < base_ns /. tol_factor then "improved"
+                  else "ok"
+                end
+              in
+              Printf.printf "%-44s %9.2fms %9.2fms %7.2fx  %s\n" name
+                (base_ns /. 1e6) (ns /. 1e6) ratio verdict)
+          current;
+        if !missing > 0 then
+          Printf.printf
+            "(%d measurements not in the baseline were skipped)\n" !missing;
+        Printf.printf
+          "checked %d measurements (%d below the %.0fms noise floor): %s\n"
+          (!compared + !noisy) !noisy (noise_floor_ns /. 1e6)
+          (if !regressions > 0 then
+             Printf.sprintf "%d REGRESSION(S)" !regressions
+           else "no regressions");
+        if !regressions > 0 then 1 else 0))
 
 (* wall-clock one-shot timing for the macro experiments, on telemetry's
    monotonic clock (the same clock the span sinks use); Bechamel stays in
@@ -1008,6 +1269,55 @@ let run_benchmarks () =
         (Test.elements test))
     (bench_tests ())
 
+(* E16: estimated heap footprint of the sailors databases at increasing
+   scale — the numbers behind EXPERIMENTS.md's memory table.  Builds each
+   database, forces the statistics and one secondary index per relation
+   (a key-column probe, the planner's steady state after its first join)
+   so the cache figures are live, then reports the per-owner physical
+   estimates from {!Relation.memory_bytes}.  The totals are also pushed
+   through {!Views.refresh_memory_gauges}, so a --json snapshot taken in
+   the same run carries them in its "gauges" section. *)
+let e16_memory_table ~quick ~huge () =
+  hr "E16  memory footprint (estimated heap bytes)";
+  let sizes =
+    if quick then [ 10_000 ]
+    else if huge then [ 10_000; 1_000_000; 10_000_000 ]
+    else [ 10_000; 1_000_000 ]
+  in
+  Printf.printf "%9s %-10s %10s %12s %12s %12s\n" "sailors" "relation"
+    "rows" "data" "indexes" "stats";
+  List.iter
+    (fun n ->
+      let db = columnar_db n in
+      List.iter
+        (fun (_, r) ->
+          ignore (Diagres_data.Relation.stats r);
+          ignore
+            (Diagres_data.Relation.matching r [ 0 ]
+               [| Diagres_data.Value.Int 1 |]))
+        (Diagres_data.Database.relations db);
+      Diagres.Views.refresh_memory_gauges db;
+      let tot_data = ref 0 and tot_ix = ref 0 and tot_st = ref 0 in
+      List.iter
+        (fun (rname, r) ->
+          let data = Diagres_data.Relation.memory_bytes r in
+          let ix, st = Diagres_data.Relation.caches_memory_bytes r in
+          tot_data := !tot_data + data;
+          tot_ix := !tot_ix + ix;
+          tot_st := !tot_st + st;
+          Printf.printf "%9d %-10s %10d %12s %12s %12s\n" n rname
+            (Diagres_data.Relation.cardinality r)
+            (T.bytes_to_string (float_of_int data))
+            (T.bytes_to_string (float_of_int ix))
+            (T.bytes_to_string (float_of_int st)))
+        (Diagres_data.Database.relations db);
+      Printf.printf "%9d %-10s %10s %12s %12s %12s\n" n "TOTAL" ""
+        (T.bytes_to_string (float_of_int !tot_data))
+        (T.bytes_to_string (float_of_int !tot_ix))
+        (T.bytes_to_string (float_of_int !tot_st));
+      Gc.compact ())
+    sizes
+
 let () =
   let json_path =
     let rec find = function
@@ -1094,6 +1404,37 @@ let () =
   if want "e13" then e13_table ~quick ~huge ();
   if want "e14" then e14_table ~quick ();
   if want "e15" then e15_table ~quick ~huge ();
+  if want "e16" then e16_memory_table ~quick ~huge ();
   if (not quick) && want "micro" then run_benchmarks ();
-  Option.iter write_json json_path;
+  Option.iter (write_json ~quick ~huge ~domains) json_path;
+  (* --check BASELINE [--tolerance PCT]: compare this run's measurements
+     against a committed snapshot and exit non-zero on regression *)
+  let check_path =
+    let rec find = function
+      | "--check" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
+  let tolerance =
+    let rec find = function
+      | "--tolerance" :: pct :: _ -> Some pct
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    match find (Array.to_list Sys.argv) with
+    | Some pct -> (
+      match float_of_string_opt pct with
+      | Some f when f >= 0. -> f
+      | _ ->
+        Printf.eprintf "ignoring --tolerance %s (want a percentage)\n" pct;
+        25.)
+    | None -> 25.
+  in
+  (match check_path with
+  | Some path ->
+    let status = check_baseline ~tolerance path in
+    if status <> 0 then exit status
+  | None -> ());
   print_newline ()

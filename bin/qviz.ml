@@ -63,9 +63,13 @@ let trace_arg =
   Arg.(
     value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
-(* Enable tracing when any sink asked for it, run, then write the trace. *)
+(* Enable tracing when any sink asked for it, run, then write the trace.
+   EXPLAIN ANALYZE also turns on per-span allocation/GC accounting — that
+   is the sink that displays it — so the annotated plan shows per-operator
+   allocation next to wall time. *)
 let with_telemetry ?trace ?(analyze = false) f =
   if trace <> None || analyze then T.set_enabled true;
+  if analyze then T.set_alloc_enabled true;
   let r = f () in
   (match trace with
   | Some path ->
@@ -192,6 +196,9 @@ let eval_cmd =
       let ra = Diagres.Languages.to_ra (schemas_of db) q in
       let plan, cached = Diagres_ra.Plan_cache.find_or_plan db ra in
       let result = Diagres_ra.Plan.run plan in
+      (* memory gauges over the post-run state: relation storage, caches,
+         plan-cache memos — also sampled onto the trace's counter tracks *)
+      Diagres.Views.refresh_memory_gauges db;
       (* explain after exec so every operator line shows actual counts *)
       print_string
         (if analyze then Diagres_ra.Plan.analyze plan
@@ -204,13 +211,26 @@ let eval_cmd =
         (Diagres_pool.Pool.size ())
         (if cached then "hit" else "miss")
         hits misses;
-      if analyze then print_phases ();
+      if analyze then begin
+        print_phases ();
+        Printf.printf "peak rows resident: %d   memory: relations=%s caches=%s\n"
+          (T.gauge_named "exec.peak_rows_resident")
+          (T.bytes_to_string
+             (float_of_int (T.gauge_named "memory_bytes.relations")))
+          (T.bytes_to_string
+             (float_of_int
+                (T.gauge_named "memory_bytes.index_cache"
+                + T.gauge_named "memory_bytes.stats_cache"
+                + T.gauge_named "memory_bytes.plan_cache")))
+      end;
       print_newline ();
       print_string (Diagres_data.Relation.to_string result)
     end
-    else
-      print_string
-        (Diagres_data.Relation.to_string (Diagres.Languages.eval db q))
+    else begin
+      let r = Diagres.Languages.eval db q in
+      if trace <> None then Diagres.Views.refresh_memory_gauges db;
+      print_string (Diagres_data.Relation.to_string r)
+    end
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query on the sample sailors database")
@@ -362,6 +382,19 @@ let stats_cmd =
           Printf.printf "-- %s  (%d rows)\n" qtext
             (Diagres_data.Relation.cardinality r))
       queries;
+    (* memory gauges: on the built-in database, register one maintained
+       view first so [memory_bytes.delta_state] reflects live differential
+       state; a user-supplied --db gets storage/cache accounting only (the
+       catalog probe query would not typecheck against its schema) *)
+    (match dbdir with
+    | None ->
+      let reg = Diagres.Views.create db in
+      ignore
+        (Diagres.Views.register reg ~name:"stats-probe"
+           ~lang:(Diagres.Languages.of_name "sql")
+           ~source:(List.hd Diagres.Catalog.all).Diagres.Catalog.sql);
+      Diagres.Views.refresh_gauges reg
+    | Some _ -> Diagres.Views.refresh_memory_gauges db);
     if json then print_endline (T.metrics_json ())
     else begin
       if queries <> [] then print_newline ();

@@ -41,6 +41,16 @@ let now_ns () : int64 = Monotonic_clock.now ()
 let ns_to_ms ns = Int64.to_float ns /. 1e6
 let ns_to_s ns = Int64.to_float ns /. 1e9
 
+(** Human-readable byte count ("512B", "1.5KB", "23.4MB", "1.2GB") — the
+    shared formatter for allocation deltas and memory gauges. *)
+let bytes_to_string (b : float) : string =
+  let ab = Float.abs b in
+  if ab < 1024. then Printf.sprintf "%.0fB" b
+  else if ab < 1024. *. 1024. then Printf.sprintf "%.1fKB" (b /. 1024.)
+  else if ab < 1024. *. 1024. *. 1024. then
+    Printf.sprintf "%.1fMB" (b /. (1024. *. 1024.))
+  else Printf.sprintf "%.2fGB" (b /. (1024. *. 1024. *. 1024.))
+
 (** [timed f] runs [f] and returns (wall-clock seconds, result) — the
     shared timing helper for the bench harness. *)
 let timed (f : unit -> 'a) : float * 'a =
@@ -49,11 +59,54 @@ let timed (f : unit -> 'a) : float * 'a =
   let t1 = now_ns () in
   (ns_to_s (Int64.sub t1 t0), r)
 
-(* ---------------- the enabled flag ---------------- *)
+(* ---------------- the enabled flags ---------------- *)
 
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
+
+(* Allocation/GC accounting is a second, independent opt-in on top of span
+   tracing: reading [Gc.quick_stat] at every span boundary is cheap but not
+   free, so resource deltas are only captured when both flags are on.  The
+   disabled hot path is untouched — {!start} still performs exactly one
+   [Atomic.get] before bailing out. *)
+let alloc_flag = Atomic.make false
+let alloc_enabled () = Atomic.get alloc_flag
+let set_alloc_enabled b = Atomic.set alloc_flag b
+
+(* ---------------- GC samples ---------------- *)
+
+(** A point-in-time reading of the current domain's allocation and GC
+    activity; spans store one at begin and one at end, and the read-side
+    sinks subtract. *)
+type gc_sample = {
+  g_alloc : float;     (* Gc.allocated_bytes: cumulative bytes *)
+  g_minor : int;       (* minor collections *)
+  g_major : int;       (* major collections *)
+  g_promoted : float;  (* words promoted minor->major *)
+}
+
+let read_gc () : gc_sample =
+  let s = Gc.quick_stat () in
+  { g_alloc = Gc.allocated_bytes ();
+    g_minor = s.Gc.minor_collections;
+    g_major = s.Gc.major_collections;
+    g_promoted = s.Gc.promoted_words }
+
+(** Allocation and GC activity between a span's begin and end, on the
+    domain that ran it. *)
+type alloc_delta = {
+  alloc_bytes : float;
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : float;
+}
+
+let gc_delta (b : gc_sample) (e : gc_sample) : alloc_delta =
+  { alloc_bytes = e.g_alloc -. b.g_alloc;
+    minor_collections = e.g_minor - b.g_minor;
+    major_collections = e.g_major - b.g_major;
+    promoted_words = e.g_promoted -. b.g_promoted }
 
 (* ---------------- attribute values ---------------- *)
 
@@ -67,8 +120,23 @@ let value_to_string = function
 (* ---------------- per-domain span buffers ---------------- *)
 
 type event =
-  | Begin of { id : int; parent : int; name : string; cat : string; ts : int64 }
-  | End of { id : int; ts : int64; attrs : (string * value) list }
+  | Begin of {
+      id : int;
+      parent : int;
+      name : string;
+      cat : string;
+      ts : int64;
+      gc : gc_sample option;  (* present iff alloc tracking was on *)
+    }
+  | End of {
+      id : int;
+      ts : int64;
+      attrs : (string * value) list;
+      gc : gc_sample option;
+    }
+  | Sample of { sname : string; ts : int64; v : float }
+      (* a point on a counter track ("C" in the Chrome trace format):
+         memory gauges, cumulative allocation, anything timeline-shaped *)
 
 type domain_buf = {
   dom : int;                    (* Domain.self, the trace "tid" *)
@@ -121,7 +189,8 @@ let start ?(cat = "") (name : string) : span =
     let b = my_buf () in
     let id = Atomic.fetch_and_add span_ids 1 in
     let parent = match b.stack with [] -> 0 | p :: _ -> p in
-    b.events <- Begin { id; parent; name; cat; ts = now_ns () } :: b.events;
+    let gc = if Atomic.get alloc_flag then Some (read_gc ()) else None in
+    b.events <- Begin { id; parent; name; cat; ts = now_ns (); gc } :: b.events;
     b.stack <- id :: b.stack;
     id
   end
@@ -131,7 +200,8 @@ let start ?(cat = "") (name : string) : span =
 let finish ?(attrs = []) (s : span) : unit =
   if s <> null_span then begin
     let b = my_buf () in
-    b.events <- End { id = s; ts = now_ns (); attrs } :: b.events;
+    let gc = if Atomic.get alloc_flag then Some (read_gc ()) else None in
+    b.events <- End { id = s; ts = now_ns (); attrs; gc } :: b.events;
     (* pop this span (and, defensively, anything left open above it) *)
     let rec pop = function
       | x :: rest when x = s -> rest
@@ -155,6 +225,15 @@ let with_span ?cat ?(attrs = fun () -> []) name f =
       finish ~attrs:[ ("exception", Str (Printexc.to_string e)) ] s;
       raise e
 
+(** Record one point on the counter track named [name] — rendered by the
+    trace sink as a Chrome "C" event, so Perfetto draws a timeline (memory
+    gauges, rows resident, …).  A no-op when tracing is disabled. *)
+let sample (name : string) (v : float) : unit =
+  if Atomic.get enabled_flag then begin
+    let b = my_buf () in
+    b.events <- Sample { sname = name; ts = now_ns (); v } :: b.events
+  end
+
 (* ---------------- completed-span view ---------------- *)
 
 type span_info = {
@@ -166,6 +245,9 @@ type span_info = {
   start_ns : int64;
   dur_ns : int64;
   attrs : (string * value) list;
+  alloc : alloc_delta option;
+      (** allocation/GC activity inside the span; [None] unless alloc
+          tracking ({!set_alloc_enabled}) was on for both endpoints *)
 }
 
 (** Every completed span, merged across domains, in start order.  Spans
@@ -180,8 +262,8 @@ let spans () : span_info list =
     (fun b ->
       List.iter
         (function
-          | End { id; ts; attrs } -> Hashtbl.replace ends id (ts, attrs)
-          | Begin _ -> ())
+          | End { id; ts; attrs; gc } -> Hashtbl.replace ends id (ts, attrs, gc)
+          | Begin _ | Sample _ -> ())
         b.events)
     all;
   let infos =
@@ -189,14 +271,20 @@ let spans () : span_info list =
       (fun b ->
         List.filter_map
           (function
-            | Begin { id; parent; name; cat; ts } -> (
+            | Begin { id; parent; name; cat; ts; gc = gc0 } -> (
               match Hashtbl.find_opt ends id with
-              | Some (ts_end, attrs) ->
+              | Some (ts_end, attrs, gc1) ->
+                let alloc =
+                  match (gc0, gc1) with
+                  | Some g0, Some g1 -> Some (gc_delta g0 g1)
+                  | _ -> None
+                in
                 Some
                   { sid = id; parent; name; cat; domain = b.dom;
-                    start_ns = ts; dur_ns = Int64.sub ts_end ts; attrs }
+                    start_ns = ts; dur_ns = Int64.sub ts_end ts; attrs;
+                    alloc }
               | None -> None)
-            | End _ -> None)
+            | End _ | Sample _ -> None)
           (List.rev b.events))
       all
   in
@@ -247,6 +335,57 @@ let counter_named name =
   in
   Mutex.unlock metrics_mutex;
   v
+
+(* ---------------- gauges ---------------- *)
+
+(* A gauge is a point-in-time level, not a monotone count: bytes resident,
+   entries cached, rows live.  Same interned-atomic-slot design as counters
+   (always on, one atomic op to update), but the registry reports it as a
+   level and the sinks label it as such. *)
+
+type gauge = { gname : string; gcell : int Atomic.t }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+(** Intern the gauge named [name] (same slot for the same name forever). *)
+let gauge (name : string) : gauge =
+  Mutex.lock metrics_mutex;
+  let g =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+      let g = { gname = name; gcell = Atomic.make 0 } in
+      Hashtbl.add gauges name g;
+      g
+  in
+  Mutex.unlock metrics_mutex;
+  g
+
+let set_gauge (g : gauge) v = Atomic.set g.gcell v
+let add_gauge (g : gauge) n = ignore (Atomic.fetch_and_add g.gcell n)
+let gauge_value (g : gauge) = Atomic.get g.gcell
+
+(** Current value of the gauge named [name] (0 if never created). *)
+let gauge_named name =
+  Mutex.lock metrics_mutex;
+  let v =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> Atomic.get g.gcell
+    | None -> 0
+  in
+  Mutex.unlock metrics_mutex;
+  v
+
+(** Emit every registered gauge as a point on its counter track (a no-op
+    when tracing is disabled) — call at phase boundaries to give the trace
+    a memory timeline. *)
+let sample_all_gauges () =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock metrics_mutex;
+    let gs = Hashtbl.fold (fun _ g acc -> g :: acc) gauges [] in
+    Mutex.unlock metrics_mutex;
+    List.iter (fun g -> sample g.gname (float_of_int (Atomic.get g.gcell))) gs
+  end
 
 (* ---------------- histograms ---------------- *)
 
@@ -327,11 +466,13 @@ let snapshot (h : histogram) : histogram_snapshot =
 
 type metric =
   | Counter of string * int
+  | Gauge of string * int
   | Histogram of string * histogram_snapshot
 
-let metric_name = function Counter (n, _) | Histogram (n, _) -> n
+let metric_name = function
+  | Counter (n, _) | Gauge (n, _) | Histogram (n, _) -> n
 
-(** Snapshot of every counter and histogram, sorted by name. *)
+(** Snapshot of every counter, gauge, and histogram, sorted by name. *)
 let metrics () : metric list =
   Mutex.lock metrics_mutex;
   let cs =
@@ -339,18 +480,26 @@ let metrics () : metric list =
       (fun _ c acc -> Counter (c.cname, Atomic.get c.cell) :: acc)
       counters []
   in
+  let gs =
+    Hashtbl.fold
+      (fun _ g acc -> Gauge (g.gname, Atomic.get g.gcell) :: acc)
+      gauges []
+  in
   let hs =
     Hashtbl.fold (fun _ h acc -> (h.hname, h) :: acc) histograms []
   in
   Mutex.unlock metrics_mutex;
   let hs = List.map (fun (n, h) -> Histogram (n, snapshot h)) hs in
-  List.sort (fun a b -> compare (metric_name a) (metric_name b)) (cs @ hs)
+  List.sort
+    (fun a b -> compare (metric_name a) (metric_name b))
+    (cs @ gs @ hs)
 
-(** Zero every counter and histogram (the slots themselves survive, so
-    interned handles stay valid). *)
+(** Zero every counter, gauge, and histogram (the slots themselves survive,
+    so interned handles stay valid). *)
 let reset_metrics () =
   Mutex.lock metrics_mutex;
   Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0) gauges;
   Hashtbl.iter
     (fun _ h ->
       Mutex.lock h.hmutex;
@@ -401,8 +550,11 @@ let attrs_to_json attrs =
   ^ "}"
 
 (** The recorded spans as Chrome trace-event JSON (the [chrome://tracing] /
-    Perfetto format): one "B" and one "E" event per span, [tid] = the
-    domain the span ran on.  Per-buffer recording order is emission order,
+    Perfetto format): "M" metadata events naming the process and each
+    domain's track first, then one "B" and one "E" event per span ([tid] =
+    the domain the span ran on) interleaved with "C" counter-track points
+    for recorded {!sample}s and, when alloc tracking was on, the cumulative
+    allocation timeline.  Per-buffer recording order is emission order,
     which the format requires to be the per-thread timestamp order — true
     here because each domain's execution is sequential. *)
 let trace_json () : string =
@@ -414,8 +566,9 @@ let trace_json () : string =
     (fun b ->
       List.iter
         (function
-          | Begin { id; name; cat; _ } -> Hashtbl.replace names id (name, cat)
-          | End _ -> ())
+          | Begin { id; name; cat; gc; _ } ->
+            Hashtbl.replace names id (name, cat, gc)
+          | End _ | Sample _ -> ())
         b.events)
     all;
   let buf = Buffer.create 4096 in
@@ -427,6 +580,19 @@ let trace_json () : string =
     Buffer.add_string buf line
   in
   let us ts = Int64.to_float ts /. 1e3 in
+  (* metadata first: the process track, then one thread label per domain
+     buffer so Perfetto shows "domain-N" instead of a bare tid *)
+  emit
+    "  {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", \"args\": \
+     {\"name\": \"diagres\"}}";
+  List.iter
+    (fun b ->
+      emit
+        (Printf.sprintf
+           "  {\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+            \"thread_name\", \"args\": {\"name\": \"domain-%d\"}}"
+           b.dom b.dom))
+    (List.sort (fun a b -> compare a.dom b.dom) all);
   (* only emit spans that completed, so every B has a matching E *)
   let completed = Hashtbl.create 64 in
   List.iter
@@ -434,7 +600,7 @@ let trace_json () : string =
       List.iter
         (function
           | End { id; _ } -> Hashtbl.replace completed id ()
-          | Begin _ -> ())
+          | Begin _ | Sample _ -> ())
         b.events)
     all;
   List.iter
@@ -442,8 +608,8 @@ let trace_json () : string =
       List.iter
         (fun ev ->
           match ev with
-          | Begin { id; name; cat; ts; parent } when Hashtbl.mem completed id
-            ->
+          | Begin { id; name; cat; ts; parent; gc = _ }
+            when Hashtbl.mem completed id ->
             emit
               (Printf.sprintf
                  "  {\"ph\": \"B\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \
@@ -452,15 +618,44 @@ let trace_json () : string =
                  b.dom (us ts) (json_escape name)
                  (json_escape (if cat = "" then "default" else cat))
                  id parent)
-          | End { id; ts; attrs } when Hashtbl.mem names id ->
-            let name, cat = Hashtbl.find names id in
+          | End { id; ts; attrs; gc } when Hashtbl.mem names id ->
+            let name, cat, gc0 = Hashtbl.find names id in
+            let attrs =
+              match (gc0, gc) with
+              | Some g0, Some g1 ->
+                let d = gc_delta g0 g1 in
+                attrs
+                @ [ ("alloc_bytes", Float d.alloc_bytes);
+                    ("minor_gcs", Int d.minor_collections);
+                    ("major_gcs", Int d.major_collections);
+                    ("promoted_words", Float d.promoted_words) ]
+              | _ -> attrs
+            in
             emit
               (Printf.sprintf
                  "  {\"ph\": \"E\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \
                   \"name\": \"%s\", \"cat\": \"%s\", \"args\": %s}"
                  b.dom (us ts) (json_escape name)
                  (json_escape (if cat = "" then "default" else cat))
-                 (attrs_to_json attrs))
+                 (attrs_to_json attrs));
+            (* alloc mode also gives the trace a per-domain memory
+               timeline: cumulative allocated bytes as a counter track *)
+            (match gc with
+            | Some g ->
+              emit
+                (Printf.sprintf
+                   "  {\"ph\": \"C\", \"pid\": 1, \"tid\": %d, \"ts\": \
+                    %.3f, \"name\": \"gc.allocated_bytes\", \"args\": \
+                    {\"bytes\": %.0f}}"
+                   b.dom (us ts) g.g_alloc)
+            | None -> ())
+          | Sample { sname; ts; v } ->
+            emit
+              (Printf.sprintf
+                 "  {\"ph\": \"C\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \
+                  \"name\": \"%s\", \"args\": {\"value\": %s}}"
+                 b.dom (us ts) (json_escape sname)
+                 (value_to_json (Float v)))
           | Begin _ | End _ -> ())
         (List.rev b.events))
     all;
@@ -468,7 +663,7 @@ let trace_json () : string =
   Buffer.contents buf
 
 (** The metrics registry as a JSON object:
-    [{"counters": {...}, "histograms": {...}}]. *)
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
 let metrics_json () : string =
   let ms = metrics () in
   let buf = Buffer.create 1024 in
@@ -480,7 +675,17 @@ let metrics_json () : string =
         if not !first then Buffer.add_string buf ", ";
         first := false;
         Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape n) v)
-      | Histogram _ -> ())
+      | Gauge _ | Histogram _ -> ())
+    ms;
+  Buffer.add_string buf "}, \"gauges\": {";
+  first := true;
+  List.iter
+    (function
+      | Gauge (n, v) ->
+        if not !first then Buffer.add_string buf ", ";
+        first := false;
+        Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (json_escape n) v)
+      | Counter _ | Histogram _ -> ())
     ms;
   Buffer.add_string buf "}, \"histograms\": {";
   first := true;
@@ -497,7 +702,7 @@ let metrics_json () : string =
              (value_to_json (Float s.mean))
              (value_to_json (Float s.min))
              (value_to_json (Float s.max)))
-      | Counter _ -> ())
+      | Counter _ | Gauge _ -> ())
     ms;
   Buffer.add_string buf "}}";
   Buffer.contents buf
@@ -511,6 +716,8 @@ let metrics_to_string () : string =
     List.iter
       (function
         | Counter (n, v) -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" n v)
+        | Gauge (n, v) ->
+          Buffer.add_string buf (Printf.sprintf "%-40s %d (gauge)\n" n v)
         | Histogram (n, s) ->
           Buffer.add_string buf
             (if s.count = 0 then Printf.sprintf "%-40s count=0\n" n

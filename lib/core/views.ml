@@ -109,3 +109,43 @@ let verify t (v : view) : bool =
     result and generation — what a UI would repaint after an update. *)
 let snapshot (v : view) : Pipeline.rendering option * R.t * int =
   (v.rendering, result v, v.generation)
+
+(* ---------------- memory gauges ---------------- *)
+
+module T = Diagres_telemetry.Telemetry
+
+let g_relations = T.gauge "memory_bytes.relations"
+let g_index_cache = T.gauge "memory_bytes.index_cache"
+let g_stats_cache = T.gauge "memory_bytes.stats_cache"
+let g_plan_cache = T.gauge "memory_bytes.plan_cache"
+let g_delta_state = T.gauge "memory_bytes.delta_state"
+let g_plan_entries = T.gauge "plan_cache.entries"
+
+(** Recompute the [memory_bytes.*] gauges: relation storage (all
+    materialized views of every relation), the stamp-owned index and
+    statistics caches, the LRU plan cache's resident memos, and the
+    differential state of [views].  Also drops one sample per gauge onto
+    the trace's counter tracks when tracing is on, so [--trace-json]
+    output carries a memory timeline. *)
+let refresh_memory_gauges ?(views : view list = []) (db : D.Database.t) :
+    unit =
+  let rel, idx, st =
+    List.fold_left
+      (fun (r, i, s) (_, relation) ->
+        let ib, sb = R.caches_memory_bytes relation in
+        (r + R.memory_bytes relation, i + ib, s + sb))
+      (0, 0, 0) (D.Database.relations db)
+  in
+  T.set_gauge g_relations rel;
+  T.set_gauge g_index_cache idx;
+  T.set_gauge g_stats_cache st;
+  T.set_gauge g_plan_cache (Ra.Plan_cache.memory_bytes ());
+  T.set_gauge g_plan_entries (Ra.Plan_cache.entries ());
+  T.set_gauge g_delta_state
+    (List.fold_left (fun acc v -> acc + Ra.Delta.memory_bytes v.delta) 0 views);
+  T.sample_all_gauges ()
+
+(** {!refresh_memory_gauges} over a registry: its database plus every
+    registered view's differential state. *)
+let refresh_gauges (t : t) : unit =
+  refresh_memory_gauges ~views:(List.map snd t.views) t.db

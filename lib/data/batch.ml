@@ -250,3 +250,9 @@ let mem b (tup : Tuple.t) : bool =
     done;
     !found
   end
+
+(** Estimated physical bytes of the batch's columns
+    ({!Column.memory_bytes}); zero-copy column sharing between batches is
+    counted at every owner. *)
+let memory_bytes (b : t) =
+  Array.fold_left (fun acc c -> acc + Column.memory_bytes c) 8 b.cols

@@ -946,3 +946,42 @@ let join_codes l r : ((int -> int) * (int -> int)) option =
       Some ((fun i -> a.{i}), fun j -> tr.(b.{j}))
     end
   | _ -> None
+
+(* ---------------- memory accounting ---------------- *)
+
+(* The [memory_bytes.*] gauge substrate: estimated physical bytes per
+   column.  These are per-owner physical sizes, not a deduplicated heap
+   census — a dictionary or Bigarray shared by several batches (zero-copy
+   projection) is counted at every owner, which is the number the
+   operators' working-set questions ("what does this relation cost to
+   keep?") actually need. *)
+
+let mem_word = 8
+
+(* One bucket-array slot plus a four-word cons cell per entry; Hashtbl's
+   real capacity is invisible from outside, so this is the steady-state
+   load-factor estimate. *)
+let mem_hashtbl_entry = 5 * mem_word
+
+let mem_string s = (2 * mem_word) + (((String.length s / mem_word) + 1) * mem_word)
+
+let dict_memory_bytes (d : dict) =
+  Array.fold_left
+    (fun acc s -> acc + mem_string s)
+    (mem_word * (1 + Array.length d.values))
+    d.values
+  + (Hashtbl.length d.code_of * mem_hashtbl_entry)
+
+(** Estimated physical bytes of the column: Bigarray payload for ints and
+    floats, the bitset bytes for bools, codes plus dictionary storage for
+    strings, boxed values for the fallback. *)
+let memory_bytes = function
+  | Ints a -> mem_word * Bigarray.Array1.dim a
+  | Floats a -> mem_word * Bigarray.Array1.dim a
+  | Bools (b, _) -> mem_word + Bytes.length b
+  | Codes (a, d) -> (mem_word * Bigarray.Array1.dim a) + dict_memory_bytes d
+  | Boxed a ->
+    Array.fold_left
+      (fun acc v -> acc + Value.memory_bytes v)
+      (mem_word * (1 + Array.length a))
+      a

@@ -224,3 +224,30 @@ let cache_get (c : cache) ~owner positions (build : unit -> t) : t =
       Hashtbl.add c.tbl positions ix;
       ix
   end
+
+(* ---------------- memory accounting ---------------- *)
+
+(** Estimated heap bytes of one built index: the bucket table, the boxed
+    key arrays, and the per-tuple list cells.  The indexed tuples
+    themselves belong to the relation and are not recounted. *)
+let memory_bytes (ix : t) =
+  let word = 8 in
+  let entries = H.length ix.table in
+  let payload =
+    H.fold
+      (fun k tups acc ->
+        acc
+        + (word * (1 + Array.length k))             (* the key array *)
+        + Array.fold_left
+            (fun a v -> a + Value.memory_bytes v) 0 k
+        + (3 * word * List.length tups))            (* list cons cells *)
+      ix.table 0
+  in
+  (word * Array.length ix.positions) + (5 * word * entries) + payload
+
+(** Estimated heap bytes of every index currently cached. *)
+let cache_memory_bytes (c : cache) =
+  Mutex.lock c.mutex;
+  let n = Hashtbl.fold (fun _ ix acc -> acc + memory_bytes ix) c.tbl 0 in
+  Mutex.unlock c.mutex;
+  n

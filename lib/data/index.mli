@@ -66,3 +66,11 @@ val lookup_int1_rows : rows_index1 -> int -> int list
    for the positions, building under the cache lock on a miss; bypass the
    cache entirely (build unmemoized) when [owner] does not match. *)
 val cache_get : cache -> owner:int -> int list -> (unit -> t) -> t
+
+(** Estimated heap bytes of one built index (buckets, keys, row-list
+    cells; the indexed tuples belong to the relation and are not
+    recounted). *)
+val memory_bytes : t -> int
+
+(** Estimated heap bytes of every index currently in the cache. *)
+val cache_memory_bytes : cache -> int

@@ -575,3 +575,48 @@ let pp ppf r =
     r
 
 let to_string r = Fmt.str "%a" pp r
+
+(* ---------------- memory accounting ---------------- *)
+
+(** Estimated physical bytes of every materialized view of the tuple set:
+    the canonical batch, the deferred-selection view (base batch + word
+    bitmap + memoized selection vector), the tuple-set nodes, and the
+    sorted array.  The boxed tuple payload shared between [tset] and [arr]
+    is counted once; the columnar batch is independent storage and counted
+    in full.  This is what the [memory_bytes.relations] gauge sums. *)
+let memory_bytes (r : t) =
+  let word = 8 in
+  let rows = r.rows in
+  let tuple_payload =
+    match (rows.tset, rows.arr) with
+    | Some s, _ -> Tset.fold (fun t acc -> acc + Tuple.memory_bytes t) s 0
+    | None, Some a ->
+      Array.fold_left (fun acc t -> acc + Tuple.memory_bytes t) 0 a
+    | None, None -> 0
+  in
+  let tset_nodes =
+    (* a balanced-tree node per element: header, left, value, right, height *)
+    match rows.tset with Some s -> 5 * word * Tset.cardinal s | None -> 0
+  in
+  let arr_bytes =
+    match rows.arr with Some a -> word * (1 + Array.length a) | None -> 0
+  in
+  let batch_bytes =
+    match rows.batch with Some b -> Batch.memory_bytes b | None -> 0
+  in
+  let view_bytes =
+    match rows.view with
+    | None -> 0
+    | Some v ->
+      Batch.memory_bytes v.vbase
+      + (word * (1 + Array.length v.vbits))
+      + (match v.vsel with
+        | Some s -> word * (1 + Array.length s)
+        | None -> 0)
+  in
+  tuple_payload + tset_nodes + arr_bytes + batch_bytes + view_bytes
+
+(** Estimated heap bytes of the relation's cached secondary indexes and
+    statistics (see {!Index.cache_memory_bytes}). *)
+let caches_memory_bytes (r : t) =
+  (Index.cache_memory_bytes r.indexes, Stats.cache_memory_bytes r.stats)

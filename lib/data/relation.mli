@@ -166,3 +166,11 @@ val active_domain : t -> Value.t list
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Estimated physical bytes of every materialized view of the tuple set
+    (columnar batch, deferred-selection view, tuple set, sorted array) —
+    the [memory_bytes.relations] gauge substrate. *)
+val memory_bytes : t -> int
+
+(** [(index_bytes, stats_bytes)] of the relation's stamp-owned caches. *)
+val caches_memory_bytes : t -> int * int

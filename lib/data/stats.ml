@@ -70,3 +70,15 @@ let distinct_col (s : t) i =
 let to_string (s : t) =
   Printf.sprintf "rows=%d distinct=[%s]" s.rows
     (String.concat "; " (Array.to_list (Array.map string_of_int s.distinct)))
+
+(** Estimated heap bytes of the cached statistics record (0 when the slot
+    is unfilled). *)
+let cache_memory_bytes (c : cache) =
+  Mutex.lock c.mutex;
+  let n =
+    match c.slot with
+    | Some s -> 8 * (3 + Array.length s.distinct)
+    | None -> 0
+  in
+  Mutex.unlock c.mutex;
+  n

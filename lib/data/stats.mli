@@ -29,3 +29,6 @@ val of_batch : Batch.t -> t
 val distinct_col : t -> int -> int
 
 val to_string : t -> string
+
+(** Estimated heap bytes of the cached record (0 when unfilled). *)
+val cache_memory_bytes : cache -> int

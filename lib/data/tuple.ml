@@ -37,3 +37,11 @@ let pp ppf (t : t) =
   Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") Value.pp) t
 
 let to_string t = Fmt.str "%a" pp t
+
+(** Estimated heap bytes of the tuple: its array block plus every value's
+    boxed representation ({!Value.memory_bytes}). *)
+let memory_bytes (t : t) =
+  Array.fold_left
+    (fun acc v -> acc + Value.memory_bytes v)
+    (8 * (1 + Array.length t))
+    t

@@ -24,3 +24,6 @@ val project : Schema.t -> string list -> t -> t
 val concat : t -> t -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Estimated heap bytes of the tuple and its values. *)
+val memory_bytes : t -> int

@@ -143,3 +143,11 @@ let to_float = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | _ -> None
+
+(** Estimated heap bytes of the boxed representation: one two-word
+    constructor block for the immediate-payload cases ([Null] is an
+    immediate, zero bytes), plus the string block for [String]. *)
+let memory_bytes = function
+  | Null -> 0
+  | Bool _ | Int _ | Float _ -> 16
+  | String s -> 16 + 8 + (((String.length s / 8) + 1) * 8)

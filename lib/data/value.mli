@@ -68,3 +68,7 @@ val mul : t -> t -> t option
 val div : t -> t -> t option
 
 val to_float : t -> float option
+
+(** Estimated heap bytes of the boxed representation (the
+    [memory_bytes.*] gauge substrate). *)
+val memory_bytes : t -> int

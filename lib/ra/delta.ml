@@ -521,3 +521,26 @@ let maintain (t : t) (updates : (string * R.t * R.t * R.t) list) : report =
   T.incr c_recompute_avoided;
   T.observe h_maintain (Int64.to_float (Int64.sub (T.now_ns ()) t0));
   { result = t.result; root_inserts; root_deletes }
+
+(* ---------------- memory accounting ---------------- *)
+
+(** Estimated bytes of the view's differential state: the maintained root
+    result, every snapshotted intermediate, and the projection
+    support-count tables (keys plus table cells) — the substrate of the
+    [memory_bytes.delta_state] gauge.  The plan itself is shared with the
+    plan cache and not counted here. *)
+let memory_bytes (t : t) : int =
+  let word = 8 in
+  let support_bytes tb =
+    TH.fold
+      (fun k _ acc -> acc + D.Tuple.memory_bytes k + (5 * word))
+      tb 0
+  in
+  let state_bytes _ (st : state) acc =
+    let cur =
+      match st.current with Some r -> R.memory_bytes r | None -> 0
+    in
+    let sup = match st.support with Some tb -> support_bytes tb | None -> 0 in
+    acc + cur + sup
+  in
+  R.memory_bytes t.result + Hashtbl.fold state_bytes t.states 0

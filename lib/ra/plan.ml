@@ -52,6 +52,9 @@ type t = {
   mutable hits : int;                   (** times served from the memo *)
   mutable actual_ns : int64;
       (** wall time of the last compute, children included; -1 = untimed *)
+  mutable actual_alloc : float;
+      (** bytes allocated by the last compute on the executing domain,
+          children included; -1 = untracked (alloc tracking off) *)
   mutable detail : (string * int) list;
       (** operator-specific measurements from the last traced compute:
           [build_ns]/[probe_ns] for hash joins, [morsels] for the
@@ -124,8 +127,8 @@ let node_counter = ref 0
 let mk op schema est est_distinct : t =
   incr node_counter;
   { id = !node_counter; op; schema; est = Float.max 0. est; est_distinct;
-    cache = None; evals = 0; hits = 0; actual_ns = -1L; detail = [];
-    vec = false; fuse = false }
+    cache = None; evals = 0; hits = 0; actual_ns = -1L;
+    actual_alloc = -1.; detail = []; vec = false; fuse = false }
 
 (* ---------------- parallel execution helpers ---------------- *)
 
@@ -624,10 +627,34 @@ let vec_division n (a : t) (b : t) (ra : D.Relation.t) (rb : D.Relation.t) :
 
 (* A row-mode operator running over an input that was born columnar
    (materialized batch or pending deferred selection): counted so the
-   telemetry shows where vectorization does not apply. *)
-let note_row_fallback inputs =
-  if !columnar_enabled && List.exists D.Relation.is_columnar inputs then
-    T.incr c_fallback
+   telemetry shows where vectorization does not apply.  Both the aggregate
+   counter and a per-operator labelled counter are bumped, so [qviz stats]
+   shows *which* operator fell back (the division holdout, a join with no
+   unboxed key view, …), not just that something did.  Interning the
+   labelled slot takes the registry mutex, but this runs once per operator
+   execution, never per row. *)
+let note_row_fallback n inputs =
+  if !columnar_enabled && List.exists D.Relation.is_columnar inputs then begin
+    T.incr c_fallback;
+    T.incr (T.counter ("columnar.fallback_row_mode." ^ op_kind n))
+  end
+
+(* Rows held live by node memos during the current [run], and the high-
+   water mark — the "peak rows resident" figure [analyze] reports.
+   Tracked only under telemetry (cardinality of a set-backed view is a
+   traversal), atomically because nodes memoize from worker domains. *)
+let rows_resident = Atomic.make 0
+let rows_resident_peak = Atomic.make 0
+let g_peak_rows = T.gauge "exec.peak_rows_resident"
+
+let note_resident rows =
+  let cur = rows + Atomic.fetch_and_add rows_resident rows in
+  let rec bump () =
+    let p = Atomic.get rows_resident_peak in
+    if cur > p && not (Atomic.compare_and_set rows_resident_peak p cur) then
+      bump ()
+  in
+  bump ()
 
 let rec exec (n : t) : D.Relation.t =
   match n.cache with
@@ -642,9 +669,17 @@ let rec exec (n : t) : D.Relation.t =
            children computed beneath it, mirroring the tree shape the
            trace viewer shows *)
         let sp = T.start ~cat:"operator" (op_kind n) in
+        let alloc0 =
+          if T.alloc_enabled () then Gc.allocated_bytes () else 0.
+        in
         let t0 = T.now_ns () in
         let r = compute n in
         n.actual_ns <- Int64.sub (T.now_ns ()) t0;
+        if T.alloc_enabled () then
+          (* allocation on the executing domain, children included; work
+             a parallel operator shipped to pool domains is attributed to
+             those domains' spans, not this node *)
+          n.actual_alloc <- Gc.allocated_bytes () -. alloc0;
         let rows_in =
           List.fold_left
             (fun acc c ->
@@ -653,11 +688,13 @@ let rec exec (n : t) : D.Relation.t =
               | None -> acc)
             0 (children n)
         in
+        let rows_out = D.Relation.cardinality r in
+        note_resident rows_out;
         T.finish
           ~attrs:
             (("node", T.Int n.id)
             :: ("rows_in", T.Int rows_in)
-            :: ("rows_out", T.Int (D.Relation.cardinality r))
+            :: ("rows_out", T.Int rows_out)
             :: List.map (fun (k, v) -> (k, T.Int v)) n.detail)
           sp;
         r
@@ -708,6 +745,7 @@ and compute n : D.Relation.t =
         | None ->
           (* key columns with no unboxed code view: row path *)
           T.incr c_fallback;
+          T.incr (T.counter ("columnar.fallback_row_mode." ^ op_kind n));
           None
       end
       else None
@@ -812,7 +850,7 @@ and compute n : D.Relation.t =
     end)
   | Nl_join (p, a, b) ->
     let ra = exec a and rb = exec b in
-    note_row_fallback [ ra; rb ];
+    note_row_fallback n [ ra; rb ];
     let ca = D.Relation.cardinality ra and cb = D.Relation.cardinality rb in
     let pair_chunk sub =
       Array.fold_right
@@ -844,7 +882,7 @@ and compute n : D.Relation.t =
     vec_setop n D.Batch.merge_diff (exec a) (exec b)
   | Union (a, b) ->
     let ra = exec a and rb = exec b in
-    note_row_fallback [ ra; rb ];
+    note_row_fallback n [ ra; rb ];
     if not (parallel_for (D.Relation.cardinality rb)) then
       D.Relation.union ra rb
     else begin
@@ -860,7 +898,7 @@ and compute n : D.Relation.t =
     end
   | Inter (a, b) ->
     let ra = exec a and rb = exec b in
-    note_row_fallback [ ra; rb ];
+    note_row_fallback n [ ra; rb ];
     if not (parallel_for (D.Relation.cardinality ra)) then
       D.Relation.inter ra rb
     else begin
@@ -872,7 +910,7 @@ and compute n : D.Relation.t =
     end
   | Diff (a, b) ->
     let ra = exec a and rb = exec b in
-    note_row_fallback [ ra; rb ];
+    note_row_fallback n [ ra; rb ];
     if not (parallel_for (D.Relation.cardinality ra)) then
       D.Relation.diff ra rb
     else begin
@@ -886,7 +924,7 @@ and compute n : D.Relation.t =
     vec_division n a b (exec a) (exec b)
   | Division (a, b) ->
     let ra = exec a and rb = exec b in
-    note_row_fallback [ ra; rb ];
+    note_row_fallback n [ ra; rb ];
     D.Relation.division ra rb
 
 (* ---------------- traversal ---------------- *)
@@ -980,6 +1018,7 @@ let reset_caches root =
       n.evals <- 0;
       n.hits <- 0;
       n.actual_ns <- -1L;
+      n.actual_alloc <- -1.;
       n.detail <- [])
     root ()
 
@@ -999,13 +1038,22 @@ let exec_fresh (n : t) : D.Relation.t = exec n
     clean slate — the entry point {!Eval.eval_planned} uses. *)
 let run root =
   reset_caches root;
-  T.with_span ~cat:"phase"
-    ~attrs:(fun () ->
-      match root.cache with
-      | Some r -> [ ("rows", T.Int (D.Relation.cardinality r)) ]
-      | None -> [])
-    "execute"
-    (fun () -> exec root)
+  if T.enabled () then begin
+    Atomic.set rows_resident 0;
+    Atomic.set rows_resident_peak 0
+  end;
+  let r =
+    T.with_span ~cat:"phase"
+      ~attrs:(fun () ->
+        match root.cache with
+        | Some r -> [ ("rows", T.Int (D.Relation.cardinality r)) ]
+        | None -> [])
+      "execute"
+      (fun () -> exec root)
+  in
+  if T.enabled () then
+    T.set_gauge g_peak_rows (Atomic.get rows_resident_peak);
+  r
 
 (* ---------------- explain ---------------- *)
 
@@ -1109,6 +1157,11 @@ let analyze (root : t) : string =
         if n.actual_ns < 0L then "time=?"
         else Printf.sprintf "time=%.3fms" (T.ns_to_ms n.actual_ns)
       in
+      let alloc =
+        (* only present when the plan ran with alloc tracking on *)
+        if n.actual_alloc < 0. then ""
+        else Printf.sprintf " alloc=%s" (T.bytes_to_string n.actual_alloc)
+      in
       let detail =
         String.concat ""
           (List.map
@@ -1127,8 +1180,8 @@ let analyze (root : t) : string =
             (est_ratio n.est (D.Relation.cardinality r))
         | _ -> ""
       in
-      Printf.sprintf "est=%.0f actual=%s %s%s%s" n.est (actual_rows n) time
-        detail flag)
+      Printf.sprintf "est=%.0f actual=%s %s%s%s%s" n.est (actual_rows n) time
+        alloc detail flag)
 
 (** Total number of node computations across the DAG — with hash-consing
     this stays at the number of {e distinct} subexpressions. *)
@@ -1136,3 +1189,16 @@ let total_evals root = fold_unique (fun n acc -> acc + n.evals) root 0
 
 (** Total memo hits — how many re-evaluations sharing saved. *)
 let total_hits root = fold_unique (fun n acc -> acc + n.hits) root 0
+
+(** Estimated bytes held live by the plan's node memos — the intermediate
+    results still resident after a run ({!Plan_cache} sums this over every
+    cached plan for the [memory_bytes.plan_cache] gauge).  Scan nodes are
+    skipped: their "result" is the base relation itself, owned by the
+    database, not the plan. *)
+let memory_bytes (root : t) : int =
+  fold_unique
+    (fun n acc ->
+      match (n.op, n.cache) with
+      | Scan _, _ | _, None -> acc
+      | _, Some r -> acc + D.Relation.memory_bytes r)
+    root 0

@@ -166,3 +166,13 @@ let find_or_plan (db : D.Database.t) (e : Ast.t) : Plan.t * bool =
         evict_if_full ();
         Hashtbl.replace table key { plan; last_used = !clock });
     (plan, false)
+
+(** Number of plans currently cached. *)
+let entries () = length ()
+
+(** Estimated bytes held live by the cached plans' node memos
+    ({!Plan.memory_bytes} summed over every entry) — the substrate of the
+    [memory_bytes.plan_cache] gauge. *)
+let memory_bytes () : int =
+  locked (fun () ->
+      Hashtbl.fold (fun _ e acc -> acc + Plan.memory_bytes e.plan) table 0)

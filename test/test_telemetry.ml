@@ -179,6 +179,121 @@ let test_metrics_registry () =
   Alcotest.(check int) "reset zeroes histograms" 0
     (T.snapshot (T.histogram "test.reg.h")).T.count
 
+(* ---------------- gauges & memory accounting ---------------- *)
+
+let test_gauges () =
+  let g = T.gauge "test.gauge.a" in
+  T.set_gauge g 42;
+  Alcotest.(check int) "set" 42 (T.gauge_value g);
+  T.add_gauge g 8;
+  Alcotest.(check int) "add" 50 (T.gauge_value g);
+  T.add_gauge g (-20);
+  Alcotest.(check int) "add negative" 30 (T.gauge_value g);
+  Alcotest.(check int) "named lookup" 30 (T.gauge_named "test.gauge.a");
+  Alcotest.(check int) "unknown gauge reads 0" 0
+    (T.gauge_named "test.gauge.nosuch");
+  Alcotest.(check bool) "same name interns to the same cell" true
+    (T.gauge "test.gauge.a" == g);
+  let names = List.map T.metric_name (T.metrics ()) in
+  Alcotest.(check bool) "registry snapshot lists the gauge" true
+    (List.mem "test.gauge.a" names);
+  T.reset_metrics ();
+  Alcotest.(check int) "reset zeroes gauges" 0 (T.gauge_value g)
+
+let test_memory_bytes () =
+  (* values: fixed 16-byte boxes; strings add header + payload words *)
+  Alcotest.(check int) "null" 0 (D.Value.memory_bytes D.Value.Null);
+  Alcotest.(check int) "int" 16 (D.Value.memory_bytes (D.Value.Int 7));
+  Alcotest.(check int) "8-char string" 40
+    (D.Value.memory_bytes (D.Value.String "ABCDEFGH"));
+  (* tuple: header word + one slot per field, plus the boxed values *)
+  Alcotest.(check int) "2-int tuple" 56
+    (D.Tuple.memory_bytes [| D.Value.Int 1; D.Value.Int 2 |]);
+  (* an int column is exactly its Bigarray payload *)
+  let ints = D.Column.Ints (D.Column.make_ints 100) in
+  Alcotest.(check int) "int column payload" 800 (D.Column.memory_bytes ints);
+  (* a dictionary column is its codes payload plus dictionary storage *)
+  let dict =
+    D.Column.of_values
+      (Array.init 10 (fun i ->
+           D.Value.String (if i mod 2 = 0 then "even" else "odd")))
+  in
+  Alcotest.(check bool) "dict column exceeds its codes payload" true
+    (D.Column.memory_bytes dict > 80);
+  (* batch: a header word plus its columns *)
+  let b = D.Batch.make ~nrows:100 [| ints |] in
+  Alcotest.(check int) "batch = header + columns" 808 (D.Batch.memory_bytes b);
+  (* relation: at least the boxed-tuple payload, growing with cardinality,
+     and the cache accounting tracks what has actually been built *)
+  let schema =
+    [ D.Schema.attr ~ty:D.Value.Tint "a"; D.Schema.attr ~ty:D.Value.Tint "b" ]
+  in
+  let rel n =
+    D.Relation.of_lists schema
+      (List.init n (fun i -> [ D.Value.Int i; D.Value.Int (i * i) ]))
+  in
+  let small = rel 10 and big = rel 1000 in
+  Alcotest.(check bool) "footprint covers the tuple payload" true
+    (D.Relation.memory_bytes big >= 1000 * 56);
+  Alcotest.(check bool) "footprint grows with cardinality" true
+    (D.Relation.memory_bytes big > D.Relation.memory_bytes small);
+  Alcotest.(check (pair int int)) "no caches built yet" (0, 0)
+    (D.Relation.caches_memory_bytes small);
+  ignore (D.Relation.stats small);
+  let _, st = D.Relation.caches_memory_bytes small in
+  Alcotest.(check bool) "stats cache counted once filled" true (st > 0);
+  ignore (D.Relation.matching small [ 0 ] [| D.Value.Int 3 |]);
+  let ix, _ = D.Relation.caches_memory_bytes small in
+  Alcotest.(check bool) "index cache counted once built" true (ix > 0)
+
+(* ---------------- per-span allocation tracking ---------------- *)
+
+let test_alloc_spans () =
+  with_tracing @@ fun () ->
+  (* without the opt-in, spans carry no GC samples *)
+  ignore
+    (T.with_span "noalloc" (fun () ->
+         Sys.opaque_identity (Array.make 1000 0.)));
+  (match T.spans () with
+  | [ s ] ->
+    Alcotest.(check bool) "alloc is None without opt-in" true (s.T.alloc = None)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  T.reset_spans ();
+  T.set_alloc_enabled true;
+  Fun.protect ~finally:(fun () -> T.set_alloc_enabled false) @@ fun () ->
+  ignore
+    (T.with_span "alloc" (fun () ->
+         Sys.opaque_identity (Array.init 100_000 float_of_int)));
+  match T.spans () with
+  | [ s ] -> (
+    match s.T.alloc with
+    | Some d ->
+      (* the flat float array alone is 800 KB *)
+      Alcotest.(check bool) "allocation attributed to the span" true
+        (d.T.alloc_bytes >= 800_000.);
+      Alcotest.(check bool) "GC deltas non-negative" true
+        (d.T.minor_collections >= 0 && d.T.major_collections >= 0
+        && d.T.promoted_words >= 0.)
+    | None -> Alcotest.fail "alloc tracking on but the span has no delta")
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_disabled_no_alloc () =
+  T.set_enabled false;
+  (* warm up: intern anything start/finish touch lazily *)
+  let s0 = T.start "warm" in
+  T.finish s0;
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to 10_000 do
+    let s = T.start "off" in
+    T.finish s
+  done;
+  let after = Gc.allocated_bytes () in
+  (* the disabled path is one Atomic.get per call: the whole loop must
+     allocate nothing.  The slack covers the boxed floats of the two
+     Gc.allocated_bytes calls themselves. *)
+  Alcotest.(check bool) "disabled start/finish allocates nothing" true
+    (after -. before < 1024.)
+
 let test_plan_cache_counters () =
   Diagres_ra.Plan_cache.clear ();
   Diagres_ra.Plan_cache.reset_stats ();
@@ -248,9 +363,24 @@ let test_differential () =
                         D.Relation.to_string
                           (Diagres_ra.Eval.eval_planned dbi ra))
                   in
+                  (* and again with per-span allocation tracking on: the
+                     GC sampling must never change results either *)
+                  let traced_alloc =
+                    with_tracing (fun () ->
+                        T.set_alloc_enabled true;
+                        Fun.protect
+                          ~finally:(fun () -> T.set_alloc_enabled false)
+                          (fun () ->
+                            D.Relation.to_string
+                              (Diagres_ra.Eval.eval_planned dbi ra)))
+                  in
                   Alcotest.(check string)
                     (Printf.sprintf "%s on %s, %d domain(s)" id dbname size)
-                    plain traced)
+                    plain traced;
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s on %s, %d domain(s), alloc tracking"
+                       id dbname size)
+                    plain traced_alloc)
                 [ ("sample", db); ("generated-1500", big_db) ])
             (differential_queries ())))
     [ 1; 4 ]
@@ -453,6 +583,8 @@ end
 let test_trace_json_valid () =
   with_tracing @@ fun () ->
   with_size 4 @@ fun () ->
+  T.set_alloc_enabled true;
+  Fun.protect ~finally:(fun () -> T.set_alloc_enabled false) @@ fun () ->
   (* span a real multi-phase evaluation, plus parallel work *)
   let ra =
     Diagres_rc.Translate.trc_to_ra D.Sample_db.schemas
@@ -481,37 +613,60 @@ let test_trace_json_valid () =
       r
   in
   let begins = ref 0 and ends = ref 0 in
+  let metadata = ref 0 and counters = ref 0 and thread_names = ref [] in
   List.iter
     (fun ev ->
       let ph = Json.(str (field "ph" ev)) in
-      let tid = int_of_float Json.(num (field "tid" ev)) in
-      let ts = Json.(num (field "ts" ev)) in
       let name = Json.(str (field "name" ev)) in
       Alcotest.(check bool) "pid present" true
         (Json.(num (field "pid" ev)) = 1.0);
-      ignore Json.(field "cat" ev);
-      ignore Json.(field "args" ev);
-      let st = stack tid in
-      (match !st with
-      | (_, prev_ts) :: _ ->
-        Alcotest.(check bool) "per-tid timestamps non-decreasing" true
-          (ts >= prev_ts)
-      | [] -> ());
       match ph with
-      | "B" ->
-        Stdlib.incr begins;
-        st := (name, ts) :: !st
-      | "E" -> (
-        Stdlib.incr ends;
-        match !st with
-        | (open_name, _) :: rest ->
-          Alcotest.(check string) "E closes the innermost open B" open_name
-            name;
-          st := rest
-        | [] -> Alcotest.fail "E with no open B on its tid")
-      | other -> Alcotest.failf "unexpected event phase %S" other)
+      | "M" ->
+        (* metadata: no timestamp, just a process/thread label in args *)
+        Stdlib.incr metadata;
+        Alcotest.(check bool) "metadata names a known field" true
+          (name = "process_name" || name = "thread_name");
+        let label = Json.(str (field "name" (field "args" ev))) in
+        if name = "thread_name" then
+          thread_names := label :: !thread_names
+        else Alcotest.(check string) "process label" "diagres" label
+      | "C" ->
+        (* counter track: timestamped value sample, no nesting *)
+        Stdlib.incr counters;
+        ignore Json.(num (field "tid" ev));
+        ignore Json.(num (field "ts" ev));
+        ignore Json.(field "args" ev)
+      | _ -> (
+        let tid = int_of_float Json.(num (field "tid" ev)) in
+        let ts = Json.(num (field "ts" ev)) in
+        ignore Json.(field "cat" ev);
+        ignore Json.(field "args" ev);
+        let st = stack tid in
+        (match !st with
+        | (_, prev_ts) :: _ ->
+          Alcotest.(check bool) "per-tid timestamps non-decreasing" true
+            (ts >= prev_ts)
+        | [] -> ());
+        match ph with
+        | "B" ->
+          Stdlib.incr begins;
+          st := (name, ts) :: !st
+        | "E" -> (
+          Stdlib.incr ends;
+          match !st with
+          | (open_name, _) :: rest ->
+            Alcotest.(check string) "E closes the innermost open B" open_name
+              name;
+            st := rest
+          | [] -> Alcotest.fail "E with no open B on its tid")
+        | other -> Alcotest.failf "unexpected event phase %S" other))
     events;
   Alcotest.(check int) "every B has its E" !begins !ends;
+  Alcotest.(check bool) "has metadata events" true (!metadata >= 2);
+  Alcotest.(check bool) "domain-0 thread name present" true
+    (List.mem "domain-0" !thread_names);
+  Alcotest.(check bool) "has counter events (alloc tracking was on)" true
+    (!counters > 0);
   Hashtbl.iter
     (fun tid st ->
       Alcotest.(check (list string))
@@ -536,12 +691,16 @@ let test_trace_json_valid () =
 let test_metrics_json_valid () =
   T.incr (T.counter "test.json.counter");
   T.observe (T.histogram "test.json.hist") 3.0;
+  T.set_gauge (T.gauge "test.json.gauge") 12345;
   match Json.parse (T.metrics_json ()) with
   | Json.Obj _ as o ->
     let counters = Json.field "counters" o in
+    let gauges = Json.field "gauges" o in
     let histograms = Json.field "histograms" o in
     Alcotest.(check bool) "counter serialized" true
       (Json.(num (field "test.json.counter" counters)) >= 1.0);
+    Alcotest.(check (float 1e-9)) "gauge serialized" 12345.0
+      Json.(num (field "test.json.gauge" gauges));
     Alcotest.(check (float 1e-9)) "histogram count serialized" 1.0
       Json.(num (field "count" (field "test.json.hist" histograms)))
   | _ -> Alcotest.fail "metrics_json is not an object"
@@ -586,11 +745,20 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram;
           Alcotest.test_case "registry snapshot & reset" `Quick
             test_metrics_registry;
+          Alcotest.test_case "gauges" `Quick test_gauges;
           Alcotest.test_case "plan-cache counters" `Quick
             test_plan_cache_counters;
           Alcotest.test_case "datalog round counter" `Quick
             test_datalog_round_counter;
           Alcotest.test_case "pool counters" `Quick test_pool_counters ] );
+      ( "memory",
+        [ Alcotest.test_case "estimated heap bytes" `Quick test_memory_bytes ]
+      );
+      ( "alloc",
+        [ Alcotest.test_case "per-span allocation deltas" `Quick
+            test_alloc_spans;
+          Alcotest.test_case "disabled mode allocates nothing" `Quick
+            test_disabled_no_alloc ] );
       ( "differential",
         [ Alcotest.test_case "instrumented = uninstrumented" `Slow
             test_differential ] );
